@@ -1,0 +1,146 @@
+//! Criterion microbenchmarks for M3's hot paths.
+//!
+//! These measure the cost of the mechanisms themselves — the monitor poll,
+//! Algorithm 1 selection, the adaptive allocation gate, runtime GC models
+//! and the cache structures — plus a small end-to-end simulation as a
+//! throughput canary. They are about the *reproduction's* performance, not
+//! the paper's results (those live in the `fig*` harnesses).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use m3_cache::SlabCache;
+use m3_core::selection::{select_processes, Candidate};
+use m3_core::{AdaptiveAllocator, Monitor, MonitorConfig, SortOrder};
+use m3_framework::BlockCache;
+use m3_os::{Kernel, KernelConfig};
+use m3_runtime::{Jvm, JvmConfig};
+use m3_sim::clock::SimTime;
+use m3_sim::units::{GIB, KIB, MIB};
+
+fn bench_monitor_poll(c: &mut Criterion) {
+    c.bench_function("monitor_poll_16_procs", |b| {
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let mut mon = Monitor::new(MonitorConfig::paper_64gb());
+        for i in 0..16 {
+            let pid = os.spawn(format!("p{i}"));
+            os.grow(pid, 3 * GIB + i * 100 * MIB).unwrap();
+            mon.register(pid);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(mon.poll(&mut os, SimTime::from_secs(t)));
+            // Drain so coalescing does not change the workload over time.
+            for pid in os.running_pids() {
+                os.take_signals(pid);
+            }
+        });
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    c.bench_function("algorithm1_select_1000", |b| {
+        let candidates: Vec<Candidate> = (0..1000)
+            .map(|i| Candidate {
+                pid: i,
+                spawned_at: SimTime::from_secs(i % 97),
+                rss: (i % 13) * GIB / 4,
+                expected_reclaim: (i % 7 + 1) * 100 * MIB,
+            })
+            .collect();
+        b.iter(|| {
+            black_box(select_processes(
+                black_box(&candidates),
+                SortOrder::NewestFirst,
+                50 * GIB,
+            ))
+        });
+    });
+}
+
+fn bench_alloc_gate(c: &mut Criterion) {
+    c.bench_function("adaptive_allocator_gate", |b| {
+        let mut a = AdaptiveAllocator::new(5);
+        a.on_high_signal(SimTime::ZERO);
+        a.on_reclaim_done(SimTime::from_secs(2));
+        let now = SimTime::from_secs(3);
+        b.iter(|| black_box(a.should_delay(now)));
+    });
+}
+
+fn bench_jvm_gc(c: &mut Criterion) {
+    c.bench_function("jvm_young_gc_model", |b| {
+        b.iter_batched(
+            || {
+                let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+                let pid = os.spawn("jvm");
+                let mut jvm = Jvm::new(pid, JvmConfig::stock(16 * GIB));
+                jvm.alloc_transient(&mut os, GIB).unwrap();
+                (os, jvm)
+            },
+            |(mut os, mut jvm)| black_box(jvm.young_gc(&mut os)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_block_cache(c: &mut Criterion) {
+    c.bench_function("block_cache_access_evict_300", |b| {
+        let mut cache = BlockCache::new(300 * 128 * MIB);
+        for i in 0..300 {
+            cache.insert(i, 128 * MIB);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7) % 300;
+            black_box(cache.access(i));
+            if i.is_multiple_of(64) {
+                if let Some((id, bytes)) = cache.evict_lru() {
+                    cache.insert(id, bytes);
+                }
+            }
+        });
+    });
+}
+
+fn bench_slab_cache(c: &mut Criterion) {
+    c.bench_function("slab_cache_insert_evict", |b| {
+        let mut slabs = SlabCache::new(12_000_000, 4 * KIB, MIB, u64::MAX / 2);
+        slabs.insert(6_000_000);
+        b.iter(|| {
+            black_box(slabs.insert(256));
+            black_box(slabs.evict_slabs(1));
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use m3_sim::clock::SimDuration;
+    use m3_workloads::machine::MachineConfig;
+    use m3_workloads::runner::run_scenario;
+    use m3_workloads::scenario::Scenario;
+    use m3_workloads::settings::Setting;
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("mmw180_under_m3", |b| {
+        let mut cfg = MachineConfig::stock_64gb();
+        cfg.sample_period = None;
+        cfg.max_time = SimDuration::from_secs(40_000);
+        let scenario = Scenario::uniform("MMW", 180);
+        b.iter(|| black_box(run_scenario(black_box(&scenario), &Setting::m3(3), cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_monitor_poll,
+    bench_selection,
+    bench_alloc_gate,
+    bench_jvm_gc,
+    bench_block_cache,
+    bench_slab_cache,
+    bench_end_to_end
+);
+criterion_main!(benches);

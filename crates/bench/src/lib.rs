@@ -1,0 +1,192 @@
+//! Experiment harness shared by the per-figure bench targets.
+//!
+//! Every table and figure in the paper's evaluation has a bench target in
+//! `benches/` (with `harness = false`), so `cargo bench --workspace`
+//! regenerates the full evaluation. Each harness prints the same rows or
+//! series the paper reports and writes a JSON dump under `results/` for
+//! re-plotting. This library holds the small shared pieces: table
+//! rendering, profile summarisation, and the results-directory writer.
+
+use m3_sim::clock::SimDuration;
+use m3_sim::metrics::Profile;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Renders an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let t = m3_bench::render_table(
+///     &["workload", "speedup"],
+///     &[vec!["MMW 180".into(), "1.22x".into()]],
+/// );
+/// assert!(t.contains("MMW 180"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional speedup the way Fig. 5 plots it (`INF` when the
+/// baseline could not run the workload).
+pub fn fmt_speedup(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.2}x"),
+        None => "INF".to_string(),
+    }
+}
+
+/// Formats an optional runtime in seconds (`FAIL` for apps that did not
+/// run).
+pub fn fmt_runtime(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{v:.0}"),
+        None => "FAIL".to_string(),
+    }
+}
+
+/// Formats a duration as whole seconds.
+pub fn fmt_secs(d: SimDuration) -> String {
+    format!("{:.0}", d.as_secs_f64())
+}
+
+/// The results directory (`results/` at the workspace root), created on
+/// demand.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("M3_RESULTS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Writes a serialisable value as pretty JSON under `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialise results");
+    std::fs::write(&path, json).expect("write results file");
+    println!("[results written to {}]", path.display());
+}
+
+/// Summarises a profile's series into `(name, mean, max)` rows for quick
+/// textual inspection of the figure panels.
+pub fn profile_summary(profile: &Profile) -> Vec<Vec<String>> {
+    profile
+        .series
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.1}", s.mean().unwrap_or(0.0)),
+                format!("{:.1}", s.max().unwrap_or(0.0)),
+            ]
+        })
+        .collect()
+}
+
+/// Prints a profile as a compact ASCII strip chart (one row per series,
+/// sampled down to `cols` columns), so the figure shape is visible in the
+/// bench output without plotting.
+pub fn ascii_profile(profile: &Profile, cols: usize, max_gib: f64) -> String {
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for s in &profile.series {
+        if s.samples.is_empty() {
+            continue;
+        }
+        let mut row = vec![b' '; cols];
+        let t_end = s
+            .samples
+            .last()
+            .expect("non-empty")
+            .t
+            .as_secs_f64()
+            .max(1.0);
+        for p in &s.samples {
+            let col = ((p.t.as_secs_f64() / t_end) * (cols - 1) as f64) as usize;
+            let level = ((p.v / max_gib).clamp(0.0, 1.0) * (GLYPHS.len() - 1) as f64) as usize;
+            row[col] = GLYPHS[level].max(row[col]);
+        }
+        let _ = writeln!(
+            out,
+            "{:>16} |{}|",
+            s.name,
+            String::from_utf8(row).expect("ascii")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::clock::SimTime;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbbb"));
+        assert!(lines[2].ends_with("2  "));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(Some(1.6049)), "1.60x");
+        assert_eq!(fmt_speedup(None), "INF");
+        assert_eq!(fmt_runtime(Some(123.4)), "123");
+        assert_eq!(fmt_runtime(None), "FAIL");
+        assert_eq!(fmt_secs(SimDuration::from_millis(2500)), "2");
+    }
+
+    #[test]
+    fn profile_summary_rows() {
+        let mut p = Profile::new();
+        p.series_mut("x").push(SimTime::ZERO, 1.0);
+        p.series_mut("x").push(SimTime::from_secs(1), 3.0);
+        let rows = profile_summary(&p);
+        assert_eq!(
+            rows,
+            vec![vec!["x".to_string(), "2.0".into(), "3.0".into()]]
+        );
+    }
+
+    #[test]
+    fn ascii_profile_is_bounded() {
+        let mut p = Profile::new();
+        for i in 0..100 {
+            p.series_mut("total").push(SimTime::from_secs(i), i as f64);
+        }
+        let art = ascii_profile(&p, 40, 100.0);
+        assert!(art.contains("total"));
+        let line = art.lines().next().unwrap();
+        assert!(line.len() < 70);
+    }
+}

@@ -1,0 +1,124 @@
+//! The cache benchmark workload description (§7.1.1).
+
+use m3_sim::units::{GIB, KIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// A memtier-like uniform-random get/put benchmark over a key space.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KvWorkload {
+    /// Distinct keys in the key space (the paper: 12 million).
+    pub key_space: u64,
+    /// Fraction of the key space preloaded before the measured phase
+    /// (the paper: 85 %).
+    pub preload_fraction: f64,
+    /// Measured get requests (the paper: 6.5 million).
+    pub total_requests: u64,
+    /// Bytes per item.
+    pub item_bytes: u64,
+    /// Slab size (contiguous page run returned to the OS whole).
+    pub slab_bytes: u64,
+    /// Service cost of a hit, in microseconds of driver time (absorbs the
+    /// benchmark's request concurrency).
+    pub hit_us: u64,
+    /// Extra cost of a miss: the simulated 1 ms backend lookup divided by
+    /// the goroutine concurrency that overlaps it, plus the put.
+    pub miss_extra_us: u64,
+    /// Preload ingest rate, bytes per second of driver time.
+    pub preload_bytes_per_sec: u64,
+}
+
+impl KvWorkload {
+    /// The paper's Go-Cache benchmark: 12 M keys at 85 %, 6.5 M uniform
+    /// gets, 1 ms backend penalty on a miss (overlapped by concurrency).
+    pub fn paper_gocache() -> Self {
+        KvWorkload {
+            key_space: 12_000_000,
+            preload_fraction: 0.85,
+            total_requests: 6_500_000,
+            item_bytes: 4 * KIB,
+            slab_bytes: MIB,
+            hit_us: 40,
+            miss_extra_us: 330,
+            preload_bytes_per_sec: GIB,
+        }
+    }
+
+    /// A memtier-style Memcached benchmark scaled for the 8-GB node of
+    /// Fig. 9 (smaller key space, same access pattern).
+    pub fn paper_memtier() -> Self {
+        KvWorkload {
+            key_space: 1_500_000,
+            preload_fraction: 0.85,
+            total_requests: 2_000_000,
+            item_bytes: 4 * KIB,
+            slab_bytes: MIB,
+            hit_us: 40,
+            miss_extra_us: 330,
+            preload_bytes_per_sec: GIB,
+        }
+    }
+
+    /// Items preloaded before the measured phase.
+    pub fn preload_items(&self) -> u64 {
+        (self.key_space as f64 * self.preload_fraction) as u64
+    }
+
+    /// Peak resident bytes if nothing is ever evicted.
+    pub fn full_bytes(&self) -> u64 {
+        self.key_space * self.item_bytes
+    }
+
+    /// Expected per-request cost in microseconds at hit ratio `h`.
+    pub fn request_cost_us(&self, h: f64) -> f64 {
+        let h = h.clamp(0.0, 1.0);
+        self.hit_us as f64 + (1.0 - h) * self.miss_extra_us as f64
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters.
+    pub fn validate(&self) {
+        assert!(self.key_space > 0, "key space must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.preload_fraction),
+            "preload in [0,1]"
+        );
+        assert!(
+            self.item_bytes > 0 && self.slab_bytes >= self.item_bytes,
+            "sizes"
+        );
+        assert!(self.hit_us > 0, "hit cost must be positive");
+        assert!(
+            self.preload_bytes_per_sec > 0,
+            "preload rate must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let w = KvWorkload::paper_gocache();
+        w.validate();
+        assert_eq!(w.key_space, 12_000_000);
+        assert_eq!(w.total_requests, 6_500_000);
+        assert_eq!(w.preload_items(), 10_200_000);
+        // 12 M × 4 KiB ≈ 45.8 GiB: the Fig. 7 Go-Cache peak neighbourhood.
+        assert!(w.full_bytes() > 45 * GIB && w.full_bytes() < 47 * GIB);
+    }
+
+    #[test]
+    fn request_cost_decreases_with_hit_ratio() {
+        let w = KvWorkload::paper_gocache();
+        assert!(w.request_cost_us(1.0) < w.request_cost_us(0.5));
+        assert_eq!(w.request_cost_us(1.0), w.hit_us as f64);
+        assert_eq!(w.request_cost_us(0.0), (w.hit_us + w.miss_extra_us) as f64);
+        // Clamped outside [0, 1].
+        assert_eq!(w.request_cost_us(2.0), w.hit_us as f64);
+    }
+}

@@ -1,0 +1,437 @@
+//! The M3 monitor (§5, §6).
+//!
+//! A user-space process that polls system memory once per period and alerts
+//! registered processes of scarcity. Usage below the low threshold is the
+//! *green* zone (no action); between the thresholds, *yellow* (early-warning
+//! low signals); above the high threshold, *red* (Algorithm 1 selects which
+//! processes receive the high signal). If usage exceeds the configured *top
+//! of memory*, every registered process is signalled, and after a grace
+//! period the monitor starts killing processes — selected by the same
+//! Algorithm 1 ordering — until usage drops below top.
+
+use m3_os::{Kernel, Pid, Signal};
+use m3_sim::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::config::MonitorConfig;
+use crate::reclaim::ReclaimTracker;
+use crate::selection::{select_processes, Candidate};
+use crate::thresholds::AdaptiveThresholds;
+
+/// The memory zone a poll observed (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Zone {
+    /// Below the low threshold.
+    Green,
+    /// Between the thresholds.
+    Yellow,
+    /// Above the high threshold.
+    Red,
+    /// Above the top of memory.
+    AboveTop,
+}
+
+/// What one monitor poll did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollReport {
+    /// The observed zone.
+    pub zone: Zone,
+    /// Committed memory at poll time (the quantity compared to thresholds).
+    pub used: u64,
+    /// Processes sent the low signal.
+    pub low_signalled: Vec<Pid>,
+    /// Processes sent the high signal.
+    pub high_signalled: Vec<Pid>,
+    /// Processes killed by the escalation path.
+    pub killed: Vec<Pid>,
+    /// The low threshold after this poll's adjustment.
+    pub low: u64,
+    /// The high threshold after this poll's adjustment.
+    pub high: u64,
+}
+
+/// Cumulative monitor statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MonitorStats {
+    /// Polls performed.
+    pub polls: u64,
+    /// Low signals sent (process-signals, not polls).
+    pub low_signals: u64,
+    /// High signals sent.
+    pub high_signals: u64,
+    /// Processes killed.
+    pub kills: u64,
+}
+
+/// The M3 monitor.
+#[derive(Debug)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    thresholds: AdaptiveThresholds,
+    registered: BTreeSet<Pid>,
+    tracker: ReclaimTracker,
+    above_top_since: Option<SimTime>,
+    /// Whether the previous poll saw usage above the low threshold (the low
+    /// signal fires on the upward *crossing*, not on every in-zone poll —
+    /// Fig. 6 shows sparse early warnings, not one per second).
+    was_above_low: bool,
+    /// Cumulative statistics.
+    pub stats: MonitorStats,
+}
+
+impl Monitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        cfg.validate();
+        Monitor {
+            thresholds: AdaptiveThresholds::new(&cfg),
+            cfg,
+            registered: BTreeSet::new(),
+            tracker: ReclaimTracker::new(),
+            above_top_since: None,
+            was_above_low: false,
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Registers a process (the paper's PID-file directory).
+    pub fn register(&mut self, pid: Pid) {
+        self.registered.insert(pid);
+    }
+
+    /// Unregisters a process and forgets its reclamation history.
+    pub fn unregister(&mut self, pid: Pid) {
+        self.registered.remove(&pid);
+        self.tracker.forget(pid);
+    }
+
+    /// True if `pid` is registered.
+    pub fn is_registered(&self, pid: Pid) -> bool {
+        self.registered.contains(&pid)
+    }
+
+    /// Records how much a process reclaimed in response to a signal,
+    /// feeding the expected-reclamation estimator.
+    pub fn note_reclamation(&mut self, pid: Pid, bytes: u64) {
+        self.tracker.record(pid, bytes);
+    }
+
+    /// The current (low, high) thresholds.
+    pub fn thresholds(&self) -> (u64, u64) {
+        (self.thresholds.low(), self.thresholds.high())
+    }
+
+    /// Classifies a usage level against the current thresholds.
+    pub fn zone_of(&self, used: u64) -> Zone {
+        if used > self.cfg.top {
+            Zone::AboveTop
+        } else if used > self.thresholds.high() {
+            Zone::Red
+        } else if used > self.thresholds.low() {
+            Zone::Yellow
+        } else {
+            Zone::Green
+        }
+    }
+
+    /// Builds Algorithm 1 candidates from the registered, running processes.
+    fn candidates(&self, os: &Kernel) -> Vec<Candidate> {
+        self.registered
+            .iter()
+            .filter_map(|&pid| {
+                let p = os.process(pid).filter(|p| p.is_alive())?;
+                Some(Candidate {
+                    pid,
+                    spawned_at: p.spawned_at,
+                    rss: p.committed,
+                    expected_reclaim: self.tracker.expected(pid, p.committed),
+                })
+            })
+            .collect()
+    }
+
+    /// Performs one poll: reads memory, adjusts thresholds, sends signals,
+    /// escalates to kills if the system lingers above top.
+    pub fn poll(&mut self, os: &mut Kernel, now: SimTime) -> PollReport {
+        self.stats.polls += 1;
+        let used = os.committed();
+        self.thresholds.observe(used);
+        let zone = self.zone_of(used);
+
+        let mut report = PollReport {
+            zone,
+            used,
+            low_signalled: Vec::new(),
+            high_signalled: Vec::new(),
+            killed: Vec::new(),
+            low: self.thresholds.low(),
+            high: self.thresholds.high(),
+        };
+
+        // The early warning fires when usage *grows past* the low threshold
+        // (§5: an upward crossing), independent of the high-signal logic.
+        let above_low = used > self.thresholds.low();
+        if above_low && !self.was_above_low && zone != Zone::AboveTop {
+            for c in self.candidates(os) {
+                os.send_signal(c.pid, Signal::LowMemory);
+                report.low_signalled.push(c.pid);
+            }
+        }
+        self.was_above_low = above_low;
+
+        match zone {
+            Zone::Green | Zone::Yellow => {
+                self.above_top_since = None;
+            }
+            Zone::Red => {
+                self.above_top_since = None;
+                // Only the processes Algorithm 1 selects are disturbed —
+                // the whole point of selective notification is to minimise
+                // handling overhead for everyone else (§5.1).
+                let cands = self.candidates(os);
+                let selected = if self.cfg.signal_all {
+                    // Ablation: skip Algorithm 1 and disturb everyone.
+                    cands.iter().map(|c| c.pid).collect()
+                } else {
+                    let target = used - self.thresholds.high();
+                    select_processes(&cands, self.cfg.sort_order, target)
+                };
+                for &pid in &selected {
+                    os.send_signal(pid, Signal::HighMemory);
+                }
+                report.high_signalled = selected;
+            }
+            Zone::AboveTop => {
+                // Above top: all registered processes get the high signal in
+                // hopes of reclaiming everything possible (§5.1).
+                let cands = self.candidates(os);
+                for c in &cands {
+                    os.send_signal(c.pid, Signal::HighMemory);
+                    report.high_signalled.push(c.pid);
+                }
+                let since = *self.above_top_since.get_or_insert(now);
+                if now.saturating_since(since) >= self.cfg.kill_timeout {
+                    report.killed = self.kill_down_to_top(os, used);
+                    self.above_top_since = None;
+                }
+            }
+        }
+
+        self.stats.low_signals += report.low_signalled.len() as u64;
+        self.stats.high_signals += report.high_signalled.len() as u64;
+        self.stats.kills += report.killed.len() as u64;
+        report
+    }
+
+    /// Kills processes (Algorithm 1 ordering) until usage is at or below
+    /// top. Killing releases memory immediately in the simulated kernel.
+    fn kill_down_to_top(&mut self, os: &mut Kernel, used: u64) -> Vec<Pid> {
+        let cands = self.candidates(os);
+        let mut sorted = cands;
+        crate::selection::sort_candidates(&mut sorted, self.cfg.sort_order);
+        let mut killed = Vec::new();
+        let mut remaining = used;
+        for c in sorted {
+            if remaining <= self.cfg.top {
+                break;
+            }
+            os.kill(c.pid);
+            self.unregister(c.pid);
+            remaining = remaining.saturating_sub(c.rss);
+            killed.push(c.pid);
+        }
+        killed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_os::KernelConfig;
+    use m3_sim::clock::SimDuration;
+    use m3_sim::units::GIB;
+
+    fn setup() -> (Kernel, Monitor) {
+        let os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let mon = Monitor::new(MonitorConfig::paper_64gb());
+        (os, mon)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn green_zone_sends_nothing() {
+        let (mut os, mut mon) = setup();
+        let p = os.spawn("a");
+        mon.register(p);
+        os.grow(p, 10 * GIB).unwrap();
+        let r = mon.poll(&mut os, t(0));
+        assert_eq!(r.zone, Zone::Green);
+        assert!(r.low_signalled.is_empty());
+        assert!(r.high_signalled.is_empty());
+        assert!(os.take_signals(p).is_empty());
+    }
+
+    #[test]
+    fn yellow_zone_sends_low_to_all_registered() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        let b = os.spawn("b");
+        let unregistered = os.spawn("c");
+        mon.register(a);
+        mon.register(b);
+        os.grow(a, 52 * GIB).unwrap(); // between 50 and 55
+        let r = mon.poll(&mut os, t(0));
+        assert_eq!(r.zone, Zone::Yellow);
+        assert_eq!(r.low_signalled, vec![a, b]);
+        assert_eq!(os.take_signals(a), vec![Signal::LowMemory]);
+        assert_eq!(os.take_signals(b), vec![Signal::LowMemory]);
+        assert!(os.take_signals(unregistered).is_empty());
+    }
+
+    #[test]
+    fn red_zone_selects_by_algorithm_1() {
+        let (mut os, mut mon) = setup();
+        os.set_time(t(0));
+        let old = os.spawn("old");
+        os.set_time(t(100));
+        let new = os.spawn("new");
+        mon.register(old);
+        mon.register(new);
+        os.grow(old, 28 * GIB).unwrap();
+        os.grow(new, 28 * GIB).unwrap(); // 56 GiB > high (55)
+        let r = mon.poll(&mut os, t(101));
+        assert_eq!(r.zone, Zone::Red);
+        // Target = 1 GiB; newest-first picks `new`, whose default expected
+        // reclamation (10% of 28 GiB) covers it alone.
+        assert_eq!(r.high_signalled, vec![new]);
+        // Both processes get the early warning for the upward crossing of
+        // the low threshold; only `new` is disturbed with the high signal.
+        assert_eq!(r.low_signalled, vec![old, new]);
+        assert_eq!(
+            os.take_signals(new),
+            vec![Signal::LowMemory, Signal::HighMemory]
+        );
+        assert_eq!(os.take_signals(old), vec![Signal::LowMemory]);
+        // A second poll at the same level is not a crossing: the spared
+        // process stays undisturbed (selective notification).
+        let r2 = mon.poll(&mut os, t(102));
+        assert!(r2.low_signalled.is_empty());
+        assert_eq!(r2.high_signalled, vec![new]);
+    }
+
+    #[test]
+    fn red_zone_uses_recorded_reclamation_history() {
+        let (mut os, mut mon) = setup();
+        os.set_time(t(0));
+        let a = os.spawn("a");
+        os.set_time(t(10));
+        let b = os.spawn("b");
+        mon.register(a);
+        mon.register(b);
+        os.grow(a, 28 * GIB).unwrap();
+        os.grow(b, 30 * GIB).unwrap(); // 58 GiB, target = 3 GiB
+                                       // b historically reclaims very little: selection must go past it.
+        mon.note_reclamation(b, GIB / 10);
+        let r = mon.poll(&mut os, t(11));
+        assert_eq!(
+            r.high_signalled,
+            vec![b, a],
+            "b alone cannot cover the target"
+        );
+    }
+
+    #[test]
+    fn above_top_signals_everyone_then_kills_after_timeout() {
+        let (mut os, mut mon) = setup();
+        os.set_time(t(0));
+        let a = os.spawn("a");
+        os.set_time(t(5));
+        let b = os.spawn("b");
+        mon.register(a);
+        mon.register(b);
+        os.grow(a, 33 * GIB).unwrap();
+        os.grow(b, 30 * GIB).unwrap(); // 63 GiB > top (62)
+        let r = mon.poll(&mut os, t(10));
+        assert_eq!(r.zone, Zone::AboveTop);
+        assert_eq!(r.high_signalled, vec![a, b]);
+        assert!(r.killed.is_empty(), "grace period first");
+        // Still above top after the kill timeout: newest-first kills b.
+        let r2 = mon.poll(&mut os, t(10 + 30));
+        assert_eq!(r2.killed, vec![b]);
+        assert!(!os.is_alive(b));
+        assert!(os.is_alive(a));
+        assert!(!mon.is_registered(b), "killed processes are unregistered");
+    }
+
+    #[test]
+    fn dropping_below_top_resets_kill_clock() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 63 * GIB).unwrap();
+        mon.poll(&mut os, t(0));
+        os.release(a, 10 * GIB).unwrap(); // pressure relieved
+        mon.poll(&mut os, t(15));
+        os.grow(a, 10 * GIB).unwrap(); // above top again
+        let r = mon.poll(&mut os, t(31));
+        assert!(r.killed.is_empty(), "clock must restart after relief");
+        assert!(os.is_alive(a));
+    }
+
+    #[test]
+    fn dead_processes_are_not_candidates() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        let b = os.spawn("b");
+        mon.register(a);
+        mon.register(b);
+        os.grow(a, 56 * GIB).unwrap();
+        os.exit(b);
+        let r = mon.poll(&mut os, t(0));
+        assert!(!r.high_signalled.contains(&b));
+        assert!(!r.low_signalled.contains(&b));
+        assert!(!r.high_signalled.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 52 * GIB).unwrap();
+        mon.poll(&mut os, t(0));
+        mon.poll(&mut os, t(1));
+        assert_eq!(mon.stats.polls, 2);
+        assert_eq!(mon.stats.low_signals, 1, "one crossing, one early warning");
+        assert_eq!(mon.stats.high_signals, 0);
+        // Dropping below and re-crossing warns again.
+        os.release(a, 10 * GIB).unwrap();
+        mon.poll(&mut os, t(2));
+        os.grow(a, 10 * GIB).unwrap();
+        mon.poll(&mut os, t(3));
+        assert_eq!(mon.stats.low_signals, 2);
+    }
+
+    #[test]
+    fn kill_timeout_honours_config() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.kill_timeout = SimDuration::from_secs(5);
+        let mut mon = Monitor::new(cfg);
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 63 * GIB).unwrap();
+        mon.poll(&mut os, t(0));
+        assert!(mon.poll(&mut os, t(4)).killed.is_empty());
+        assert_eq!(mon.poll(&mut os, t(5)).killed, vec![a]);
+    }
+}

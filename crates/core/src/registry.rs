@@ -1,0 +1,176 @@
+//! Process registration (§6: "Processes register by creating PID files in
+//! a known directory").
+//!
+//! The monitor does not discover processes; participating applications
+//! opt in by dropping a PID file, and remove it on clean shutdown. Crashed
+//! processes leave stale files behind, so the registry sweeps entries whose
+//! pid no longer maps to a living process — exactly the failure mode a
+//! real PID-file directory has.
+
+use m3_os::{Kernel, Pid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One registration entry (the "PID file").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PidFile {
+    /// The registering process.
+    pub pid: Pid,
+    /// The application name written into the file (for operator tooling).
+    pub app_name: String,
+}
+
+/// The known registration directory.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: BTreeMap<Pid, PidFile>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a process (creates its PID file). Re-registration
+    /// overwrites the previous file, as writing the same path would.
+    pub fn register(&mut self, pid: Pid, app_name: impl Into<String>) {
+        self.entries.insert(
+            pid,
+            PidFile {
+                pid,
+                app_name: app_name.into(),
+            },
+        );
+    }
+
+    /// Deregisters a process (removes its PID file). Missing files are
+    /// ignored, like `unlink` on a cleaned-up path.
+    pub fn deregister(&mut self, pid: Pid) {
+        self.entries.remove(&pid);
+    }
+
+    /// True if a PID file exists for `pid`.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.entries.contains_key(&pid)
+    }
+
+    /// All registered pids, in pid order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The entry for `pid`, if registered.
+    pub fn entry(&self, pid: Pid) -> Option<&PidFile> {
+        self.entries.get(&pid)
+    }
+
+    /// Number of PID files present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sweeps stale files: entries whose process is no longer alive
+    /// (crashed before deregistering). Returns the removed pids.
+    pub fn sweep_stale(&mut self, os: &Kernel) -> Vec<Pid> {
+        let stale: Vec<Pid> = self
+            .entries
+            .keys()
+            .copied()
+            .filter(|&p| !os.is_alive(p))
+            .collect();
+        for p in &stale {
+            self.entries.remove(p);
+        }
+        stale
+    }
+
+    /// Synchronises a [`crate::Monitor`] with the registry: registers every
+    /// live entry, unregisters everything stale. The world loop calls this
+    /// each poll period, mirroring the monitor re-reading the directory.
+    pub fn sync_monitor(&mut self, monitor: &mut crate::Monitor, os: &Kernel) {
+        for pid in self.sweep_stale(os) {
+            monitor.unregister(pid);
+        }
+        for &pid in self.entries.keys() {
+            if !monitor.is_registered(pid) {
+                monitor.register(pid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Monitor, MonitorConfig};
+    use m3_os::KernelConfig;
+    use m3_sim::units::GIB;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::with_total(4 * GIB))
+    }
+
+    #[test]
+    fn register_deregister_round_trip() {
+        let mut os = kernel();
+        let pid = os.spawn("app");
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.register(pid, "spark-executor");
+        assert!(reg.contains(pid));
+        assert_eq!(reg.entry(pid).unwrap().app_name, "spark-executor");
+        assert_eq!(reg.pids(), vec![pid]);
+        reg.deregister(pid);
+        assert!(!reg.contains(pid));
+        reg.deregister(pid); // idempotent, like unlink on a missing path
+    }
+
+    #[test]
+    fn reregistration_overwrites() {
+        let mut os = kernel();
+        let pid = os.spawn("app");
+        let mut reg = Registry::new();
+        reg.register(pid, "old");
+        reg.register(pid, "new");
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.entry(pid).unwrap().app_name, "new");
+    }
+
+    #[test]
+    fn stale_files_are_swept() {
+        let mut os = kernel();
+        let live = os.spawn("live");
+        let dead = os.spawn("dead");
+        let mut reg = Registry::new();
+        reg.register(live, "a");
+        reg.register(dead, "b");
+        os.kill(dead);
+        assert_eq!(reg.sweep_stale(&os), vec![dead]);
+        assert_eq!(reg.pids(), vec![live]);
+    }
+
+    #[test]
+    fn sync_monitor_tracks_the_directory() {
+        let mut os = kernel();
+        let a = os.spawn("a");
+        let b = os.spawn("b");
+        let mut reg = Registry::new();
+        let mut mon = Monitor::new(MonitorConfig::scaled(4 * GIB));
+        reg.register(a, "a");
+        reg.register(b, "b");
+        reg.sync_monitor(&mut mon, &os);
+        assert!(mon.is_registered(a) && mon.is_registered(b));
+        // b crashes without deregistering.
+        os.exit(b);
+        reg.sync_monitor(&mut mon, &os);
+        assert!(mon.is_registered(a));
+        assert!(!mon.is_registered(b));
+        assert!(!reg.contains(b));
+    }
+}

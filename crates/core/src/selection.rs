@@ -1,0 +1,179 @@
+//! Algorithm 1: selective notification (§5.1).
+//!
+//! When the system is above the high threshold, only *selected* processes
+//! are signalled, to minimise handling overhead. The processes are sorted by
+//! a configurable order and signalled one by one until the sum of their
+//! expected reclamation amounts covers the target (current usage minus the
+//! high threshold). The same routine, with the same ordering, also selects
+//! kill victims when the system stays above the top of memory.
+
+use m3_os::Pid;
+use m3_sim::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The configurable sort order of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Newest process first (favours batch jobs; the paper's default).
+    NewestFirst,
+    /// Oldest process first (favours interactive jobs).
+    OldestFirst,
+    /// Largest memory usage first.
+    LargestRss,
+    /// Largest expected reclamation first.
+    LargestExpectedReclaim,
+}
+
+/// A candidate process as Algorithm 1 sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The process id.
+    pub pid: Pid,
+    /// When the process was spawned.
+    pub spawned_at: SimTime,
+    /// Current resident set size, bytes.
+    pub rss: u64,
+    /// Expected reclamation on a high signal, bytes.
+    pub expected_reclaim: u64,
+}
+
+/// Sorts candidates in signalling priority order (highest priority first).
+/// Ties break by pid so results are deterministic.
+pub fn sort_candidates(candidates: &mut [Candidate], order: SortOrder) {
+    match order {
+        SortOrder::NewestFirst => {
+            candidates.sort_by(|a, b| b.spawned_at.cmp(&a.spawned_at).then(a.pid.cmp(&b.pid)));
+        }
+        SortOrder::OldestFirst => {
+            candidates.sort_by(|a, b| a.spawned_at.cmp(&b.spawned_at).then(a.pid.cmp(&b.pid)));
+        }
+        SortOrder::LargestRss => {
+            candidates.sort_by(|a, b| b.rss.cmp(&a.rss).then(a.pid.cmp(&b.pid)));
+        }
+        SortOrder::LargestExpectedReclaim => {
+            candidates.sort_by(|a, b| {
+                b.expected_reclaim
+                    .cmp(&a.expected_reclaim)
+                    .then(a.pid.cmp(&b.pid))
+            });
+        }
+    }
+}
+
+/// Algorithm 1: returns the pids to signal, in order, so that the sum of
+/// their expected reclamation amounts reaches `target` (usage minus the high
+/// threshold). Returns an empty vector when `target` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use m3_core::selection::{select_processes, Candidate, SortOrder};
+/// use m3_sim::SimTime;
+///
+/// let candidates = vec![
+///     Candidate { pid: 1, spawned_at: SimTime::from_secs(0), rss: 100, expected_reclaim: 40 },
+///     Candidate { pid: 2, spawned_at: SimTime::from_secs(9), rss: 100, expected_reclaim: 40 },
+/// ];
+/// // Newest first: pid 2 alone covers a target of 30.
+/// assert_eq!(select_processes(&candidates, SortOrder::NewestFirst, 30), vec![2]);
+/// // A target of 50 needs both.
+/// assert_eq!(select_processes(&candidates, SortOrder::NewestFirst, 50), vec![2, 1]);
+/// ```
+pub fn select_processes(candidates: &[Candidate], order: SortOrder, target: u64) -> Vec<Pid> {
+    if target == 0 {
+        return Vec::new();
+    }
+    let mut sorted = candidates.to_vec();
+    sort_candidates(&mut sorted, order);
+    let mut selected = Vec::new();
+    let mut expected: u64 = 0;
+    for c in &sorted {
+        if expected >= target {
+            break;
+        }
+        selected.push(c.pid);
+        expected += c.expected_reclaim;
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pid: Pid, spawn_s: u64, rss: u64, expect: u64) -> Candidate {
+        Candidate {
+            pid,
+            spawned_at: SimTime::from_secs(spawn_s),
+            rss,
+            expected_reclaim: expect,
+        }
+    }
+
+    #[test]
+    fn zero_target_selects_nobody() {
+        let cs = vec![cand(1, 0, 100, 50)];
+        assert!(select_processes(&cs, SortOrder::NewestFirst, 0).is_empty());
+    }
+
+    #[test]
+    fn selection_stops_once_target_covered() {
+        let cs = vec![cand(1, 0, 0, 30), cand(2, 1, 0, 30), cand(3, 2, 0, 30)];
+        // Newest first: 3, then 2; 60 >= 50, so 1 is spared.
+        assert_eq!(
+            select_processes(&cs, SortOrder::NewestFirst, 50),
+            vec![3, 2]
+        );
+    }
+
+    #[test]
+    fn all_selected_when_target_exceeds_total() {
+        let cs = vec![cand(1, 0, 0, 10), cand(2, 1, 0, 10)];
+        assert_eq!(
+            select_processes(&cs, SortOrder::NewestFirst, 1000),
+            vec![2, 1]
+        );
+    }
+
+    #[test]
+    fn oldest_first_reverses_priority() {
+        let cs = vec![cand(1, 0, 0, 30), cand(2, 5, 0, 30)];
+        assert_eq!(select_processes(&cs, SortOrder::OldestFirst, 10), vec![1]);
+    }
+
+    #[test]
+    fn largest_rss_order() {
+        let cs = vec![
+            cand(1, 0, 500, 10),
+            cand(2, 9, 100, 10),
+            cand(3, 5, 900, 10),
+        ];
+        assert_eq!(
+            select_processes(&cs, SortOrder::LargestRss, 25),
+            vec![3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn largest_expected_reclaim_order() {
+        let cs = vec![cand(1, 0, 0, 10), cand(2, 0, 0, 90), cand(3, 0, 0, 40)];
+        assert_eq!(
+            select_processes(&cs, SortOrder::LargestExpectedReclaim, 100),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_pid_for_determinism() {
+        let cs = vec![cand(7, 3, 50, 20), cand(4, 3, 50, 20), cand(9, 3, 50, 20)];
+        assert_eq!(
+            select_processes(&cs, SortOrder::NewestFirst, 1000),
+            vec![4, 7, 9]
+        );
+    }
+
+    #[test]
+    fn empty_candidates_is_fine() {
+        assert!(select_processes(&[], SortOrder::LargestRss, 100).is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Adaptive threshold adjustment (§5.2).
+//!
+//! Static thresholds cannot fit applications that reclaim at different
+//! speeds, so the monitor moves both thresholds dynamically:
+//!
+//! - the **low** threshold tempers how often usage reaches the *high*
+//!   threshold: over a sliding window of polls, if the fraction of time
+//!   spent above the high threshold exceeds the target (1:32), the low
+//!   threshold drops (earlier warnings); if it is below the target, the low
+//!   threshold rises (fewer unnecessary signals);
+//! - the **high** threshold applies the same rule against the *top of
+//!   memory*.
+//!
+//! Guards prevent over-fitting: a threshold is lowered only while the
+//! pressure that justifies it is still present (usage above high, resp.
+//! above top), raised only while usage is at least at that threshold (below
+//! it no signals are sent, so there is nothing to learn), and the ordering
+//! `low <= high <= top` is always preserved.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::config::MonitorConfig;
+
+/// One poll's classification, as remembered by the sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PollRecord {
+    above_high: bool,
+    above_top: bool,
+}
+
+/// The dynamically adjusted low/high thresholds.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThresholds {
+    low: u64,
+    high: u64,
+    top: u64,
+    step: u64,
+    ratio_target: f64,
+    window: usize,
+    adaptive: bool,
+    records: VecDeque<PollRecord>,
+}
+
+impl AdaptiveThresholds {
+    /// Creates thresholds from a monitor configuration.
+    pub fn new(cfg: &MonitorConfig) -> Self {
+        cfg.validate();
+        AdaptiveThresholds {
+            low: cfg.initial_low,
+            high: cfg.initial_high,
+            top: cfg.top,
+            step: cfg.step(),
+            ratio_target: cfg.ratio_target,
+            window: cfg.window,
+            adaptive: cfg.adaptive,
+            records: VecDeque::with_capacity(cfg.window),
+        }
+    }
+
+    /// The current low threshold, bytes.
+    pub fn low(&self) -> u64 {
+        self.low
+    }
+
+    /// The current high threshold, bytes.
+    pub fn high(&self) -> u64 {
+        self.high
+    }
+
+    /// The top of memory, bytes.
+    pub fn top(&self) -> u64 {
+        self.top
+    }
+
+    /// Fraction of windowed polls above the high threshold.
+    fn red_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.above_high).count() as f64 / self.records.len() as f64
+    }
+
+    /// Fraction of windowed polls above the top.
+    fn above_top_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.above_top).count() as f64 / self.records.len() as f64
+    }
+
+    /// Feeds one poll's memory usage and adjusts the thresholds.
+    ///
+    /// Adjustments only happen once the window is full, so early polls do
+    /// not whipsaw the thresholds.
+    pub fn observe(&mut self, used: u64) {
+        if self.records.len() == self.window {
+            self.records.pop_front();
+        }
+        self.records.push_back(PollRecord {
+            above_high: used > self.high,
+            above_top: used > self.top,
+        });
+        if !self.adaptive || self.records.len() < self.window {
+            return;
+        }
+
+        // Low threshold: temper how often the high threshold is reached.
+        let red = self.red_fraction();
+        if red > self.ratio_target && used > self.high {
+            // Reached high too often and pressure persists: warn earlier.
+            self.low = self.low.saturating_sub(self.step);
+        } else if red < self.ratio_target && used >= self.low {
+            // High rarely reached and the low threshold is actually in play:
+            // relax it to avoid unnecessary signals.
+            self.low = (self.low + self.step).min(self.high);
+        }
+
+        // High threshold: same rule against the top of memory. Fig. 6 shows
+        // both thresholds rising while the system operates in the yellow
+        // zone, so the raise guard is "usage at least at the low threshold"
+        // (in green nothing adjusts: memory is simply not in demand).
+        let over_top = self.above_top_fraction();
+        if over_top > self.ratio_target && used > self.top {
+            // Operating above top too often: signal sooner. (This does not
+            // change how much is reclaimed, only when reclamation starts.)
+            self.high = self.high.saturating_sub(self.step).max(self.low);
+        } else if over_top < self.ratio_target && used >= self.low {
+            // Never reaching top: utilization headroom exists, raise high —
+            // but keep one step of red band below top, so Algorithm 1's
+            // selective notification still has room to act before the
+            // signal-everyone above-top escalation.
+            self.high = (self.high + self.step).min(self.top.saturating_sub(self.step));
+        }
+
+        debug_assert!(self.low <= self.high && self.high <= self.top);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::units::GIB;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig::paper_64gb()
+    }
+
+    fn fill_window(t: &mut AdaptiveThresholds, used: u64) {
+        for _ in 0..32 {
+            t.observe(used);
+        }
+    }
+
+    #[test]
+    fn initial_values_from_config() {
+        let t = AdaptiveThresholds::new(&cfg());
+        assert_eq!(t.low(), 50 * GIB);
+        assert_eq!(t.high(), 55 * GIB);
+        assert_eq!(t.top(), 62 * GIB);
+    }
+
+    #[test]
+    fn no_adjustment_until_window_full() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        for _ in 0..31 {
+            t.observe(61 * GIB); // above high
+        }
+        assert_eq!(t.low(), 50 * GIB, "window not yet full");
+    }
+
+    #[test]
+    fn sustained_red_lowers_low_threshold() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        let low0 = t.low();
+        fill_window(&mut t, 58 * GIB); // above high (55), below top (62)
+        assert!(t.low() < low0, "low should drop under sustained pressure");
+    }
+
+    #[test]
+    fn sustained_red_below_top_raises_high_threshold() {
+        // §7.2.1/Fig. 6: "the high threshold keeps increasing, as the system
+        // still operates underneath the top of memory."
+        let mut t = AdaptiveThresholds::new(&cfg());
+        let high0 = t.high();
+        fill_window(&mut t, 58 * GIB);
+        assert!(t.high() > high0);
+        assert!(t.high() <= t.top());
+    }
+
+    #[test]
+    fn quiet_yellow_zone_raises_low_threshold() {
+        // Usage sits between low and high: high is never reached, so low
+        // creeps up to reduce unnecessary signals.
+        let mut t = AdaptiveThresholds::new(&cfg());
+        let low0 = t.low();
+        fill_window(&mut t, 52 * GIB);
+        assert!(t.low() > low0);
+        assert!(t.low() <= t.high());
+    }
+
+    #[test]
+    fn green_zone_changes_nothing() {
+        // "M3 does not adjust thresholds when the system is operating in the
+        // green or yellow zone" — in green, neither guard passes.
+        let mut t = AdaptiveThresholds::new(&cfg());
+        fill_window(&mut t, 10 * GIB);
+        assert_eq!(t.low(), 50 * GIB);
+        assert_eq!(t.high(), 55 * GIB);
+    }
+
+    #[test]
+    fn above_top_lowers_high_threshold() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        let high0 = t.high();
+        fill_window(&mut t, 63 * GIB); // above top
+        assert!(t.high() < high0, "persistent above-top must signal sooner");
+        assert!(t.high() >= t.low());
+    }
+
+    #[test]
+    fn thresholds_self_limit_near_operating_point() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        // Long quiet-yellow phase: the raise guards stop firing once the low
+        // threshold climbs past the operating point, so neither threshold
+        // runs away.
+        for _ in 0..500 {
+            t.observe(54 * GIB);
+        }
+        assert!(t.low() <= t.high());
+        assert!(t.low() >= 54 * GIB, "low climbed past the operating point");
+        assert!(
+            t.low() <= 54 * GIB + 2 * t.step,
+            "low self-limits just above the operating point (got {})",
+            t.low()
+        );
+    }
+
+    #[test]
+    fn high_never_exceeds_top() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        for _ in 0..500 {
+            t.observe(61 * GIB); // red but under top
+        }
+        assert!(t.high() <= t.top());
+    }
+
+    #[test]
+    fn static_mode_never_moves() {
+        let mut c = cfg();
+        c.adaptive = false;
+        let mut t = AdaptiveThresholds::new(&c);
+        for _ in 0..200 {
+            t.observe(61 * GIB);
+        }
+        assert_eq!(t.low(), 50 * GIB);
+        assert_eq!(t.high(), 55 * GIB);
+    }
+
+    #[test]
+    fn figure_6_narrative_yellow_zone_raises_both() {
+        // "Both the low and high thresholds gradually increase at the
+        // beginning, as the system operates under the high threshold."
+        let mut t = AdaptiveThresholds::new(&cfg());
+        let (low0, high0) = (t.low(), t.high());
+        fill_window(&mut t, 52 * GIB); // yellow: above low (50), below high (55)
+        assert!(t.low() > low0);
+        assert!(t.high() > high0);
+    }
+
+    #[test]
+    fn figure_6_narrative_red_drops_low_but_high_keeps_rising() {
+        // "usage repeatedly reaches the high threshold, causing the low
+        // threshold to drop. However, the high threshold keeps increasing,
+        // as the system still operates underneath the top of memory."
+        let mut t = AdaptiveThresholds::new(&cfg());
+        fill_window(&mut t, 52 * GIB);
+        let (low1, high1) = (t.low(), t.high());
+        // A workload that keeps growing: usage tracks just above the high
+        // threshold (but stays under top) poll after poll.
+        for _ in 0..32 {
+            let used = (t.high() + GIB).min(t.top());
+            t.observe(used);
+        }
+        assert!(t.low() < low1, "low must drop in sustained red");
+        assert!(t.high() > high1, "high keeps rising while under top");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        fill_window(&mut t, 58 * GIB);
+        let low_after_pressure = t.low();
+        // 32 quiet polls age the red records out; low stops moving down and
+        // starts recovering once usage is yellow.
+        fill_window(&mut t, 52 * GIB);
+        assert!(t.low() >= low_after_pressure);
+    }
+}

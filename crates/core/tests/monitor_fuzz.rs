@@ -1,0 +1,113 @@
+//! Randomized monitor robustness tests: arbitrary process populations and
+//! memory trajectories must never panic the monitor, and every report must
+//! be internally consistent.
+
+use m3_core::{Monitor, MonitorConfig, SortOrder, Zone};
+use m3_os::{Kernel, KernelConfig, Pid};
+use m3_sim::clock::SimTime;
+use m3_sim::units::{GIB, MIB};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn,
+    Grow(usize, u64),
+    Release(usize, u64),
+    Exit(usize),
+    HandleSignals(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Spawn),
+        (0usize..8, (1u64..(8 * 1024))).prop_map(|(i, mb)| Op::Grow(i, mb * MIB)),
+        (0usize..8, (1u64..(8 * 1024))).prop_map(|(i, mb)| Op::Release(i, mb * MIB)),
+        (0usize..8).prop_map(Op::Exit),
+        (0usize..8, 0u64..(4 * 1024)).prop_map(|(i, mb)| Op::HandleSignals(i, mb * MIB)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn monitor_never_panics_and_reports_consistently(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        order_idx in 0usize..4,
+    ) {
+        let order = [
+            SortOrder::NewestFirst,
+            SortOrder::OldestFirst,
+            SortOrder::LargestRss,
+            SortOrder::LargestExpectedReclaim,
+        ][order_idx];
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.sort_order = order;
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let mut monitor = Monitor::new(cfg);
+        let mut pids: Vec<Pid> = Vec::new();
+        let mut t = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Spawn => {
+                    let pid = os.spawn(format!("p{}", pids.len()));
+                    monitor.register(pid);
+                    pids.push(pid);
+                }
+                Op::Grow(i, bytes) if !pids.is_empty() => {
+                    let _ = os.grow(pids[i % pids.len()], bytes);
+                }
+                Op::Release(i, bytes) if !pids.is_empty() => {
+                    let _ = os.release(pids[i % pids.len()], bytes);
+                }
+                Op::Exit(i) if !pids.is_empty() => {
+                    let pid = pids[i % pids.len()];
+                    os.exit(pid);
+                    monitor.unregister(pid);
+                }
+                Op::HandleSignals(i, reclaim) if !pids.is_empty() => {
+                    let pid = pids[i % pids.len()];
+                    if !os.take_signals(pid).is_empty() && os.is_alive(pid) {
+                        let give = reclaim.min(os.rss(pid));
+                        let _ = os.release(pid, give);
+                        monitor.note_reclamation(pid, give);
+                    }
+                }
+                _ => {}
+            }
+
+            t += 1;
+            let used_before = os.committed();
+            let report = monitor.poll(&mut os, SimTime::from_secs(t));
+
+            // Zone consistency with the thresholds the report carries.
+            let zone = report.zone;
+            prop_assert_eq!(report.used, used_before);
+            match zone {
+                Zone::Green => prop_assert!(report.used <= report.low),
+                Zone::Yellow => {
+                    prop_assert!(report.used > report.low || !report.low_signalled.is_empty()
+                        || report.used <= report.high);
+                }
+                Zone::Red => prop_assert!(report.used > report.high),
+                Zone::AboveTop => prop_assert!(report.used > 62 * GIB),
+            }
+            // Ordering of the thresholds.
+            prop_assert!(report.low <= report.high);
+            prop_assert!(report.high <= 62 * GIB);
+            // Every signalled or killed pid is a live, registered process
+            // (at signal time).
+            for &pid in report.high_signalled.iter().chain(&report.low_signalled) {
+                prop_assert!(monitor.is_registered(pid) || report.killed.contains(&pid));
+            }
+            for &pid in &report.killed {
+                prop_assert!(!os.is_alive(pid), "killed pids must be dead");
+            }
+            // No signals at all in the green zone on a crossing-free poll.
+            if zone == Zone::Green {
+                prop_assert!(report.high_signalled.is_empty());
+            }
+        }
+    }
+}

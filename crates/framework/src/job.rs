@@ -1,0 +1,149 @@
+//! Analytics job descriptions (the HiBench workloads of §7.1.1).
+//!
+//! A job makes `iterations` passes over a per-node *working set* of cached
+//! blocks. Each block visit costs compute time; a block absent from the
+//! cache additionally costs a disk read (cold on the first pass, a
+//! *capacity miss* afterwards — the paper's "Spark MM" time). Processing a
+//! block also churns transient allocation through the JVM, which is where
+//! the GC-time elasticity comes from.
+//!
+//! The parameters are per-node: the paper's cluster-wide inputs (89.8 GB
+//! k-means, 5.7 GB PageRank, 1.8 GB n-weight) divide over 8 workers, and
+//! deserialized in-memory working sets are a job-specific factor larger than
+//! the on-disk input (graph expansions for PageRank/n-weight).
+
+use serde::{Deserialize, Serialize};
+
+/// Which HiBench benchmark a job models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// `HiBench` k-means: large input, moderate churn.
+    KMeans,
+    /// `HiBench` PageRank: smaller input, large in-memory expansion,
+    /// heavy shuffle churn.
+    PageRank,
+    /// `HiBench` n-weight: small input, very large intermediate data;
+    /// cannot complete under the 16-GB default heap (§7.2).
+    NWeight,
+}
+
+impl JobKind {
+    /// One-letter code used in workload names (W/P/M in Fig. 5; C is the
+    /// cache and lives in `m3-cache`).
+    pub fn code(self) -> char {
+        match self {
+            JobKind::KMeans => 'M',
+            JobKind::PageRank => 'P',
+            JobKind::NWeight => 'W',
+        }
+    }
+}
+
+/// Per-node description of an analytics job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Which benchmark this is.
+    pub kind: JobKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Per-node on-disk input bytes (read cold on the first pass).
+    pub input_bytes: u64,
+    /// Per-node in-memory working set: the bytes the job would cache given
+    /// unlimited storage.
+    pub working_set: u64,
+    /// Number of passes over the working set.
+    pub iterations: u32,
+    /// Compute time per cached-block visit, milliseconds (absorbs the
+    /// 5-core task parallelism of the paper's setup).
+    pub compute_ms_per_block: u64,
+    /// Transient allocation churned through the JVM per block visit, bytes.
+    pub churn_per_block: u64,
+    /// Minimum executor heap for the job to run at all (execution memory
+    /// floor); below this, stock Spark fails the job. Irrelevant under M3,
+    /// whose heap ceiling is effectively unbounded.
+    pub min_heap: u64,
+    /// Fraction of churned bytes surviving a young collection — a job
+    /// property (shuffle-heavy PageRank/n-weight promote far more than
+    /// k-means), applied to the executor's JVM configuration.
+    pub churn_survival: f64,
+    /// Execution memory the job's tasks need to run without spilling
+    /// (shuffle buffers, aggregation hash maps).
+    pub exec_demand: u64,
+}
+
+impl JobSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the working set or iteration count is zero.
+    pub fn validate(&self) {
+        assert!(self.working_set > 0, "working set must be positive");
+        assert!(self.iterations > 0, "iterations must be positive");
+        assert!(
+            self.compute_ms_per_block > 0,
+            "compute cost must be positive"
+        );
+    }
+
+    /// Number of cache blocks in the working set for the given block size.
+    pub fn num_blocks(&self, block_size: u64) -> u32 {
+        self.working_set.div_ceil(block_size).max(1) as u32
+    }
+
+    /// Total block visits over the whole job.
+    pub fn total_visits(&self, block_size: u64) -> u64 {
+        u64::from(self.num_blocks(block_size)) * u64::from(self.iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::units::{GIB, MIB};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::KMeans,
+            name: "kmeans".into(),
+            input_bytes: 11 * GIB,
+            working_set: 12 * GIB,
+            iterations: 8,
+            compute_ms_per_block: 1000,
+            churn_per_block: 256 * MIB,
+            min_heap: 4 * GIB,
+            churn_survival: 0.08,
+            exec_demand: 2 * GIB,
+        }
+    }
+
+    #[test]
+    fn codes_match_figure_5() {
+        assert_eq!(JobKind::KMeans.code(), 'M');
+        assert_eq!(JobKind::PageRank.code(), 'P');
+        assert_eq!(JobKind::NWeight.code(), 'W');
+    }
+
+    #[test]
+    fn block_math() {
+        let s = spec();
+        assert_eq!(s.num_blocks(128 * MIB), 96);
+        assert_eq!(s.total_visits(128 * MIB), 96 * 8);
+        s.validate();
+    }
+
+    #[test]
+    fn tiny_working_set_still_one_block() {
+        let mut s = spec();
+        s.working_set = 1;
+        assert_eq!(s.num_blocks(128 * MIB), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations")]
+    fn zero_iterations_rejected() {
+        let mut s = spec();
+        s.iterations = 0;
+        s.validate();
+    }
+}

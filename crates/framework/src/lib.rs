@@ -1,0 +1,33 @@
+//! A Spark-like elastic analytics framework substrate.
+//!
+//! The paper's data-analytics stack is Spark on the JVM on Linux. Spark is
+//! designed to process data much larger than memory: input is partitioned
+//! into blocks and a subset is kept in an in-memory cache; a capacity miss
+//! evicts via LRU and later re-reads (or recomputes) the block from disk
+//! (§2.1). Its elasticity — the wide heap-size range over which performance
+//! keeps improving in Fig. 1 — comes from two sources modelled here:
+//!
+//! 1. **block-cache capacity misses** (the "Spark MM" bars): a smaller heap
+//!    means a smaller block cache, more evictions, and more disk re-reads;
+//! 2. **GC pauses** (via [`m3_runtime::Jvm`]): a smaller heap means more
+//!    frequent collections.
+//!
+//! Under M3 (§6, "Spark modifications"): the block cache is set to a very
+//! large size, so Spark keeps adding blocks until M3's signals limit it; on
+//! a high threshold signal it evicts ⅛ of its blocks with LRU and then
+//! calls down into the JVM for a mixed collection; on a low signal it only
+//! calls down for a young collection. Allocation throttling (the adaptive
+//! allocation protocol) runs at the Spark layer, where allocations
+//! originate.
+
+pub mod cache;
+pub mod config;
+pub mod hdfs;
+pub mod job;
+pub mod spark;
+
+pub use cache::BlockCache;
+pub use config::SparkConfig;
+pub use hdfs::HdfsInput;
+pub use job::{JobKind, JobSpec};
+pub use spark::{SparkApp, SparkStats, TickOutcome};

@@ -1,0 +1,420 @@
+//! The kernel facade: process table, memory accounting, signal delivery, OOM.
+
+use m3_sim::clock::SimTime;
+use m3_sim::trace::TraceLog;
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::meminfo::MemInfo;
+use crate::process::{Pid, Process, ProcessState};
+use crate::signals::{Signal, SignalBus};
+use crate::swap::SwapModel;
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Physical memory visible to applications (the cgroup limit).
+    pub total: u64,
+    /// Swap model (capacity + thrash curve).
+    pub swap: SwapModel,
+}
+
+impl KernelConfig {
+    /// A config with the given physical total and an 8-GiB-class HDD swap
+    /// sized at one quarter of physical memory.
+    pub fn with_total(total: u64) -> Self {
+        KernelConfig {
+            total,
+            swap: SwapModel::hdd(total / 4),
+        }
+    }
+}
+
+/// Errors returned by kernel memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
+    /// The target process does not exist or has terminated.
+    NoSuchProcess(Pid),
+    /// Both physical memory and swap are exhausted; the allocation cannot be
+    /// backed. (The caller should expect the OOM killer to fire.)
+    OutOfMemory,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            KernelError::OutOfMemory => write!(f, "out of memory and swap"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The simulated kernel.
+///
+/// Owns the process table, byte-level (page-aligned) memory accounting, the
+/// signal bus and the trace log. The world loop calls [`Kernel::grow`] /
+/// [`Kernel::release`] on behalf of runtimes and reads
+/// [`Kernel::meminfo`] on behalf of the M3 monitor.
+#[derive(Debug)]
+pub struct Kernel {
+    config: KernelConfig,
+    procs: BTreeMap<Pid, Process>,
+    signals: SignalBus,
+    next_pid: Pid,
+    now: SimTime,
+    /// Structured event log (signals, kills, OOM) for tests and figures.
+    pub trace: TraceLog,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given configuration.
+    pub fn new(config: KernelConfig) -> Self {
+        Kernel {
+            config,
+            procs: BTreeMap::new(),
+            signals: SignalBus::new(),
+            next_pid: 1,
+            now: SimTime::ZERO,
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Updates the kernel's notion of "now" (used to timestamp spawns and
+    /// trace events). The world loop calls this once per tick.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The kernel's current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Creates a new process and returns its pid.
+    pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let proc = Process::new(pid, name, self.now);
+        self.trace
+            .record(self.now, pid, "proc.spawn", proc.name.clone());
+        self.procs.insert(pid, proc);
+        pid
+    }
+
+    /// Marks a process exited and releases all of its memory.
+    pub fn exit(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.committed = 0;
+            p.state = ProcessState::Exited;
+            self.signals.forget(pid);
+            self.trace.record(self.now, pid, "proc.exit", "");
+        }
+    }
+
+    /// Kills a process (OOM killer / M3 kill escalation), releasing its
+    /// memory and queueing a `Kill` signal so the world loop can observe it.
+    pub fn kill(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            if p.state == ProcessState::Running {
+                p.committed = 0;
+                p.state = ProcessState::Killed;
+                self.signals.send(pid, Signal::Kill);
+                self.trace.record(self.now, pid, "proc.kill", "");
+            }
+        }
+    }
+
+    /// True if `pid` exists and is running.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).is_some_and(Process::is_alive)
+    }
+
+    /// The process table entry, if present.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Pids of all running processes, in pid order.
+    pub fn running_pids(&self) -> Vec<Pid> {
+        self.procs
+            .values()
+            .filter(|p| p.is_alive())
+            .map(|p| p.pid)
+            .collect()
+    }
+
+    /// Grows a process's committed memory by `bytes`.
+    ///
+    /// Accounting is byte-exact; page granularity is a property of the
+    /// *callers* (runtimes commit region-sized chunks, caches release whole
+    /// slabs), so the kernel does not re-align and the two sides of the
+    /// ledger always agree.
+    ///
+    /// Succeeds even past physical memory — the overflow is charged to swap
+    /// and slows everyone down. Growth past swap capacity also succeeds
+    /// (Linux overcommit); the OOM killer fires on the next
+    /// [`Kernel::check_oom`], which the world loop runs every tick.
+    pub fn grow(&mut self, pid: Pid, bytes: u64) -> Result<(), KernelError> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .filter(|p| p.is_alive())
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        proc.committed += bytes;
+        Ok(())
+    }
+
+    /// Returns `bytes` of a process's memory to the OS (`madvise(DONTNEED)`),
+    /// saturating at the process's committed size.
+    pub fn release(&mut self, pid: Pid, bytes: u64) -> Result<(), KernelError> {
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .filter(|p| p.is_alive())
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        proc.committed = proc.committed.saturating_sub(bytes);
+        Ok(())
+    }
+
+    /// A process's committed (resident + swapped) bytes; zero if unknown.
+    pub fn rss(&self, pid: Pid) -> u64 {
+        self.procs.get(&pid).map_or(0, |p| p.committed)
+    }
+
+    /// Sum of committed bytes over all running processes.
+    pub fn committed(&self) -> u64 {
+        self.procs
+            .values()
+            .filter(|p| p.is_alive())
+            .map(|p| p.committed)
+            .sum()
+    }
+
+    /// Bytes currently charged to swap (committed overflow past physical).
+    pub fn swapped(&self) -> u64 {
+        self.committed().saturating_sub(self.config.total)
+    }
+
+    /// `/proc/meminfo` snapshot.
+    pub fn meminfo(&self) -> MemInfo {
+        let committed = self.committed();
+        let used = committed.min(self.config.total);
+        MemInfo {
+            total: self.config.total,
+            used,
+            available: self.config.total - used,
+            swapped: committed.saturating_sub(self.config.total),
+        }
+    }
+
+    /// Work-speed multiplier in `(0, 1]` applied to every running process,
+    /// reflecting swap thrashing.
+    pub fn thrash_multiplier(&self) -> f64 {
+        self.config
+            .swap
+            .speed_multiplier(self.swapped(), self.config.total)
+    }
+
+    /// Queues a signal for a running process. Signals to dead processes are
+    /// silently dropped (matching `kill(2)` on a reaped pid).
+    pub fn send_signal(&mut self, pid: Pid, sig: Signal) {
+        if self.is_alive(pid) {
+            let kind = match sig {
+                Signal::LowMemory => "signal.low",
+                Signal::HighMemory => "signal.high",
+                Signal::Kill => "signal.kill",
+            };
+            self.trace.record(self.now, pid, kind, "");
+            self.signals.send(pid, sig);
+        }
+    }
+
+    /// Drains pending signals for a process.
+    pub fn take_signals(&mut self, pid: Pid) -> Vec<Signal> {
+        self.signals.take(pid)
+    }
+
+    /// True if a signal of the given kind is pending for `pid`.
+    pub fn has_pending_signal(&self, pid: Pid, sig: Signal) -> bool {
+        self.signals.has_pending(pid, sig)
+    }
+
+    /// OOM check: if swap is exhausted, kills the largest running process
+    /// and returns its pid.
+    pub fn check_oom(&mut self) -> Option<Pid> {
+        if !self.config.swap.exhausted(self.swapped()) {
+            return None;
+        }
+        let victim = self
+            .procs
+            .values()
+            .filter(|p| p.is_alive())
+            .max_by_key(|p| (p.committed, p.pid))?
+            .pid;
+        self.trace.record(self.now, victim, "oom.kill", "");
+        self.kill(victim);
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::units::{GIB, MIB, PAGE_SIZE};
+
+    fn kernel(gib: u64) -> Kernel {
+        Kernel::new(KernelConfig::with_total(gib * GIB))
+    }
+
+    #[test]
+    fn spawn_grow_release_accounting() {
+        let mut k = kernel(4);
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        assert_ne!(a, b);
+        k.grow(a, GIB).unwrap();
+        k.grow(b, 2 * GIB).unwrap();
+        assert_eq!(k.rss(a), GIB);
+        assert_eq!(k.committed(), 3 * GIB);
+        assert_eq!(k.meminfo().available, GIB);
+        k.release(a, GIB / 2).unwrap();
+        assert_eq!(k.rss(a), GIB / 2);
+    }
+
+    #[test]
+    fn grow_is_byte_exact() {
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.grow(p, 1).unwrap();
+        assert_eq!(k.rss(p), 1);
+        k.grow(p, PAGE_SIZE + 1).unwrap();
+        assert_eq!(k.rss(p), PAGE_SIZE + 2, "ledger must match callers exactly");
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.grow(p, MIB).unwrap();
+        k.release(p, 10 * MIB).unwrap();
+        assert_eq!(k.rss(p), 0);
+    }
+
+    #[test]
+    fn operations_on_dead_process_fail() {
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.exit(p);
+        assert_eq!(k.grow(p, MIB), Err(KernelError::NoSuchProcess(p)));
+        assert_eq!(k.release(p, MIB), Err(KernelError::NoSuchProcess(p)));
+        assert_eq!(k.grow(999, MIB), Err(KernelError::NoSuchProcess(999)));
+    }
+
+    #[test]
+    fn exit_releases_memory() {
+        let mut k = kernel(4);
+        let p = k.spawn("p");
+        k.grow(p, 3 * GIB).unwrap();
+        k.exit(p);
+        assert_eq!(k.committed(), 0);
+        assert_eq!(k.meminfo().available, 4 * GIB);
+        assert!(!k.is_alive(p));
+    }
+
+    #[test]
+    fn overcommit_goes_to_swap_and_thrashes() {
+        let mut k = kernel(4);
+        let p = k.spawn("p");
+        k.grow(p, 4 * GIB).unwrap();
+        assert_eq!(k.thrash_multiplier(), 1.0);
+        k.grow(p, GIB / 2).unwrap();
+        assert_eq!(k.swapped(), GIB / 2);
+        assert!(k.thrash_multiplier() < 1.0);
+        let mi = k.meminfo();
+        assert_eq!(mi.available, 0);
+        assert_eq!(mi.used, 4 * GIB);
+        assert_eq!(mi.swapped, GIB / 2);
+    }
+
+    #[test]
+    fn swap_exhaustion_allows_grow_until_oom() {
+        let mut k = kernel(4); // swap = 1 GiB
+        let p = k.spawn("p");
+        k.grow(p, 5 * GIB).unwrap(); // exactly at swap capacity
+        assert!(
+            k.grow(p, GIB).is_ok(),
+            "overcommit succeeds; OOM fires later"
+        );
+        assert_eq!(k.check_oom(), Some(p));
+    }
+
+    #[test]
+    fn oom_kills_largest() {
+        let mut k = kernel(4); // swap = 1 GiB
+        let small = k.spawn("small");
+        let big = k.spawn("big");
+        k.grow(small, GIB).unwrap();
+        k.grow(big, 4 * GIB).unwrap(); // committed 5 GiB, swapped 1 GiB: at capacity
+        assert_eq!(k.check_oom(), None);
+        // Push past swap capacity via the small process; the *largest* dies.
+        k.grow(small, GIB / 2).unwrap();
+        assert_eq!(k.check_oom(), Some(big));
+        assert!(!k.is_alive(big));
+        assert!(k.is_alive(small));
+        assert_eq!(k.check_oom(), None, "pressure relieved after the kill");
+    }
+
+    #[test]
+    fn signals_round_trip_and_drop_for_dead() {
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.send_signal(p, Signal::LowMemory);
+        k.send_signal(p, Signal::HighMemory);
+        assert!(k.has_pending_signal(p, Signal::HighMemory));
+        assert_eq!(
+            k.take_signals(p),
+            vec![Signal::LowMemory, Signal::HighMemory]
+        );
+        k.exit(p);
+        k.send_signal(p, Signal::LowMemory);
+        assert!(k.take_signals(p).is_empty());
+    }
+
+    #[test]
+    fn kill_queues_kill_signal_and_traces() {
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.grow(p, MIB).unwrap();
+        k.kill(p);
+        assert!(!k.is_alive(p));
+        assert_eq!(k.rss(p), 0);
+        assert_eq!(k.trace.count("proc.kill"), 1);
+    }
+
+    #[test]
+    fn running_pids_excludes_dead() {
+        let mut k = kernel(1);
+        let a = k.spawn("a");
+        let b = k.spawn("b");
+        let c = k.spawn("c");
+        k.exit(b);
+        assert_eq!(k.running_pids(), vec![a, c]);
+    }
+
+    #[test]
+    fn spawn_records_time() {
+        let mut k = kernel(1);
+        k.set_time(SimTime::from_secs(42));
+        let p = k.spawn("late");
+        assert_eq!(k.process(p).unwrap().spawned_at, SimTime::from_secs(42));
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulated Linux-like kernel substrate.
+//!
+//! M3's monitor consumes three things from the operating system: global
+//! physical-memory availability (`MemAvailable` in `/proc/meminfo`),
+//! application-defined real-time signals, and the `madvise` path by which
+//! runtimes return freed pages. This crate models exactly that surface, plus
+//! the failure modes the paper's baselines hit (swap thrashing, the OOM
+//! killer) and the disk that Spark-like workloads re-read evicted blocks
+//! from.
+//!
+//! The model is intentionally *accounting-level*: physical memory is a
+//! page-granular counter per process, not a frame table. M3 never inspects
+//! page contents, so nothing finer is needed to reproduce the paper's
+//! behaviour (see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use m3_os::{Kernel, KernelConfig, Signal};
+//! use m3_sim::units::GIB;
+//!
+//! let mut k = Kernel::new(KernelConfig::with_total(4 * GIB));
+//! let pid = k.spawn("cache");
+//! k.grow(pid, GIB).unwrap();
+//! assert_eq!(k.meminfo().available, 3 * GIB);
+//! k.send_signal(pid, Signal::HighMemory);
+//! assert_eq!(k.take_signals(pid), vec![Signal::HighMemory]);
+//! ```
+
+pub mod cgroup;
+pub mod disk;
+pub mod kernel;
+pub mod meminfo;
+pub mod process;
+pub mod signals;
+pub mod swap;
+
+pub use cgroup::{Cgroup, CgroupSet};
+pub use disk::DiskModel;
+pub use kernel::{Kernel, KernelConfig, KernelError};
+pub use meminfo::MemInfo;
+pub use process::{Pid, ProcessState};
+pub use signals::Signal;

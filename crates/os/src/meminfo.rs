@@ -1,0 +1,55 @@
+//! A `/proc/meminfo` analogue.
+//!
+//! The paper's monitor polls `MemAvailable` once per second (§6). We expose
+//! the same quantity: the bytes an application could allocate without pushing
+//! the system into swap.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of system memory state, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemInfo {
+    /// Total physical memory visible to applications (the cgroup limit in
+    /// the paper's testbed: 64 GB).
+    pub total: u64,
+    /// Physical memory currently resident.
+    pub used: u64,
+    /// `MemAvailable`: bytes allocatable without swapping.
+    pub available: u64,
+    /// Bytes currently swapped out (zero unless the system is overcommitted).
+    pub swapped: u64,
+}
+
+impl MemInfo {
+    /// Fraction of physical memory in use, in `[0, 1]`.
+    pub fn used_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn used_fraction_is_bounded() {
+        let mi = MemInfo {
+            total: 100,
+            used: 25,
+            available: 75,
+            swapped: 0,
+        };
+        assert!((mi.used_fraction() - 0.25).abs() < 1e-12);
+        let zero = MemInfo {
+            total: 0,
+            used: 0,
+            available: 0,
+            swapped: 0,
+        };
+        assert_eq!(zero.used_fraction(), 0.0);
+    }
+}

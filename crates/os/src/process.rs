@@ -1,0 +1,74 @@
+//! Per-process kernel-side accounting.
+
+use m3_sim::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A process identifier. `0` is reserved for system-wide trace events.
+pub type Pid = u64;
+
+/// Life-cycle state of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessState {
+    /// Running normally.
+    Running,
+    /// Terminated voluntarily (workload finished).
+    Exited,
+    /// Terminated by the kernel (OOM or M3 kill escalation).
+    Killed,
+}
+
+/// Kernel-side process control block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Process {
+    /// The process identifier.
+    pub pid: Pid,
+    /// Human-readable name (command line in the paper's `ps` terms).
+    pub name: String,
+    /// When the process was spawned (Algorithm 1 sorts on this).
+    pub spawned_at: SimTime,
+    /// Resident set size in bytes (physical + swapped-out share).
+    pub committed: u64,
+    /// Life-cycle state.
+    pub state: ProcessState,
+}
+
+impl Process {
+    /// Creates a new running process with no memory.
+    pub fn new(pid: Pid, name: impl Into<String>, spawned_at: SimTime) -> Self {
+        Process {
+            pid,
+            name: name.into(),
+            spawned_at,
+            committed: 0,
+            state: ProcessState::Running,
+        }
+    }
+
+    /// True while the process can run and receive signals.
+    pub fn is_alive(&self) -> bool {
+        self.state == ProcessState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_is_alive_and_empty() {
+        let p = Process::new(3, "spark-executor", SimTime::from_secs(7));
+        assert!(p.is_alive());
+        assert_eq!(p.committed, 0);
+        assert_eq!(p.spawned_at.as_secs(), 7);
+        assert_eq!(p.name, "spark-executor");
+    }
+
+    #[test]
+    fn terminal_states_are_not_alive() {
+        let mut p = Process::new(1, "x", SimTime::ZERO);
+        p.state = ProcessState::Exited;
+        assert!(!p.is_alive());
+        p.state = ProcessState::Killed;
+        assert!(!p.is_alive());
+    }
+}

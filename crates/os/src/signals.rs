@@ -1,0 +1,135 @@
+//! Application-defined real-time signals.
+//!
+//! The paper's monitor uses two Linux real-time signal numbers for the low
+//! and high memory-pressure notifications (§6). We model them as an enum plus
+//! a `SIGKILL` analogue used by the kill-escalation path. Delivery is a
+//! per-process FIFO queue that the process drains at its next scheduling
+//! point, mirroring asynchronous signal delivery without needing actual
+//! interrupt semantics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::process::Pid;
+
+/// A signal deliverable to a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// Early warning: system memory is becoming scarce (low threshold).
+    LowMemory,
+    /// Memory pressure is severe (high threshold); reclaim aggressively and
+    /// run the adaptive allocation protocol.
+    HighMemory,
+    /// Unconditional termination (OOM killer / M3 kill escalation).
+    Kill,
+}
+
+/// Per-process FIFO signal queues.
+///
+/// Duplicate *pending* memory-pressure signals are coalesced, matching the
+/// semantics of POSIX real-time signal queues under M3's once-per-poll
+/// sending discipline (a process that has not yet handled a pending high
+/// signal gains nothing from a second copy).
+#[derive(Debug, Clone, Default)]
+pub struct SignalBus {
+    queues: BTreeMap<Pid, Vec<Signal>>,
+}
+
+impl SignalBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        SignalBus::default()
+    }
+
+    /// Queues `sig` for `pid`. Memory-pressure signals already pending for
+    /// the process are not duplicated; `Kill` always queues.
+    pub fn send(&mut self, pid: Pid, sig: Signal) {
+        let q = self.queues.entry(pid).or_default();
+        if sig == Signal::Kill || !q.contains(&sig) {
+            q.push(sig);
+        }
+    }
+
+    /// Drains and returns all pending signals for `pid`, in delivery order.
+    pub fn take(&mut self, pid: Pid) -> Vec<Signal> {
+        self.queues.remove(&pid).unwrap_or_default()
+    }
+
+    /// True if `pid` has a pending signal of the given kind.
+    pub fn has_pending(&self, pid: Pid, sig: Signal) -> bool {
+        self.queues.get(&pid).is_some_and(|q| q.contains(&sig))
+    }
+
+    /// Number of pending signals for `pid`.
+    pub fn pending_count(&self, pid: Pid) -> usize {
+        self.queues.get(&pid).map_or(0, Vec::len)
+    }
+
+    /// Discards all state for an exited process.
+    pub fn forget(&mut self, pid: Pid) {
+        self.queues.remove(&pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_fifo() {
+        let mut bus = SignalBus::new();
+        bus.send(1, Signal::LowMemory);
+        bus.send(1, Signal::HighMemory);
+        assert_eq!(bus.take(1), vec![Signal::LowMemory, Signal::HighMemory]);
+        assert!(bus.take(1).is_empty());
+    }
+
+    #[test]
+    fn pressure_signals_coalesce() {
+        let mut bus = SignalBus::new();
+        bus.send(1, Signal::HighMemory);
+        bus.send(1, Signal::HighMemory);
+        bus.send(1, Signal::HighMemory);
+        assert_eq!(bus.pending_count(1), 1);
+    }
+
+    #[test]
+    fn kill_does_not_coalesce() {
+        let mut bus = SignalBus::new();
+        bus.send(1, Signal::Kill);
+        bus.send(1, Signal::Kill);
+        assert_eq!(bus.pending_count(1), 2);
+    }
+
+    #[test]
+    fn queues_are_per_process() {
+        let mut bus = SignalBus::new();
+        bus.send(1, Signal::LowMemory);
+        bus.send(2, Signal::HighMemory);
+        assert!(bus.has_pending(1, Signal::LowMemory));
+        assert!(!bus.has_pending(1, Signal::HighMemory));
+        assert_eq!(bus.take(2), vec![Signal::HighMemory]);
+        assert_eq!(bus.take(1), vec![Signal::LowMemory]);
+    }
+
+    #[test]
+    fn coalescing_resets_after_drain() {
+        let mut bus = SignalBus::new();
+        bus.send(1, Signal::HighMemory);
+        let _ = bus.take(1);
+        bus.send(1, Signal::HighMemory);
+        assert_eq!(
+            bus.pending_count(1),
+            1,
+            "a new signal after drain must queue"
+        );
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut bus = SignalBus::new();
+        bus.send(9, Signal::LowMemory);
+        bus.forget(9);
+        assert_eq!(bus.pending_count(9), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Swap-pressure cost model.
+//!
+//! When committed memory exceeds physical memory, the overflow lives on the
+//! swap device and every running process pays a progress penalty: the paper's
+//! baselines hit exactly this when a static configuration lets combined peaks
+//! exceed RAM ("It could further trigger expensive OS swapping", §2.2). We
+//! model the penalty as a multiplicative slow-down on useful work, a standard
+//! thrashing curve: mild overflow costs little (inactive pages go out first),
+//! deep overflow collapses throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the thrashing model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SwapModel {
+    /// Swap device capacity in bytes.
+    pub capacity: u64,
+    /// Penalty steepness: work-speed multiplier is
+    /// `1 / (1 + steepness × overflow_fraction²)` where `overflow_fraction`
+    /// is swapped bytes over physical total.
+    pub steepness: f64,
+}
+
+impl SwapModel {
+    /// A model matching a 7,200 RPM disk swap device: thrashing is severe.
+    pub fn hdd(capacity: u64) -> Self {
+        SwapModel {
+            capacity,
+            steepness: 400.0,
+        }
+    }
+
+    /// Work-speed multiplier in `(0, 1]` given swapped bytes and physical
+    /// total.
+    pub fn speed_multiplier(&self, swapped: u64, phys_total: u64) -> f64 {
+        if swapped == 0 || phys_total == 0 {
+            return 1.0;
+        }
+        let frac = swapped as f64 / phys_total as f64;
+        1.0 / (1.0 + self.steepness * frac * frac)
+    }
+
+    /// True if `swapped` exceeds the device capacity (OOM-kill territory).
+    pub fn exhausted(&self, swapped: u64) -> bool {
+        swapped > self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::units::GIB;
+
+    #[test]
+    fn no_swap_no_penalty() {
+        let m = SwapModel::hdd(8 * GIB);
+        assert_eq!(m.speed_multiplier(0, 64 * GIB), 1.0);
+    }
+
+    #[test]
+    fn penalty_grows_with_overflow() {
+        let m = SwapModel::hdd(8 * GIB);
+        let mild = m.speed_multiplier(GIB, 64 * GIB);
+        let deep = m.speed_multiplier(8 * GIB, 64 * GIB);
+        assert!(mild < 1.0);
+        assert!(deep < mild);
+        assert!(deep > 0.0);
+        // 12.5% overflow on an HDD should be crippling (well under half speed).
+        assert!(deep < 0.5, "deep thrash multiplier {deep} should be severe");
+    }
+
+    #[test]
+    fn zero_total_is_safe() {
+        let m = SwapModel::hdd(GIB);
+        assert_eq!(m.speed_multiplier(GIB, 0), 1.0);
+    }
+
+    #[test]
+    fn exhaustion_boundary() {
+        let m = SwapModel::hdd(2 * GIB);
+        assert!(!m.exhausted(2 * GIB));
+        assert!(m.exhausted(2 * GIB + 1));
+    }
+}

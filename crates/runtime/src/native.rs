@@ -1,0 +1,170 @@
+//! Native allocator models (`malloc` vs `jemalloc`).
+//!
+//! Memcached uses `malloc`/`free` by default, which keeps freed memory in
+//! the process arena instead of returning it to the OS; the paper swaps in
+//! `jemalloc`, which `madvise`s freed page runs back (§4.1). Both behaviours
+//! are modelled here so the evaluation can show why the substitution matters.
+
+use m3_os::{Kernel, Pid};
+use serde::{Deserialize, Serialize};
+
+/// Which allocator the process links against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// glibc `malloc`: freed memory stays in the arena (RSS is sticky).
+    Malloc,
+    /// `jemalloc`: freed page runs are returned to the OS promptly.
+    Jemalloc,
+}
+
+/// A native allocator bound to one simulated process.
+#[derive(Debug, Clone)]
+pub struct NativeAllocator {
+    kind: AllocatorKind,
+    pid: Pid,
+    in_use: u64,
+    arena_free: u64,
+    /// Total bytes ever returned to the OS.
+    pub returned_to_os: u64,
+}
+
+impl NativeAllocator {
+    /// Creates an allocator of the given kind for process `pid`.
+    pub fn new(pid: Pid, kind: AllocatorKind) -> Self {
+        NativeAllocator {
+            kind,
+            pid,
+            in_use: 0,
+            arena_free: 0,
+            returned_to_os: 0,
+        }
+    }
+
+    /// The allocator kind.
+    pub fn kind(&self) -> AllocatorKind {
+        self.kind
+    }
+
+    /// The owning process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Live (application-held) bytes.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Freed bytes retained in the arena (zero for jemalloc).
+    pub fn arena_free(&self) -> u64 {
+        self.arena_free
+    }
+
+    /// The process RSS contribution of this allocator.
+    pub fn rss(&self) -> u64 {
+        self.in_use + self.arena_free
+    }
+
+    /// Allocates `bytes`, reusing arena free space before growing the
+    /// process.
+    pub fn alloc(&mut self, os: &mut Kernel, bytes: u64) {
+        let from_arena = bytes.min(self.arena_free);
+        self.arena_free -= from_arena;
+        let fresh = bytes - from_arena;
+        if fresh > 0 {
+            os.grow(self.pid, fresh)
+                .expect("native process must be alive");
+        }
+        self.in_use += bytes;
+    }
+
+    /// Frees `bytes` (saturating at the in-use amount). Under `Malloc` the
+    /// bytes stay in the arena; under `Jemalloc` they are returned to the OS.
+    pub fn free(&mut self, os: &mut Kernel, bytes: u64) {
+        let bytes = bytes.min(self.in_use);
+        self.in_use -= bytes;
+        match self.kind {
+            AllocatorKind::Malloc => self.arena_free += bytes,
+            AllocatorKind::Jemalloc => {
+                os.release(self.pid, bytes)
+                    .expect("native process must be alive");
+                self.returned_to_os += bytes;
+            }
+        }
+    }
+
+    /// Shuts down, returning everything to the OS.
+    pub fn shutdown(&mut self, os: &mut Kernel) {
+        if os.is_alive(self.pid) {
+            os.release(self.pid, self.rss())
+                .expect("alive process releases cleanly");
+        }
+        self.in_use = 0;
+        self.arena_free = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_os::KernelConfig;
+    use m3_sim::units::{GIB, MIB};
+
+    fn setup(kind: AllocatorKind) -> (Kernel, NativeAllocator) {
+        let mut os = Kernel::new(KernelConfig::with_total(8 * GIB));
+        let pid = os.spawn("native");
+        (os, NativeAllocator::new(pid, kind))
+    }
+
+    #[test]
+    fn malloc_keeps_freed_memory_resident() {
+        let (mut os, mut a) = setup(AllocatorKind::Malloc);
+        a.alloc(&mut os, GIB);
+        a.free(&mut os, GIB);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.arena_free(), GIB);
+        assert_eq!(os.rss(a.pid()), GIB, "RSS is sticky under malloc");
+    }
+
+    #[test]
+    fn jemalloc_returns_freed_memory() {
+        let (mut os, mut a) = setup(AllocatorKind::Jemalloc);
+        a.alloc(&mut os, GIB);
+        a.free(&mut os, GIB);
+        assert_eq!(a.rss(), 0);
+        assert_eq!(os.rss(a.pid()), 0);
+        assert_eq!(a.returned_to_os, GIB);
+    }
+
+    #[test]
+    fn malloc_reuses_arena_before_growing() {
+        let (mut os, mut a) = setup(AllocatorKind::Malloc);
+        a.alloc(&mut os, 100 * MIB);
+        a.free(&mut os, 100 * MIB);
+        let rss_before = os.rss(a.pid());
+        a.alloc(&mut os, 60 * MIB);
+        assert_eq!(os.rss(a.pid()), rss_before, "no growth needed");
+        assert_eq!(a.arena_free(), 40 * MIB);
+        a.alloc(&mut os, 80 * MIB);
+        assert!(os.rss(a.pid()) > rss_before, "arena exhausted, must grow");
+    }
+
+    #[test]
+    fn free_saturates_at_in_use() {
+        let (mut os, mut a) = setup(AllocatorKind::Jemalloc);
+        a.alloc(&mut os, MIB);
+        a.free(&mut os, 10 * MIB);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(os.rss(a.pid()), 0);
+    }
+
+    #[test]
+    fn shutdown_clears_rss() {
+        let (mut os, mut a) = setup(AllocatorKind::Malloc);
+        a.alloc(&mut os, GIB);
+        a.free(&mut os, GIB / 2);
+        a.shutdown(&mut os);
+        assert_eq!(os.rss(a.pid()), 0);
+        assert_eq!(a.rss(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! A log-bucketed duration histogram.
+//!
+//! GC pauses span four orders of magnitude (a 15 ms young collection to a
+//! 30 s full compaction), so the runtime layers record them in
+//! exponentially sized buckets. Quantiles are approximate (bucket upper
+//! bound), which is all the tail-latency reporting needs.
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1)) − 1` milliseconds, with bucket 0 holding `< 2 ms` and
+/// the last bucket holding everything larger.
+const BUCKETS: usize = 24;
+
+/// A histogram of durations with power-of-two millisecond buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_ms: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max_ms: 0,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        DurationHistogram::default()
+    }
+
+    fn bucket_of(ms: u64) -> usize {
+        ((64 - ms.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `i`, in ms.
+    fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ms = d.as_millis();
+        self.counts[Self::bucket_of(ms)] += 1;
+        self.total += 1;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded duration.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_millis(self.max_ms)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the q-th recorded value, clamped to the observed
+    /// maximum. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.total as f64 * q).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(SimDuration::from_millis(
+                    Self::bucket_upper(i).min(self.max_ms),
+                ));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Approximate 99th-percentile duration.
+    pub fn p99(&self) -> Option<SimDuration> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_ms = self.max_ms.max(other.max_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = DurationHistogram::new();
+        for v in [1, 10, 100, 1000, 10_000] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), ms(10_000));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = DurationHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(ms(v));
+        }
+        let p50 = h.quantile(0.5).unwrap().as_millis();
+        // Bucketed: the median (500) lands in the [512, 1023] bucket's
+        // upper region or the [256,511] bucket — allow the bracket.
+        assert!((255..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99().unwrap().as_millis();
+        assert!((478..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0).unwrap(), ms(1000));
+    }
+
+    #[test]
+    fn quantile_upper_bound_clamps_to_max() {
+        let mut h = DurationHistogram::new();
+        h.record(ms(5)); // bucket [4,7]
+        assert_eq!(h.quantile(0.5).unwrap(), ms(5), "clamped to observed max");
+    }
+
+    #[test]
+    fn huge_durations_saturate_last_bucket() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::from_secs(100_000));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99().unwrap(), SimDuration::from_secs(100_000));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        a.record(ms(10));
+        b.record(ms(10_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), ms(10_000));
+        assert!(a.p99().unwrap() >= ms(8192));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_range_checked() {
+        DurationHistogram::new().quantile(1.5);
+    }
+}

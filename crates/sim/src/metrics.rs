@@ -1,0 +1,305 @@
+//! Counters, gauges and time series.
+//!
+//! The paper's figures are memory profiles: physical memory per process,
+//! thresholds, and signal marks, sampled over time. [`TimeSeries`] captures
+//! exactly that; [`Counter`] and [`Gauge`] accumulate scalar statistics such
+//! as GC pause time or blocks evicted.
+
+use crate::clock::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event/quantity counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// The accumulated value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// An instantaneous value that can move both ways (e.g. resident bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge {
+    value: u64,
+    peak: u64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge, tracking the high-water mark.
+    pub fn set(&mut self, v: u64) {
+        self.value = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Adds to the gauge.
+    pub fn add(&mut self, n: u64) {
+        self.set(self.value + n);
+    }
+
+    /// Subtracts from the gauge, saturating at zero.
+    pub fn sub(&mut self, n: u64) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// The current value.
+    pub fn get(self) -> u64 {
+        self.value
+    }
+
+    /// The historical maximum.
+    pub fn peak(self) -> u64 {
+        self.peak
+    }
+}
+
+/// One sample of a time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub t: SimTime,
+    /// The sampled value.
+    pub v: f64,
+}
+
+/// A named sequence of `(time, value)` samples.
+///
+/// # Examples
+///
+/// ```
+/// use m3_sim::{SimTime, TimeSeries};
+///
+/// let mut s = TimeSeries::new("rss");
+/// s.push(SimTime::from_secs(1), 10.0);
+/// s.push(SimTime::from_secs(2), 20.0);
+/// assert_eq!(s.mean(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Human-readable series name (used as the figure legend label).
+    pub name: String,
+    /// The samples, in non-decreasing time order.
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given legend name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the last sample's time.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.t <= t),
+            "samples must be pushed in time order"
+        );
+        self.samples.push(Sample { t, v });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Maximum value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|s| s.v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// The latest value, or `None` if empty.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.v)
+    }
+
+    /// Time-weighted average over the sampled interval (trapezoid-free:
+    /// each sample holds until the next one, matching 1 Hz polling).
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return self.mean();
+        }
+        let mut area = 0.0;
+        let mut total = SimDuration::ZERO;
+        for w in self.samples.windows(2) {
+            let dt = w[1].t - w[0].t;
+            area += w[0].v * dt.as_secs_f64();
+            total += dt;
+        }
+        if total.is_zero() {
+            self.mean()
+        } else {
+            Some(area / total.as_secs_f64())
+        }
+    }
+
+    /// Fraction of samples strictly above `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.v > threshold).count() as f64 / self.samples.len() as f64
+    }
+}
+
+/// A mark on a memory profile, e.g. "high-threshold signal sent at t".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mark {
+    /// When the event happened.
+    pub t: SimTime,
+    /// Event kind label (e.g. `"low-signal"`).
+    pub kind: String,
+}
+
+/// A bundle of series and marks constituting one figure panel.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// All series, keyed by insertion order.
+    pub series: Vec<TimeSeries>,
+    /// Point events overlaid on the series (signal arrows in the paper).
+    pub marks: Vec<Mark>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Returns the series with the given name, creating it if absent.
+    pub fn series_mut(&mut self, name: &str) -> &mut TimeSeries {
+        if let Some(i) = self.series.iter().position(|s| s.name == name) {
+            return &mut self.series[i];
+        }
+        self.series.push(TimeSeries::new(name));
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Records a point event.
+    pub fn mark(&mut self, t: SimTime, kind: impl Into<String>) {
+        self.marks.push(Mark {
+            t,
+            kind: kind.into(),
+        });
+    }
+
+    /// Number of marks of the given kind.
+    pub fn marks_of(&self, kind: &str) -> usize {
+        self.marks.iter().filter(|m| m.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let mut g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 15);
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        for (i, v) in [1.0, 3.0, 2.0].iter().enumerate() {
+            s.push(SimTime::from_secs(i as u64), *v);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.last(), Some(2.0));
+        assert!((s.fraction_above(1.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(0), 0.0);
+        s.push(SimTime::from_secs(9), 100.0); // the 0 held for 9 of 10 seconds
+        s.push(SimTime::from_secs(10), 100.0);
+        let twm = s.time_weighted_mean().unwrap();
+        assert!((twm - 10.0).abs() < 1e-9, "got {twm}");
+    }
+
+    #[test]
+    fn profile_series_and_marks() {
+        let mut p = Profile::new();
+        p.series_mut("a").push(SimTime::ZERO, 1.0);
+        p.series_mut("a").push(SimTime::from_secs(1), 2.0);
+        p.series_mut("b").push(SimTime::ZERO, 9.0);
+        assert_eq!(p.series.len(), 2);
+        assert_eq!(p.series("a").unwrap().len(), 2);
+        assert!(p.series("missing").is_none());
+        p.mark(SimTime::from_secs(1), "low-signal");
+        p.mark(SimTime::from_secs(2), "low-signal");
+        p.mark(SimTime::from_secs(3), "high-signal");
+        assert_eq!(p.marks_of("low-signal"), 2);
+        assert_eq!(p.marks_of("high-signal"), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structured event tracing.
+//!
+//! Tests and the experiment harness assert on *what happened* (a young GC ran
+//! before Spark evicted; the monitor signalled exactly the selected
+//! processes) rather than scraping logs. Components append [`TraceEvent`]s to
+//! a shared [`TraceLog`], which offers simple query helpers.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub t: SimTime,
+    /// The process the event concerns (0 for system-wide events).
+    pub pid: u64,
+    /// Event kind, e.g. `"gc.young"`, `"signal.high"`, `"evict.blocks"`.
+    pub kind: String,
+    /// Free-form detail (bytes reclaimed, block count, ...).
+    pub detail: String,
+}
+
+/// An append-only in-memory event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates an enabled, empty log.
+    pub fn new() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled log that drops all events (for benchmark runs).
+    pub fn disabled() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(
+        &mut self,
+        t: SimTime,
+        pid: u64,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                t,
+                pid,
+                kind: kind.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose kind starts with `prefix`.
+    pub fn of_kind<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.kind.starts_with(prefix))
+    }
+
+    /// Number of events whose kind starts with `prefix`.
+    pub fn count(&self, prefix: &str) -> usize {
+        self.of_kind(prefix).count()
+    }
+
+    /// The first event of the given kind prefix, if any.
+    pub fn first(&self, prefix: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind.starts_with(prefix))
+    }
+
+    /// The last event of the given kind prefix, if any.
+    pub fn last(&self, prefix: &str) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.kind.starts_with(prefix))
+    }
+
+    /// True if an event with kind-prefix `a` occurs before one with `b`.
+    ///
+    /// Returns `false` if either never occurs.
+    pub fn happened_before(&self, a: &str, b: &str) -> bool {
+        let ia = self.events.iter().position(|e| e.kind.starts_with(a));
+        let ib = self.events.iter().position(|e| e.kind.starts_with(b));
+        matches!((ia, ib), (Some(x), Some(y)) if x < y)
+    }
+
+    /// Discards all recorded events (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_queries() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 10, "gc.young", "freed=5");
+        log.record(t(2), 10, "gc.mixed", "freed=9");
+        log.record(t(3), 11, "signal.high", "");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("gc"), 2);
+        assert_eq!(log.count("gc.young"), 1);
+        assert_eq!(log.first("gc").unwrap().detail, "freed=5");
+        assert_eq!(log.last("gc").unwrap().kind, "gc.mixed");
+    }
+
+    #[test]
+    fn ordering_queries() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 1, "evict.blocks", "");
+        log.record(t(2), 1, "gc.mixed", "");
+        assert!(log.happened_before("evict", "gc"));
+        assert!(!log.happened_before("gc", "evict"));
+        assert!(!log.happened_before("gc", "never"));
+        assert!(!log.happened_before("never", "gc"));
+    }
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::disabled();
+        log.record(t(1), 1, "gc.young", "");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 1, "x", "");
+        log.clear();
+        assert!(log.is_empty());
+        log.record(t(2), 1, "y", "");
+        assert_eq!(log.len(), 1);
+    }
+}

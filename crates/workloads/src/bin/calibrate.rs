@@ -1,0 +1,78 @@
+//! Calibration probe: prints per-workload runtimes under each setting.
+//!
+//! Not an experiment deliverable — a development tool for checking that the
+//! simulation reproduces the paper's *shapes* (who wins, by roughly what
+//! factor) before the figure harnesses are run. Usage:
+//!
+//! ```text
+//! cargo run --release -p m3-workloads --bin calibrate [WORKLOAD ...]
+//! ```
+
+use m3_sim::clock::SimDuration;
+use m3_workloads::machine::MachineConfig;
+use m3_workloads::runner::{run_scenario, speedup_report};
+use m3_workloads::scenario::{all_scenarios, Scenario};
+use m3_workloads::search::{search_oracle, search_ows, SearchSpace};
+use m3_workloads::settings::Setting;
+
+fn fmt(rts: &[Option<f64>]) -> String {
+    rts.iter()
+        .map(|r| match r {
+            Some(s) => format!("{s:7.0}"),
+            None => "   FAIL".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.sample_period = None;
+    cfg.max_time = SimDuration::from_secs(40_000);
+    let space = SearchSpace::paper();
+
+    let scenarios: Vec<Scenario> = if args.is_empty() {
+        all_scenarios()
+    } else {
+        all_scenarios()
+            .into_iter()
+            .filter(|s| args.iter().any(|a| s.name.starts_with(a.as_str())))
+            .collect()
+    };
+
+    println!(
+        "{:<10} {:>9} {:>24} {:>24} {:>8} {:>8}",
+        "workload", "M3 mean", "Oracle per-app", "M3 per-app", "vs Orcl", "vs OWS"
+    );
+    for scenario in &scenarios {
+        let m3 = run_scenario(scenario, &Setting::m3(scenario.len()), cfg);
+        let default = run_scenario(scenario, &Setting::default_for(scenario.len()), cfg);
+        let oracle_setting = search_oracle(scenario, &space, cfg);
+        let oracle = run_scenario(scenario, &oracle_setting, cfg);
+        let ows_setting = search_ows(scenario, &space, cfg);
+        let ows = run_scenario(scenario, &ows_setting, cfg);
+        let rep_o = speedup_report(&m3, &oracle);
+        let rep_w = speedup_report(&m3, &ows);
+        println!(
+            "{:<10} {:>9.0} {:>24} {:>24} {:>8} {:>8}   default: {}",
+            scenario.name,
+            m3.mean_runtime_secs().unwrap_or(f64::NAN),
+            fmt(&oracle.runtimes_secs()),
+            fmt(&m3.runtimes_secs()),
+            rep_o
+                .mean_speedup
+                .map_or("INF".into(), |s| format!("{s:.2}x")),
+            rep_w
+                .mean_speedup
+                .map_or("INF".into(), |s| format!("{s:.2}x")),
+            fmt(&default.runtimes_secs()),
+        );
+        let heaps: Vec<String> = oracle_setting
+            .per_app
+            .iter()
+            .map(|c| format!("{:.0}G", c.heap as f64 / (1 << 30) as f64))
+            .collect();
+        println!("           oracle heaps: {heaps:?}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Cluster aggregation (§7.1: 8 worker nodes).
+//!
+//! The paper's jobs run across 8 workers, one executor per node, and a job
+//! completes when its slowest node does. Every per-node decision M3 makes
+//! is node-local, so the cluster is N independent node simulations with
+//! different task-scheduling histories (the `node_salt`), aggregated by
+//! taking the per-application maximum completion time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{Machine, MachineConfig, RunResult};
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use crate::settings::Setting;
+
+/// The paper's worker count.
+pub const PAPER_NODES: usize = 8;
+
+/// Aggregated outcome of a cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// Per-application runtime: the *slowest node's* runtime, or `None` if
+    /// the app failed or was killed on any node.
+    pub app_runtimes_s: Vec<Option<f64>>,
+    /// Per-application, per-node runtimes (outer = app, inner = node).
+    pub per_node_s: Vec<Vec<Option<f64>>>,
+    /// Spread (max − min) across nodes per application, seconds — the
+    /// straggler effect.
+    pub spread_s: Vec<f64>,
+}
+
+impl ClusterResult {
+    /// Mean of the per-app cluster runtimes, or `None` if any app failed.
+    pub fn mean_runtime_secs(&self) -> Option<f64> {
+        if self.app_runtimes_s.iter().any(Option::is_none) || self.app_runtimes_s.is_empty() {
+            return None;
+        }
+        Some(self.app_runtimes_s.iter().flatten().sum::<f64>() / self.app_runtimes_s.len() as f64)
+    }
+}
+
+fn runtimes(res: &RunResult) -> Vec<Option<f64>> {
+    res.apps
+        .iter()
+        .map(|a| {
+            if a.failed || a.killed {
+                None
+            } else {
+                a.runtime().map(|d| d.as_secs_f64())
+            }
+        })
+        .collect()
+}
+
+/// Runs `scenario` under `setting` on `nodes` independent workers and
+/// aggregates per-application completion as the slowest node.
+pub fn run_cluster(
+    scenario: &Scenario,
+    setting: &Setting,
+    mut machine_cfg: MachineConfig,
+    nodes: usize,
+) -> ClusterResult {
+    assert!(nodes > 0, "need at least one node");
+    let napps = scenario.len();
+    let mut per_node: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(nodes); napps];
+    for node in 0..nodes {
+        machine_cfg.node_salt = node as u64 + 1;
+        let out = run_scenario(scenario, setting, machine_cfg);
+        for (i, rt) in runtimes(&out.run).into_iter().enumerate() {
+            per_node[i].push(rt);
+        }
+    }
+    let app_runtimes_s: Vec<Option<f64>> = per_node
+        .iter()
+        .map(|node_rts| {
+            if node_rts.iter().any(Option::is_none) {
+                None
+            } else {
+                node_rts
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .fold(None, |acc: Option<f64>, v| {
+                        Some(acc.map_or(v, |a| a.max(v)))
+                    })
+            }
+        })
+        .collect();
+    let spread_s = per_node
+        .iter()
+        .map(|node_rts| {
+            let vals: Vec<f64> = node_rts.iter().flatten().copied().collect();
+            match (
+                vals.iter().cloned().reduce(f64::max),
+                vals.iter().cloned().reduce(f64::min),
+            ) {
+                (Some(mx), Some(mn)) => mx - mn,
+                _ => 0.0,
+            }
+        })
+        .collect();
+    ClusterResult {
+        app_runtimes_s,
+        per_node_s: per_node,
+        spread_s,
+    }
+}
+
+/// Convenience: the `Machine` type for a node of this cluster (salted).
+pub fn node_machine(mut cfg: MachineConfig, node: usize) -> Machine {
+    cfg.node_salt = node as u64 + 1;
+    Machine::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::SettingKind;
+    use m3_sim::clock::SimDuration;
+    use m3_sim::units::GIB;
+
+    fn quick_cfg() -> MachineConfig {
+        let mut cfg = MachineConfig::stock_64gb();
+        cfg.sample_period = None;
+        cfg.max_time = SimDuration::from_secs(40_000);
+        cfg
+    }
+
+    #[test]
+    fn cluster_aggregates_slowest_node() {
+        let scenario = Scenario::uniform("M", 0);
+        let setting = Setting::m3(1);
+        let res = run_cluster(&scenario, &setting, quick_cfg(), 3);
+        assert_eq!(res.per_node_s[0].len(), 3);
+        let max = res.per_node_s[0]
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        assert_eq!(res.app_runtimes_s[0], Some(max));
+        assert!(res.mean_runtime_secs().is_some());
+    }
+
+    #[test]
+    fn nodes_differ_but_not_wildly() {
+        // Different salts → different task orders → slightly different
+        // runtimes; the spread must stay a small fraction of the runtime.
+        let scenario = Scenario::uniform("MM", 120);
+        let setting = Setting::m3(2);
+        let res = run_cluster(&scenario, &setting, quick_cfg(), 4);
+        for (i, spread) in res.spread_s.iter().enumerate() {
+            let rt = res.app_runtimes_s[i].expect("finished");
+            assert!(
+                *spread <= rt * 0.5,
+                "node spread {spread} too large vs runtime {rt}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_on_any_node_fails_the_job() {
+        // n-weight under the Default heap fails on every node.
+        let scenario = Scenario::uniform("W", 0);
+        let setting = Setting {
+            kind: SettingKind::Default,
+            per_app: vec![crate::settings::AppConfig::stock_default()],
+        };
+        let res = run_cluster(&scenario, &setting, quick_cfg(), 2);
+        assert_eq!(res.app_runtimes_s[0], None);
+        assert_eq!(res.mean_runtime_secs(), None);
+        let _ = 64 * GIB;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let scenario = Scenario::uniform("M", 0);
+        run_cluster(&scenario, &Setting::m3(1), quick_cfg(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Calibrated per-node job parameters (§7.1.1).
+//!
+//! The paper's inputs are cluster-wide over 8 workers: 89.8 GB (k-means),
+//! 5.7 GB (PageRank), 1.8 GB (n-weight). Per-node inputs divide by 8; the
+//! in-memory working sets are larger by job-specific expansion factors
+//! (deserialization for k-means; graph and intermediate-result expansion
+//! for PageRank and n-weight — the reason PageRank keeps improving out to a
+//! 76 GB heap in Fig. 1 despite a 5.7 GB input).
+//!
+//! Calibration targets (shape, not absolute numbers):
+//!
+//! | job | working set | flattens at heap ≈ ws / 0.45 | paper Fig. 1 |
+//! |---|---|---|---|
+//! | k-means | 18 GiB | ~40 GB | 40 GB |
+//! | PageRank | 34 GiB | ~76 GB | 76 GB |
+//! | n-weight | 40 GiB | (not in Fig. 1; Fig. 7 peak ≈ 58 GB) | — |
+//!
+//! n-weight's `min_heap` of 18 GiB makes it fail under the 16 GB Default
+//! heap ("n-weight cannot complete with the default heap size", §7.2).
+
+use m3_cache::KvWorkload;
+use m3_framework::{JobKind, JobSpec};
+use m3_sim::units::{GIB, MIB};
+
+/// Per-node k-means job ('M' in workload names).
+pub fn kmeans() -> JobSpec {
+    JobSpec {
+        kind: JobKind::KMeans,
+        name: "k-means".into(),
+        input_bytes: (11.2 * GIB as f64) as u64,
+        working_set: 18 * GIB,
+        iterations: 8,
+        compute_ms_per_block: 260,
+        churn_per_block: 128 * MIB,
+        min_heap: 6 * GIB,
+        churn_survival: 0.08,
+        exec_demand: 3 * GIB,
+    }
+}
+
+/// Per-node PageRank job ('P').
+pub fn pagerank() -> JobSpec {
+    JobSpec {
+        kind: JobKind::PageRank,
+        name: "pagerank".into(),
+        input_bytes: (0.71 * GIB as f64) as u64,
+        working_set: 34 * GIB,
+        iterations: 6,
+        compute_ms_per_block: 330,
+        churn_per_block: 512 * MIB,
+        min_heap: 10 * GIB,
+        churn_survival: 0.12,
+        exec_demand: 5 * GIB,
+    }
+}
+
+/// Per-node n-weight job ('W').
+pub fn nweight() -> JobSpec {
+    JobSpec {
+        kind: JobKind::NWeight,
+        name: "n-weight".into(),
+        input_bytes: (0.23 * GIB as f64) as u64,
+        working_set: 40 * GIB,
+        iterations: 3,
+        compute_ms_per_block: 330,
+        churn_per_block: 640 * MIB,
+        min_heap: 18 * GIB,
+        churn_survival: 0.10,
+        exec_demand: 7 * GIB,
+    }
+}
+
+/// A k-means job scaled for the single 8-GB node of Fig. 9.
+pub fn kmeans_small() -> JobSpec {
+    JobSpec {
+        kind: JobKind::KMeans,
+        name: "k-means-8gb".into(),
+        input_bytes: 3 * GIB,
+        working_set: 4 * GIB,
+        iterations: 8,
+        compute_ms_per_block: 260,
+        churn_per_block: 64 * MIB,
+        min_heap: GIB,
+        churn_survival: 0.08,
+        exec_demand: GIB,
+    }
+}
+
+/// The job spec for a one-letter code (M/P/W).
+///
+/// # Panics
+///
+/// Panics on an unknown code.
+pub fn job_by_code(code: char) -> JobSpec {
+    match code {
+        'M' => kmeans(),
+        'P' => pagerank(),
+        'W' => nweight(),
+        other => panic!("unknown analytics job code {other:?}"),
+    }
+}
+
+/// The Go-Cache benchmark ('C'): 12 M keys at 85 %, 6.5 M uniform gets.
+pub fn gocache_workload() -> KvWorkload {
+    KvWorkload::paper_gocache()
+}
+
+/// The memtier Memcached benchmark of Fig. 9 (8-GB node).
+pub fn memtier_workload() -> KvWorkload {
+    KvWorkload::paper_memtier()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_validate() {
+        for job in [kmeans(), pagerank(), nweight()] {
+            job.validate();
+        }
+        gocache_workload().validate();
+        memtier_workload().validate();
+    }
+
+    #[test]
+    fn figure_1_flattening_points() {
+        // Fig. 1: performance stops improving at ~40 GB (k-means) and
+        // ~76 GB (PageRank), i.e. where the default 45 %-of-heap storage
+        // capacity first covers the working set.
+        let m = kmeans().working_set as f64 / 0.45 / GIB as f64;
+        assert!((38.0..44.0).contains(&m), "k-means flattens at {m:.1} GiB");
+        let p = pagerank().working_set as f64 / 0.45 / GIB as f64;
+        assert!((72.0..80.0).contains(&p), "PageRank flattens at {p:.1} GiB");
+    }
+
+    #[test]
+    fn nweight_fails_default_heap() {
+        assert!(nweight().min_heap > 16 * GIB);
+        assert!(kmeans().min_heap < 16 * GIB);
+        assert!(pagerank().min_heap < 16 * GIB);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for (code, kind) in [
+            ('M', JobKind::KMeans),
+            ('P', JobKind::PageRank),
+            ('W', JobKind::NWeight),
+        ] {
+            let j = job_by_code(code);
+            assert_eq!(j.kind, kind);
+            assert_eq!(j.kind.code(), code);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown analytics job code")]
+    fn bad_code_panics() {
+        job_by_code('X');
+    }
+
+    #[test]
+    fn combined_peaks_exceed_node_memory() {
+        // The "large peak usage" target-workload property (§3): the sum of
+        // peaks must exceed 64 GB or static allocation would suffice.
+        let total = gocache_workload().full_bytes() + kmeans().working_set + nweight().working_set;
+        assert!(total > 64 * GIB);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload assembly for the M3 evaluation (§7).
+//!
+//! This crate composes every substrate into runnable experiments:
+//!
+//! - [`apps`] — a uniform wrapper over the application drivers (Spark
+//!   executors, cache servers, and the unmodified-JVM "alternating" servers
+//!   of Fig. 2), with blueprints that defer construction to start time;
+//! - [`machine`] — the world loop: one simulated node with a kernel, a
+//!   disk, an optional M3 monitor, scheduled application starts, signal
+//!   delivery, profile sampling, and OOM handling;
+//! - [`hibench`] — calibrated per-node parameters for the three HiBench
+//!   jobs (k-means / PageRank / n-weight) and the cache benchmarks;
+//! - [`scenario`] — the sixteen evaluation workloads (twelve Fig. 5
+//!   workloads plus the four worst cases of Fig. 8);
+//! - [`settings`] — the five configuration regimes: Default, Globally
+//!   Optimal, Oracle, Oracle-with-Spark-configuration, and M3 (§7.1.2);
+//! - [`runner`] — runs a scenario under a setting and extracts per-app
+//!   runtimes and speedups;
+//! - [`cluster`] — aggregates N independent worker nodes, job completion =
+//!   slowest node (the paper's 8-worker setup);
+//! - [`search`] — the bounded grid search standing in for the paper's
+//!   four-month, 3400-test configuration hunt;
+//! - [`alternating`] — the Cassandra/Elasticsearch-style alternating-load
+//!   servers of Fig. 2.
+
+pub mod alternating;
+pub mod apps;
+pub mod cluster;
+pub mod hibench;
+pub mod machine;
+pub mod runner;
+pub mod scenario;
+pub mod search;
+pub mod settings;
+
+pub use apps::{AnyApp, AppBlueprint};
+pub use machine::{AppResult, Machine, MachineConfig, RunResult};
+pub use runner::{run_scenario, ScenarioOutcome};
+pub use scenario::{AppKind, Scenario};
+pub use settings::{AppConfig, Setting, SettingKind};

@@ -1,0 +1,576 @@
+//! The simulated node: world loop tying kernel, disk, monitor and apps.
+//!
+//! One [`Machine::run`] is one experiment on one worker node (all of the
+//! paper's per-node profiles — Figs. 2, 6, 7, 10 — are exactly this view).
+//! The loop is time-stepped: each tick it starts due applications, lets the
+//! monitor poll (once per second of simulated time), delivers threshold
+//! signals, advances every application by a time budget scaled by the
+//! kernel's swap-thrash multiplier, runs the OOM check, and samples the
+//! memory profile.
+
+use m3_core::{Monitor, MonitorConfig, Registry, ThresholdSignal};
+use m3_os::cgroup::{Cgroup, CgroupSet};
+use m3_os::{DiskModel, Kernel, KernelConfig, Signal};
+use m3_sim::clock::{SimDuration, SimTime};
+use m3_sim::metrics::Profile;
+use m3_sim::units::{bytes_to_gib, GIB};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::{AnyApp, AppBlueprint};
+
+/// World parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Physical memory of the node (the paper: 64 GB by cgroup).
+    pub phys_total: u64,
+    /// The M3 monitor configuration; `None` runs a stock system.
+    pub monitor: Option<MonitorConfig>,
+    /// World tick length.
+    pub tick: SimDuration,
+    /// Profile sampling period (`None` disables capture, for benches).
+    pub sample_period: Option<SimDuration>,
+    /// Hard wall-clock cap on the simulation.
+    pub max_time: SimDuration,
+    /// Node salt: perturbs application-internal orderings so cluster nodes
+    /// are not bit-identical (0 for single-node runs).
+    pub node_salt: u64,
+}
+
+impl MachineConfig {
+    /// A stock 64-GB node (no monitor).
+    pub fn stock_64gb() -> Self {
+        MachineConfig {
+            phys_total: 64 * GIB,
+            monitor: None,
+            tick: SimDuration::from_millis(100),
+            sample_period: Some(SimDuration::from_secs(2)),
+            max_time: SimDuration::from_secs(30_000),
+            node_salt: 0,
+        }
+    }
+
+    /// The paper's M3 node: 64 GB with the §6 monitor parameters.
+    pub fn m3_64gb() -> Self {
+        MachineConfig {
+            monitor: Some(MonitorConfig::paper_64gb()),
+            ..MachineConfig::stock_64gb()
+        }
+    }
+
+    /// A scaled node (e.g. the 8-GB Memcached node of Fig. 9).
+    pub fn scaled(phys_total: u64, m3: bool) -> Self {
+        MachineConfig {
+            phys_total,
+            monitor: m3.then(|| MonitorConfig::scaled(phys_total)),
+            ..MachineConfig::stock_64gb()
+        }
+    }
+}
+
+/// Outcome for one scheduled application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppResult {
+    /// Display name (unique within the run, e.g. `"k-means 0"`).
+    pub name: String,
+    /// Scheduled start time.
+    pub started: SimTime,
+    /// Completion time, if the app finished.
+    pub finished: Option<SimTime>,
+    /// True if the app was killed (OOM or M3 escalation).
+    pub killed: bool,
+    /// True if the app failed to run (static heap below the job's floor).
+    pub failed: bool,
+    /// Total GC pause in the app's runtime layer.
+    pub gc_pause: SimDuration,
+    /// Framework memory-management time (Spark capacity misses).
+    pub mm_time: SimDuration,
+    /// Peak resident set size observed.
+    pub peak_rss: u64,
+}
+
+impl AppResult {
+    /// The app's runtime, if it completed.
+    pub fn runtime(&self) -> Option<SimDuration> {
+        self.finished.map(|f| f.saturating_since(self.started))
+    }
+}
+
+/// Outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-application outcomes, in schedule order.
+    pub apps: Vec<AppResult>,
+    /// The sampled memory profile (empty when sampling is disabled).
+    pub profile: Profile,
+    /// Monitor statistics, when a monitor ran.
+    pub monitor_stats: Option<m3_core::monitor::MonitorStats>,
+    /// When the last application terminated (or the cap was hit).
+    pub end: SimTime,
+    /// Time-weighted mean of total committed bytes (§7.3's effective
+    /// utilization measure).
+    pub mean_rss: f64,
+}
+
+impl RunResult {
+    /// True if every application finished (none failed, none killed).
+    pub fn all_finished(&self) -> bool {
+        self.apps
+            .iter()
+            .all(|a| a.finished.is_some() && !a.killed && !a.failed)
+    }
+}
+
+struct Slot {
+    idx: usize,
+    app: AnyApp,
+    peak_rss: u64,
+}
+
+/// A simulated node.
+#[derive(Debug, Clone, Copy)]
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a node.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Runs a schedule of `(name, start, blueprint)` to completion (or the
+    /// time cap) and returns per-app results plus the memory profile.
+    pub fn run(&self, schedule: Vec<(String, SimDuration, AppBlueprint)>) -> RunResult {
+        self.run_full(schedule, None, Vec::new())
+    }
+
+    /// Like [`Machine::run`], but places each scheduled application in its
+    /// own container with a static limit (`memory.high` semantics: members
+    /// of an over-limit container receive reclaim pressure once per second).
+    /// This is the per-container static baseline for the paper's §9
+    /// container question.
+    pub fn run_with_containers(
+        &self,
+        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        container_limits: Option<Vec<u64>>,
+    ) -> RunResult {
+        self.run_full(schedule, container_limits, Vec::new())
+    }
+
+    /// Failure injection: like [`Machine::run`], but the application at
+    /// schedule index `idx` is killed (as by a crash) at each `(t, idx)` in
+    /// `kills`. M3 must sweep the stale registration and redistribute the
+    /// freed memory to the survivors.
+    pub fn run_with_chaos(
+        &self,
+        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        kills: Vec<(SimDuration, usize)>,
+    ) -> RunResult {
+        self.run_full(schedule, None, kills)
+    }
+
+    fn run_full(
+        &self,
+        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        container_limits: Option<Vec<u64>>,
+        kills: Vec<(SimDuration, usize)>,
+    ) -> RunResult {
+        let mut kernel = Kernel::new(KernelConfig::with_total(self.cfg.phys_total));
+        let disk = DiskModel::hdd_7200rpm();
+        let mut monitor = self.cfg.monitor.map(Monitor::new);
+        let mut queue: m3_sim::EventQueue<usize> = m3_sim::EventQueue::new();
+        let mut results: Vec<AppResult> = Vec::with_capacity(schedule.len());
+        for (i, (name, start, _)) in schedule.iter().enumerate() {
+            results.push(AppResult {
+                name: name.clone(),
+                started: SimTime::ZERO + *start,
+                finished: None,
+                killed: false,
+                failed: false,
+                gc_pause: SimDuration::ZERO,
+                mm_time: SimDuration::ZERO,
+                peak_rss: 0,
+            });
+            queue.schedule(SimTime::ZERO + *start, i);
+        }
+
+        let mut running: Vec<Slot> = Vec::new();
+        let mut registry = Registry::new();
+        let mut profile = Profile::new();
+        let mut now = SimTime::ZERO;
+        let poll_period = self
+            .cfg
+            .monitor
+            .map(|m| m.poll_period)
+            .unwrap_or(SimDuration::from_secs(1));
+        let mut cgroups: Option<CgroupSet> = container_limits.as_ref().map(|limits| {
+            assert_eq!(
+                limits.len(),
+                schedule.len(),
+                "one container limit per scheduled app"
+            );
+            let mut set = CgroupSet::new();
+            for (i, (name, _, _)) in schedule.iter().enumerate() {
+                set.add(Cgroup::new(name.clone(), limits[i]));
+            }
+            set
+        });
+        let mut next_enforce = SimTime::ZERO + poll_period;
+        let mut chaos: m3_sim::EventQueue<usize> = m3_sim::EventQueue::new();
+        for (t, idx) in kills {
+            chaos.schedule(SimTime::ZERO + t, idx);
+        }
+        let mut next_poll = SimTime::ZERO + poll_period;
+        let mut next_sample = SimTime::ZERO;
+        let mut rss_area = 0.0;
+        let mut rss_time = 0.0;
+
+        loop {
+            kernel.set_time(now);
+
+            // 1. Start applications whose delay has elapsed.
+            for idx in queue.pop_due(now) {
+                let (name, _, bp) = &schedule[idx];
+                let pid = kernel.spawn(name.clone());
+                let app = bp.build_salted(pid, self.cfg.node_salt);
+                results[idx].started = now;
+                if app.failed() {
+                    results[idx].failed = true;
+                    kernel.exit(pid);
+                    continue;
+                }
+                if bp.is_m3() {
+                    // §6: participants drop a PID file in the registration
+                    // directory; the monitor picks it up on its next poll.
+                    registry.register(pid, name.clone());
+                }
+                if let Some(set) = cgroups.as_mut() {
+                    set.group_mut(idx).add(pid);
+                }
+                running.push(Slot {
+                    idx,
+                    app,
+                    peak_rss: 0,
+                });
+            }
+
+            // 1b. Failure injection: crash the scheduled victims.
+            for idx in chaos.pop_due(now) {
+                if let Some(slot) = running.iter().find(|s| s.idx == idx) {
+                    kernel.kill(slot.app.pid());
+                }
+            }
+
+            // 2a. Container limit enforcement (once per second):
+            //     `memory.high` semantics — members of an over-limit group
+            //     receive reclaim pressure.
+            if let Some(set) = cgroups.as_ref() {
+                if now >= next_enforce {
+                    next_enforce += poll_period;
+                    for idx in set.over_limit(&kernel) {
+                        for pid in set.groups()[idx].members() {
+                            kernel.send_signal(pid, Signal::HighMemory);
+                        }
+                    }
+                }
+            }
+
+            // 2. Monitor poll (once per second of simulated time). The
+            //    monitor first re-reads the PID-file directory.
+            if let Some(m) = monitor.as_mut() {
+                if now >= next_poll {
+                    registry.sync_monitor(m, &kernel);
+                    let report = m.poll(&mut kernel, now);
+                    next_poll += poll_period;
+                    if self.cfg.sample_period.is_some() {
+                        for _ in &report.low_signalled {
+                            profile.mark(now, "signal.low");
+                        }
+                        for _ in &report.high_signalled {
+                            profile.mark(now, "signal.high");
+                        }
+                        for _ in &report.killed {
+                            profile.mark(now, "kill");
+                        }
+                    }
+                }
+            }
+
+            // 3. Deliver signals (upper layers reclaim before lower ones,
+            //    inside each app's handler).
+            for slot in &mut running {
+                let pid = slot.app.pid();
+                for sig in kernel.take_signals(pid) {
+                    match sig {
+                        Signal::Kill => {
+                            results[slot.idx].killed = true;
+                        }
+                        other => {
+                            let Some(t) = ThresholdSignal::from_os_signal(other) else {
+                                continue;
+                            };
+                            let out = slot.app.handle_signal(t, &mut kernel, now);
+                            slot.app.add_debt(out.duration);
+                            if t == ThresholdSignal::High {
+                                if let Some(m) = monitor.as_mut() {
+                                    m.note_reclamation(pid, out.returned_to_os);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            running.retain(|s| {
+                if results[s.idx].killed {
+                    results[s.idx].peak_rss = s.peak_rss;
+                    // Killed processes leave a stale PID file; the sweep on
+                    // the next sync removes it and unregisters the process.
+                    if let Some(m) = monitor.as_mut() {
+                        m.unregister(s.app.pid());
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // 4. Advance applications, slowed by any swap thrashing.
+            let budget = self.cfg.tick.mul_f64(kernel.thrash_multiplier());
+            let readers = running.iter().filter(|s| s.app.uses_disk()).count();
+            let mut finished_idx = Vec::new();
+            for slot in &mut running {
+                let done = slot.app.tick(&mut kernel, &disk, now, budget, readers);
+                slot.peak_rss = slot.peak_rss.max(kernel.rss(slot.app.pid()));
+                if done {
+                    finished_idx.push(slot.idx);
+                }
+            }
+            running.retain_mut(|s| {
+                if finished_idx.contains(&s.idx) {
+                    let r = &mut results[s.idx];
+                    r.finished = Some(now + self.cfg.tick);
+                    r.failed = s.app.failed();
+                    r.gc_pause = s.app.gc_pause();
+                    r.mm_time = s.app.mm_time();
+                    r.peak_rss = s.peak_rss;
+                    let pid = s.app.pid();
+                    kernel.exit(pid);
+                    // Clean shutdown removes the PID file and unregisters.
+                    registry.deregister(pid);
+                    if let Some(m) = monitor.as_mut() {
+                        m.unregister(pid);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // 5. OOM killer (swap exhaustion).
+            while kernel.check_oom().is_some() {}
+
+            // 6. Sample the profile.
+            let committed = kernel.committed();
+            rss_area += committed as f64 * self.cfg.tick.as_secs_f64();
+            rss_time += self.cfg.tick.as_secs_f64();
+            if let Some(period) = self.cfg.sample_period {
+                if now >= next_sample {
+                    profile
+                        .series_mut("total")
+                        .push(now, bytes_to_gib(committed));
+                    for slot in &running {
+                        let rss = kernel.rss(slot.app.pid());
+                        let name = &results[slot.idx].name;
+                        profile.series_mut(name).push(now, bytes_to_gib(rss));
+                    }
+                    if let Some(m) = monitor.as_ref() {
+                        let (low, high) = m.thresholds();
+                        profile
+                            .series_mut("low-threshold")
+                            .push(now, bytes_to_gib(low));
+                        profile
+                            .series_mut("high-threshold")
+                            .push(now, bytes_to_gib(high));
+                        profile
+                            .series_mut("top")
+                            .push(now, bytes_to_gib(m.config().top));
+                    }
+                    next_sample += period;
+                }
+            }
+
+            now += self.cfg.tick;
+            let all_started = queue.is_empty();
+            if (all_started && running.is_empty())
+                || now.saturating_since(SimTime::ZERO) >= self.cfg.max_time
+            {
+                break;
+            }
+        }
+
+        // Finalize GC/MM stats for apps killed mid-flight (already recorded
+        // for finished apps).
+        RunResult {
+            apps: results,
+            profile,
+            monitor_stats: monitor.map(|m| m.stats),
+            end: now,
+            mean_rss: if rss_time > 0.0 {
+                rss_area / rss_time
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AppKind;
+    use crate::settings::{blueprint_for, AppConfig};
+    use m3_framework::{JobKind, JobSpec, SparkConfig};
+    use m3_runtime::JvmConfig;
+    use m3_sim::units::MIB;
+
+    fn tiny_job(ws_gib: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::KMeans,
+            name: "tiny".into(),
+            input_bytes: ws_gib * GIB / 2,
+            working_set: ws_gib * GIB,
+            iterations: 2,
+            compute_ms_per_block: 50,
+            churn_per_block: 64 * MIB,
+            min_heap: 0,
+            churn_survival: 0.08,
+            exec_demand: 0,
+        }
+    }
+
+    fn spark_entry_ws(
+        name: &str,
+        start_s: u64,
+        heap_gib: u64,
+        m3: bool,
+        ws_gib: u64,
+    ) -> (String, SimDuration, AppBlueprint) {
+        let bp = if m3 {
+            AppBlueprint::Spark {
+                jvm: JvmConfig::m3(crate::settings::M3_HEAP_CEILING),
+                spark: SparkConfig::m3(),
+                job: tiny_job(ws_gib),
+            }
+        } else {
+            AppBlueprint::Spark {
+                jvm: JvmConfig::stock(heap_gib * GIB),
+                spark: SparkConfig::default(),
+                job: tiny_job(ws_gib),
+            }
+        };
+        (name.into(), SimDuration::from_secs(start_s), bp)
+    }
+
+    fn spark_entry(
+        name: &str,
+        start_s: u64,
+        heap_gib: u64,
+        m3: bool,
+    ) -> (String, SimDuration, AppBlueprint) {
+        spark_entry_ws(name, start_s, heap_gib, m3, 4)
+    }
+
+    #[test]
+    fn single_app_runs_to_completion() {
+        let m = Machine::new(MachineConfig::stock_64gb());
+        let res = m.run(vec![spark_entry("job0", 0, 8, false)]);
+        assert!(res.all_finished());
+        let r = &res.apps[0];
+        assert!(r.runtime().unwrap() > SimDuration::ZERO);
+        assert!(r.peak_rss > 0);
+        assert!(res.end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn delayed_starts_are_honoured() {
+        let m = Machine::new(MachineConfig::stock_64gb());
+        let res = m.run(vec![
+            spark_entry("a", 0, 8, false),
+            spark_entry("b", 30, 8, false),
+        ]);
+        assert_eq!(res.apps[1].started.as_secs(), 30);
+        assert!(res.apps[1].finished.unwrap() > res.apps[0].finished.unwrap());
+    }
+
+    #[test]
+    fn profile_is_sampled_with_thresholds_under_m3() {
+        let m = Machine::new(MachineConfig::m3_64gb());
+        let res = m.run(vec![spark_entry("a", 0, 8, true)]);
+        assert!(res.all_finished());
+        assert!(res.profile.series("total").is_some());
+        assert!(res.profile.series("low-threshold").is_some());
+        assert!(res.profile.series("high-threshold").is_some());
+        assert!(res.profile.series("a").is_some());
+        assert!(res.monitor_stats.is_some());
+    }
+
+    #[test]
+    fn stock_run_has_no_thresholds() {
+        let m = Machine::new(MachineConfig::stock_64gb());
+        let res = m.run(vec![spark_entry("a", 0, 8, false)]);
+        assert!(res.profile.series("low-threshold").is_none());
+        assert!(res.monitor_stats.is_none());
+    }
+
+    #[test]
+    fn sampling_can_be_disabled() {
+        let mut cfg = MachineConfig::stock_64gb();
+        cfg.sample_period = None;
+        let res = Machine::new(cfg).run(vec![spark_entry("a", 0, 8, false)]);
+        assert!(res.profile.series.is_empty());
+        assert!(res.mean_rss > 0.0, "mean rss is tracked regardless");
+    }
+
+    #[test]
+    fn failed_app_is_reported_not_run() {
+        // Stock n-weight under a too-small heap fails immediately.
+        let bp = blueprint_for(AppKind::NWeight, &AppConfig::stock_default(), false);
+        let m = Machine::new(MachineConfig::stock_64gb());
+        let res = m.run(vec![("w".into(), SimDuration::ZERO, bp)]);
+        assert!(res.apps[0].failed);
+        assert!(res.apps[0].finished.is_none());
+        assert!(!res.all_finished());
+    }
+
+    #[test]
+    fn m3_signals_fire_under_pressure() {
+        // Two big working sets on a small machine: the monitor must signal.
+        let mut cfg = MachineConfig::scaled(8 * GIB, true);
+        cfg.max_time = SimDuration::from_secs(8000);
+        let m = Machine::new(cfg);
+        let entries = vec![
+            spark_entry_ws("a", 0, 8, true, 6),
+            spark_entry_ws("b", 2, 8, true, 6),
+        ];
+        let res = m.run(entries);
+        let stats = res.monitor_stats.unwrap();
+        assert!(stats.polls > 0);
+        assert!(
+            stats.low_signals + stats.high_signals > 0,
+            "pressure on an 8 GiB node with two 4 GiB working sets must signal"
+        );
+    }
+
+    #[test]
+    fn mean_rss_is_reasonable() {
+        let m = Machine::new(MachineConfig::stock_64gb());
+        let res = m.run(vec![spark_entry("a", 0, 8, false)]);
+        assert!(res.mean_rss > 0.0);
+        assert!(res.mean_rss < 64.0 * GIB as f64);
+    }
+}

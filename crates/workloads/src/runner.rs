@@ -1,0 +1,240 @@
+//! Running scenarios under settings and scoring them (§7.2's methodology).
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{Machine, MachineConfig, RunResult};
+use crate::scenario::Scenario;
+use crate::settings::{blueprint_for, Setting, SettingKind};
+
+/// One scenario run under one setting.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario name.
+    pub scenario: String,
+    /// The setting used.
+    pub setting: SettingKind,
+    /// The raw run result.
+    pub run: RunResult,
+}
+
+/// Paper-style speedup report for one workload (Fig. 5 bars).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// The workload name.
+    pub scenario: String,
+    /// The baseline setting.
+    pub baseline: String,
+    /// Average of per-app speedups (baseline runtime / M3 runtime), or
+    /// `None` when the baseline could not run the workload at all — the
+    /// paper plots this as INF.
+    pub mean_speedup: Option<f64>,
+    /// Per-app speedups (None where the baseline app failed).
+    pub per_app: Vec<Option<f64>>,
+}
+
+impl ScenarioOutcome {
+    /// Per-app runtimes in seconds (`None` for failed/killed apps).
+    pub fn runtimes_secs(&self) -> Vec<Option<f64>> {
+        self.run
+            .apps
+            .iter()
+            .map(|a| {
+                if a.killed || a.failed {
+                    None
+                } else {
+                    a.runtime().map(|d| d.as_secs_f64())
+                }
+            })
+            .collect()
+    }
+
+    /// Mean per-app runtime in seconds, or `None` if any app failed.
+    pub fn mean_runtime_secs(&self) -> Option<f64> {
+        let rts = self.runtimes_secs();
+        if rts.iter().any(Option::is_none) || rts.is_empty() {
+            return None;
+        }
+        Some(rts.iter().map(|r| r.expect("checked")).sum::<f64>() / rts.len() as f64)
+    }
+
+    /// Search score: mean runtime, with failures heavily penalized so the
+    /// grid search prefers any configuration that completes.
+    pub fn score(&self) -> f64 {
+        let rts = self.runtimes_secs();
+        if rts.is_empty() {
+            return f64::INFINITY;
+        }
+        let failures = rts.iter().filter(|r| r.is_none()).count() as f64;
+        let sum: f64 = rts.iter().flatten().sum();
+        sum / rts.len() as f64 + failures * 1.0e7
+    }
+}
+
+/// Runs `scenario` under `setting` on a node described by `machine_cfg`
+/// (whose `monitor` field is overridden to match the setting).
+pub fn run_scenario(
+    scenario: &Scenario,
+    setting: &Setting,
+    mut machine_cfg: MachineConfig,
+) -> ScenarioOutcome {
+    assert!(
+        setting.is_m3() || setting.per_app.len() == scenario.apps.len(),
+        "setting must cover every scheduled app"
+    );
+    if setting.is_m3() {
+        if machine_cfg.monitor.is_none() {
+            machine_cfg.monitor = Some(m3_core::MonitorConfig::scaled(machine_cfg.phys_total));
+        }
+    } else {
+        machine_cfg.monitor = None;
+    }
+    let machine = Machine::new(machine_cfg);
+    let schedule = scenario
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, start))| {
+            let cfg = setting
+                .per_app
+                .get(i)
+                .copied()
+                .unwrap_or_else(crate::settings::AppConfig::stock_default);
+            let bp = blueprint_for(kind, &cfg, setting.is_m3());
+            (format!("{} {i}", kind.code()), start, bp)
+        })
+        .collect();
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        setting: setting.kind,
+        run: machine.run(schedule),
+    }
+}
+
+/// The paper's Fig. 5 metric: the average of each application's speedup of
+/// `m3` over `baseline` (both outcomes of the *same* scenario).
+pub fn speedup_report(m3: &ScenarioOutcome, baseline: &ScenarioOutcome) -> SpeedupReport {
+    assert_eq!(m3.scenario, baseline.scenario, "same workload required");
+    let m3_rts = m3.runtimes_secs();
+    let base_rts = baseline.runtimes_secs();
+    let per_app: Vec<Option<f64>> = m3_rts
+        .iter()
+        .zip(&base_rts)
+        .map(|(m, b)| match (m, b) {
+            (Some(m), Some(b)) if *m > 0.0 => Some(b / m),
+            _ => None,
+        })
+        .collect();
+    // If the baseline failed any app while M3 ran it, the workload's
+    // speedup is unbounded (INF in Fig. 5) — represented as None.
+    let baseline_failed = base_rts.iter().any(Option::is_none);
+    let mean_speedup = if baseline_failed || per_app.is_empty() {
+        None
+    } else {
+        let vals: Vec<f64> = per_app.iter().flatten().copied().collect();
+        if vals.len() == per_app.len() {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        } else {
+            None
+        }
+    };
+    SpeedupReport {
+        scenario: m3.scenario.clone(),
+        baseline: baseline.setting.label().to_string(),
+        mean_speedup,
+        per_app,
+    }
+}
+
+/// Convenience wrapper: run a scenario under M3 and under a static setting
+/// on the paper's 64-GB node, returning the speedup report.
+pub fn compare_m3_vs(
+    scenario: &Scenario,
+    baseline: &Setting,
+    machine_cfg: MachineConfig,
+) -> (SpeedupReport, ScenarioOutcome, ScenarioOutcome) {
+    let m3 = run_scenario(scenario, &Setting::m3(scenario.len()), machine_cfg);
+    let base = run_scenario(scenario, baseline, machine_cfg);
+    (speedup_report(&m3, &base), m3, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::AppResult;
+    use crate::scenario::AppKind;
+    use crate::settings::AppConfig;
+    use m3_sim::clock::{SimDuration, SimTime};
+    use m3_sim::metrics::Profile;
+
+    fn outcome(scenario: &str, setting: SettingKind, runtimes: &[Option<f64>]) -> ScenarioOutcome {
+        let apps = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| AppResult {
+                name: format!("a{i}"),
+                started: SimTime::ZERO,
+                finished: r.map(|s| SimTime::from_millis((s * 1000.0) as u64)),
+                killed: false,
+                failed: r.is_none(),
+                gc_pause: SimDuration::ZERO,
+                mm_time: SimDuration::ZERO,
+                peak_rss: 0,
+            })
+            .collect();
+        ScenarioOutcome {
+            scenario: scenario.into(),
+            setting,
+            run: crate::machine::RunResult {
+                apps,
+                profile: Profile::new(),
+                monitor_stats: None,
+                end: SimTime::ZERO,
+                mean_rss: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_is_mean_of_per_app_ratios() {
+        let m3 = outcome("X", SettingKind::M3, &[Some(100.0), Some(100.0)]);
+        let base = outcome("X", SettingKind::Oracle, &[Some(200.0), Some(100.0)]);
+        let rep = speedup_report(&m3, &base);
+        assert_eq!(rep.per_app, vec![Some(2.0), Some(1.0)]);
+        assert_eq!(rep.mean_speedup, Some(1.5));
+    }
+
+    #[test]
+    fn failed_baseline_is_infinite_speedup() {
+        let m3 = outcome("X", SettingKind::M3, &[Some(100.0)]);
+        let base = outcome("X", SettingKind::Default, &[None]);
+        let rep = speedup_report(&m3, &base);
+        assert_eq!(rep.mean_speedup, None, "INF in the paper's plot");
+    }
+
+    #[test]
+    fn score_penalizes_failures() {
+        let ok = outcome("X", SettingKind::Oracle, &[Some(100.0), Some(100.0)]);
+        let bad = outcome("X", SettingKind::Oracle, &[Some(1.0), None]);
+        assert!(ok.score() < bad.score());
+    }
+
+    #[test]
+    fn mean_runtime_requires_all_finished() {
+        let ok = outcome("X", SettingKind::Oracle, &[Some(10.0), Some(20.0)]);
+        assert_eq!(ok.mean_runtime_secs(), Some(15.0));
+        let bad = outcome("X", SettingKind::Oracle, &[Some(10.0), None]);
+        assert_eq!(bad.mean_runtime_secs(), None);
+    }
+
+    #[test]
+    fn run_scenario_end_to_end_small() {
+        // A minimal but real end-to-end run: one k-means under Default.
+        let scenario = Scenario {
+            name: "M solo".into(),
+            apps: vec![(AppKind::KMeans, SimDuration::ZERO)],
+        };
+        let setting = Setting::uniform(SettingKind::Default, AppConfig::stock_default(), 1);
+        let out = run_scenario(&scenario, &setting, MachineConfig::stock_64gb());
+        assert!(out.mean_runtime_secs().is_some());
+    }
+}

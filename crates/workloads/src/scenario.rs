@@ -1,0 +1,195 @@
+//! The evaluation workloads (§7.1.1, Figs. 5 and 8).
+//!
+//! A workload is a sequence of applications started with fixed delays.
+//! Names follow the paper: application letters (W = n-weight, P = PageRank,
+//! C = Go-Cache, M = k-means) followed by the inter-job delay in seconds —
+//! e.g. `MMW 180` starts two k-means jobs and an n-weight job 180 s apart.
+
+use m3_sim::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of application the evaluation schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// HiBench k-means on Spark ('M').
+    KMeans,
+    /// HiBench PageRank on Spark ('P').
+    PageRank,
+    /// HiBench n-weight on Spark ('W').
+    NWeight,
+    /// The Go-Cache benchmark ('C').
+    GoCache,
+    /// Memcached under memtier (Fig. 9 only).
+    Memcached,
+}
+
+impl AppKind {
+    /// The one-letter code used in workload names.
+    pub fn code(self) -> char {
+        match self {
+            AppKind::KMeans => 'M',
+            AppKind::PageRank => 'P',
+            AppKind::NWeight => 'W',
+            AppKind::GoCache => 'C',
+            AppKind::Memcached => 'X',
+        }
+    }
+
+    /// Parses a one-letter code.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'M' => Some(AppKind::KMeans),
+            'P' => Some(AppKind::PageRank),
+            'W' => Some(AppKind::NWeight),
+            'C' => Some(AppKind::GoCache),
+            'X' => Some(AppKind::Memcached),
+            _ => None,
+        }
+    }
+}
+
+/// One evaluation workload: applications with start offsets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The paper-style name, e.g. `"MMW 180"`.
+    pub name: String,
+    /// `(kind, start offset)` per application, in schedule order.
+    pub apps: Vec<(AppKind, SimDuration)>,
+}
+
+impl Scenario {
+    /// Builds a scenario from letter codes and a uniform inter-job delay in
+    /// seconds (the paper's naming scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown letter.
+    pub fn uniform(codes: &str, delay_secs: u64) -> Self {
+        let apps = codes
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                let kind = AppKind::from_code(c)
+                    .unwrap_or_else(|| panic!("unknown app code {c:?} in {codes:?}"));
+                (kind, SimDuration::from_secs(delay_secs * i as u64))
+            })
+            .collect();
+        Scenario {
+            name: format!("{codes} {delay_secs}"),
+            apps,
+        }
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if the scenario schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// True if every application is the same kind started at the same time
+    /// — the theoretical worst case for M3 (§7.1.1: "identical
+    /// applications, with no delay, guarantee that there is no possibility
+    /// for improvement").
+    pub fn is_worst_case(&self) -> bool {
+        let Some(&(first, _)) = self.apps.first() else {
+            return false;
+        };
+        self.apps.iter().all(|&(k, d)| k == first && d.is_zero())
+    }
+}
+
+/// The twelve Fig. 5 workloads, in the paper's order.
+pub fn figure5_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::uniform("WPM", 180),
+        Scenario::uniform("MCM", 180),
+        Scenario::uniform("CPW", 180),
+        Scenario::uniform("WMP", 240),
+        Scenario::uniform("CWM", 180),
+        Scenario::uniform("CCW", 300),
+        Scenario::uniform("WMM", 300),
+        Scenario::uniform("MMM", 180),
+        Scenario::uniform("CMW", 180),
+        Scenario::uniform("MWP", 180),
+        Scenario::uniform("MMW", 180),
+        Scenario::uniform("CCC", 480),
+    ]
+}
+
+/// The four theoretical-worst-case workloads of Fig. 8.
+pub fn figure8_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::uniform("PPP", 0),
+        Scenario::uniform("WW", 0),
+        Scenario::uniform("CCC", 0),
+        Scenario::uniform("MMM", 0),
+    ]
+}
+
+/// All sixteen evaluation workloads.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut v = figure5_scenarios();
+    v.extend(figure8_scenarios());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builds_offsets() {
+        let s = Scenario::uniform("MMW", 180);
+        assert_eq!(s.name, "MMW 180");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.apps[0], (AppKind::KMeans, SimDuration::ZERO));
+        assert_eq!(s.apps[1], (AppKind::KMeans, SimDuration::from_secs(180)));
+        assert_eq!(s.apps[2], (AppKind::NWeight, SimDuration::from_secs(360)));
+    }
+
+    #[test]
+    fn paper_has_sixteen_workloads() {
+        assert_eq!(figure5_scenarios().len(), 12);
+        assert_eq!(figure8_scenarios().len(), 4);
+        assert_eq!(all_scenarios().len(), 16);
+    }
+
+    #[test]
+    fn worst_case_detection() {
+        assert!(Scenario::uniform("PPP", 0).is_worst_case());
+        assert!(Scenario::uniform("CCC", 0).is_worst_case());
+        assert!(!Scenario::uniform("CCC", 480).is_worst_case());
+        assert!(!Scenario::uniform("MMW", 0).is_worst_case());
+        assert!(!Scenario::uniform("MMM", 180).is_worst_case());
+    }
+
+    #[test]
+    fn figure8_are_all_worst_cases() {
+        assert!(figure8_scenarios().iter().all(Scenario::is_worst_case));
+        assert!(!figure5_scenarios().iter().any(Scenario::is_worst_case));
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for k in [
+            AppKind::KMeans,
+            AppKind::PageRank,
+            AppKind::NWeight,
+            AppKind::GoCache,
+            AppKind::Memcached,
+        ] {
+            assert_eq!(AppKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(AppKind::from_code('z'), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app code")]
+    fn bad_letters_rejected() {
+        Scenario::uniform("MZ", 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Bounded configuration search (standing in for the paper's 3,400 tests).
+//!
+//! The paper spent four months sweeping JVM heap sizes, `GOGC`, and the two
+//! Spark memory parameters to find the Globally Optimal, Oracle, and
+//! Oracle-with-Spark-configuration settings. Here the sweep is a
+//! deterministic coordinate descent over a bounded grid: one configuration
+//! per application *kind* (the paper's repeated jobs share settings),
+//! improved one knob at a time until a pass makes no progress.
+
+use std::collections::BTreeMap;
+
+use m3_framework::SparkConfig;
+use m3_sim::units::GIB;
+
+use crate::machine::MachineConfig;
+use crate::runner::run_scenario;
+use crate::scenario::Scenario;
+use crate::settings::{AppConfig, Setting, SettingKind};
+
+/// The grids each knob is searched over.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// JVM heap sizes (`-Xmx`).
+    pub heaps: Vec<u64>,
+    /// `GOGC` values.
+    pub gogcs: Vec<u64>,
+    /// Static cache sizes for the cache apps.
+    pub cache_sizes: Vec<u64>,
+    /// `spark.memory.fraction` values (OWS only).
+    pub mem_fractions: Vec<f64>,
+    /// `spark.memory.storageFraction` values (OWS only).
+    pub storage_fractions: Vec<f64>,
+}
+
+impl SearchSpace {
+    /// The full evaluation grid.
+    pub fn paper() -> Self {
+        SearchSpace {
+            heaps: [8u64, 12, 16, 20, 24, 28, 32, 40, 48]
+                .iter()
+                .map(|g| g * GIB)
+                .collect(),
+            gogcs: vec![25, 50, 100, 200, 400],
+            cache_sizes: [8u64, 12, 16, 20, 24, 32, 40, 46]
+                .iter()
+                .map(|g| g * GIB)
+                .collect(),
+            mem_fractions: vec![0.4, 0.6, 0.75, 0.9],
+            storage_fractions: vec![0.3, 0.5, 0.7, 0.9],
+        }
+    }
+
+    /// A small grid for tests.
+    pub fn quick() -> Self {
+        SearchSpace {
+            heaps: [8u64, 16, 24].iter().map(|g| g * GIB).collect(),
+            gogcs: vec![100, 400],
+            cache_sizes: [8u64, 16].iter().map(|g| g * GIB).collect(),
+            mem_fractions: vec![0.6, 0.9],
+            storage_fractions: vec![0.5],
+        }
+    }
+}
+
+/// Per-kind configurations resolved into a per-app [`Setting`].
+pub fn setting_from_kinds(
+    kind: SettingKind,
+    per_kind: &BTreeMap<char, AppConfig>,
+    scenario: &Scenario,
+) -> Setting {
+    let per_app = scenario
+        .apps
+        .iter()
+        .map(|(k, _)| {
+            per_kind
+                .get(&k.code())
+                .copied()
+                .unwrap_or_else(AppConfig::stock_default)
+        })
+        .collect();
+    Setting { kind, per_app }
+}
+
+fn eval(
+    per_kind: &BTreeMap<char, AppConfig>,
+    kind: SettingKind,
+    scenarios: &[Scenario],
+    cfg: MachineConfig,
+) -> f64 {
+    scenarios
+        .iter()
+        .map(|s| run_scenario(s, &setting_from_kinds(kind, per_kind, s), cfg).score())
+        .sum::<f64>()
+        / scenarios.len() as f64
+}
+
+/// A heap-proportional seed: give each kind a heap proportional to its
+/// appetite, normalized to fit the node.
+fn seed_configs(scenarios: &[Scenario]) -> BTreeMap<char, AppConfig> {
+    let mut map = BTreeMap::new();
+    for s in scenarios {
+        for &(k, _) in &s.apps {
+            map.entry(k.code()).or_insert_with(AppConfig::stock_default);
+        }
+    }
+    map
+}
+
+/// Coordinate-descent search over per-kind knobs.
+///
+/// `tune_spark` adds the two Spark parameters (the OWS regime). Returns the
+/// best per-kind configurations and their score (mean of per-workload
+/// scores). The search is deterministic: ties keep the incumbent.
+pub fn search(
+    scenarios: &[Scenario],
+    space: &SearchSpace,
+    setting_kind: SettingKind,
+    tune_spark: bool,
+    cfg: MachineConfig,
+) -> (BTreeMap<char, AppConfig>, f64) {
+    assert!(!scenarios.is_empty(), "need at least one scenario");
+    let mut best = seed_configs(scenarios);
+    let mut best_score = eval(&best, setting_kind, scenarios, cfg);
+    let kinds: Vec<char> = best.keys().copied().collect();
+    let analytics = |c: char| matches!(c, 'M' | 'P' | 'W');
+
+    // Up to three passes; stop early when a whole pass makes no progress.
+    for _ in 0..3 {
+        let mut improved = false;
+        for &kc in &kinds {
+            // Knob 1: heap (analytics) or cache size (caches).
+            let candidates: Vec<AppConfig> = if analytics(kc) {
+                space
+                    .heaps
+                    .iter()
+                    .map(|&h| AppConfig {
+                        heap: h,
+                        ..best[&kc]
+                    })
+                    .collect()
+            } else {
+                space
+                    .cache_sizes
+                    .iter()
+                    .map(|&b| AppConfig {
+                        cache_bytes: b,
+                        ..best[&kc]
+                    })
+                    .collect()
+            };
+            improved |= try_candidates(
+                &mut best,
+                &mut best_score,
+                kc,
+                candidates,
+                setting_kind,
+                scenarios,
+                cfg,
+            );
+
+            // Knob 2: GOGC for cache kinds.
+            if !analytics(kc) {
+                let candidates: Vec<AppConfig> = space
+                    .gogcs
+                    .iter()
+                    .map(|&g| AppConfig {
+                        gogc: g,
+                        ..best[&kc]
+                    })
+                    .collect();
+                improved |= try_candidates(
+                    &mut best,
+                    &mut best_score,
+                    kc,
+                    candidates,
+                    setting_kind,
+                    scenarios,
+                    cfg,
+                );
+            }
+
+            // Knobs 3+4: Spark memory parameters (OWS). These interact
+            // strongly with the heap size (capacity = share x heap), so the
+            // sweep is joint over (heap, fraction, storageFraction) —
+            // separate passes get trapped in thrash-avoidance corners.
+            if tune_spark && analytics(kc) {
+                let mut candidates = Vec::new();
+                for &h in &space.heaps {
+                    for &mf in &space.mem_fractions {
+                        for &sf in &space.storage_fractions {
+                            candidates.push(AppConfig {
+                                heap: h,
+                                spark: SparkConfig {
+                                    memory_fraction: mf,
+                                    storage_fraction: sf,
+                                    ..best[&kc].spark
+                                },
+                                ..best[&kc]
+                            });
+                        }
+                    }
+                }
+                improved |= try_candidates(
+                    &mut best,
+                    &mut best_score,
+                    kc,
+                    candidates,
+                    setting_kind,
+                    scenarios,
+                    cfg,
+                );
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, best_score)
+}
+
+fn try_candidates(
+    best: &mut BTreeMap<char, AppConfig>,
+    best_score: &mut f64,
+    kind: char,
+    candidates: Vec<AppConfig>,
+    setting_kind: SettingKind,
+    scenarios: &[Scenario],
+    cfg: MachineConfig,
+) -> bool {
+    let mut improved = false;
+    for cand in candidates {
+        if cand == best[&kind] {
+            continue;
+        }
+        let mut trial = best.clone();
+        trial.insert(kind, cand);
+        let score = eval(&trial, setting_kind, scenarios, cfg);
+        if score < *best_score {
+            *best = trial;
+            *best_score = score;
+            improved = true;
+        }
+    }
+    improved
+}
+
+/// Searches the Oracle setting for one workload.
+pub fn search_oracle(scenario: &Scenario, space: &SearchSpace, cfg: MachineConfig) -> Setting {
+    let (per_kind, _) = search(
+        std::slice::from_ref(scenario),
+        space,
+        SettingKind::Oracle,
+        false,
+        cfg,
+    );
+    setting_from_kinds(SettingKind::Oracle, &per_kind, scenario)
+}
+
+/// Searches the Oracle-with-Spark-configuration setting for one workload.
+pub fn search_ows(scenario: &Scenario, space: &SearchSpace, cfg: MachineConfig) -> Setting {
+    let (per_kind, _) = search(
+        std::slice::from_ref(scenario),
+        space,
+        SettingKind::OracleWithSpark,
+        true,
+        cfg,
+    );
+    setting_from_kinds(SettingKind::OracleWithSpark, &per_kind, scenario)
+}
+
+/// Searches the Globally Optimal per-kind configuration across many
+/// workloads, returning the per-kind map (resolve per scenario with
+/// [`setting_from_kinds`]).
+pub fn search_global(
+    scenarios: &[Scenario],
+    space: &SearchSpace,
+    cfg: MachineConfig,
+) -> BTreeMap<char, AppConfig> {
+    let (per_kind, _) = search(scenarios, space, SettingKind::GloballyOptimal, true, cfg);
+    per_kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::clock::SimDuration;
+
+    fn quick_machine() -> MachineConfig {
+        let mut cfg = MachineConfig::stock_64gb();
+        cfg.sample_period = None;
+        cfg.max_time = SimDuration::from_secs(20_000);
+        cfg
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_default_on_a_small_workload() {
+        let scenario = Scenario::uniform("MM", 60);
+        let space = SearchSpace::quick();
+        let oracle = search_oracle(&scenario, &space, quick_machine());
+        let default = Setting::default_for(scenario.len());
+        let o = run_scenario(&scenario, &oracle, quick_machine()).score();
+        let d = run_scenario(&scenario, &default, quick_machine()).score();
+        assert!(o <= d, "oracle {o} must not be worse than default {d}");
+    }
+
+    #[test]
+    fn search_finds_runnable_config_for_nweight() {
+        // Default (16 GiB) cannot run n-weight; the search must pick a
+        // bigger heap.
+        let scenario = Scenario::uniform("W", 0);
+        let oracle = search_oracle(&scenario, &SearchSpace::quick(), quick_machine());
+        assert!(oracle.per_app[0].heap > 16 * GIB);
+        let out = run_scenario(&scenario, &oracle, quick_machine());
+        assert!(out.mean_runtime_secs().is_some(), "found config must run");
+    }
+
+    #[test]
+    fn setting_from_kinds_aligns_with_scenario() {
+        let scenario = Scenario::uniform("MCM", 0);
+        let mut per_kind = BTreeMap::new();
+        per_kind.insert(
+            'M',
+            AppConfig {
+                heap: 24 * GIB,
+                ..AppConfig::stock_default()
+            },
+        );
+        let s = setting_from_kinds(SettingKind::Oracle, &per_kind, &scenario);
+        assert_eq!(s.per_app.len(), 3);
+        assert_eq!(s.per_app[0].heap, 24 * GIB);
+        assert_eq!(s.per_app[2].heap, 24 * GIB);
+        // Unknown kinds fall back to stock defaults.
+        assert_eq!(s.per_app[1].heap, 16 * GIB);
+    }
+}

@@ -1,0 +1,242 @@
+//! The five configuration regimes of §7.1.2.
+//!
+//! - **Default** — stock applications with out-of-the-box settings: 16 GB
+//!   JVM heap, `GOGC=100`, a 16 GB cache "mimicking the JVM", default Spark
+//!   parameters.
+//! - **Globally Optimal** — one static configuration per application *kind*
+//!   minimizing average runtime across all sixteen workloads (found by the
+//!   grid search in [`crate::search`]).
+//! - **Oracle** — the best static memory partitioning per *workload*
+//!   (requires future knowledge of the schedule; heap sizes and `GOGC`).
+//! - **Oracle with Spark configuration (OWS)** — Oracle plus per-workload
+//!   tuning of `spark.memory.fraction` / `storageFraction`.
+//! - **M3** — modified stacks: effectively unbounded heaps/caches governed
+//!   by the monitor's signals.
+
+use m3_framework::SparkConfig;
+use m3_runtime::{AllocatorKind, GoConfig, JvmConfig};
+use m3_sim::units::GIB;
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppBlueprint;
+use crate::hibench;
+use crate::scenario::AppKind;
+
+/// Heap ceiling handed to M3-modified runtimes (effectively unbounded; real
+/// growth is governed by signals and, as a last resort, the OOM killer).
+pub const M3_HEAP_CEILING: u64 = 1024 * GIB;
+
+/// The static knobs for one application instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppConfig {
+    /// JVM max heap (`-Xmx`) for Spark / JVM apps.
+    pub heap: u64,
+    /// Spark memory parameters.
+    pub spark: SparkConfig,
+    /// `GOGC` for Go apps.
+    pub gogc: u64,
+    /// Static cache size for cache apps.
+    pub cache_bytes: u64,
+}
+
+impl AppConfig {
+    /// The Default regime's knobs (§7.1.2).
+    pub fn stock_default() -> Self {
+        AppConfig {
+            heap: 16 * GIB,
+            spark: SparkConfig::default(),
+            gogc: 100,
+            cache_bytes: 16 * GIB,
+        }
+    }
+}
+
+/// Which configuration regime a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SettingKind {
+    /// Out-of-the-box settings.
+    Default,
+    /// Best single per-kind configuration across all workloads.
+    GloballyOptimal,
+    /// Best per-workload static partitioning (heap + GOGC + cache size).
+    Oracle,
+    /// Oracle plus per-workload Spark parameter tuning.
+    OracleWithSpark,
+    /// The M3 system.
+    M3,
+}
+
+impl SettingKind {
+    /// Display name used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SettingKind::Default => "Default",
+            SettingKind::GloballyOptimal => "Global Optimal",
+            SettingKind::Oracle => "Oracle",
+            SettingKind::OracleWithSpark => "Oracle with Spark Configuration",
+            SettingKind::M3 => "M3",
+        }
+    }
+}
+
+/// A fully resolved setting: one [`AppConfig`] per scheduled application.
+/// (`per_app` is ignored under [`SettingKind::M3`].)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setting {
+    /// The regime this setting belongs to.
+    pub kind: SettingKind,
+    /// Per-application knobs, aligned with the scenario's app list.
+    pub per_app: Vec<AppConfig>,
+}
+
+impl Setting {
+    /// The Default regime for `n` applications.
+    pub fn default_for(n: usize) -> Self {
+        Setting {
+            kind: SettingKind::Default,
+            per_app: vec![AppConfig::stock_default(); n],
+        }
+    }
+
+    /// The M3 regime (per-app knobs are irrelevant).
+    pub fn m3(n: usize) -> Self {
+        Setting {
+            kind: SettingKind::M3,
+            per_app: vec![AppConfig::stock_default(); n],
+        }
+    }
+
+    /// A uniform static setting (every app gets `cfg`).
+    pub fn uniform(kind: SettingKind, cfg: AppConfig, n: usize) -> Self {
+        Setting {
+            kind,
+            per_app: vec![cfg; n],
+        }
+    }
+
+    /// Is this the M3 system (as opposed to a static baseline)?
+    pub fn is_m3(&self) -> bool {
+        self.kind == SettingKind::M3
+    }
+}
+
+/// Builds the blueprint for one scheduled application under a setting.
+pub fn blueprint_for(kind: AppKind, cfg: &AppConfig, m3: bool) -> AppBlueprint {
+    match kind {
+        AppKind::KMeans | AppKind::PageRank | AppKind::NWeight => {
+            let job = hibench::job_by_code(kind.code());
+            if m3 {
+                AppBlueprint::Spark {
+                    jvm: JvmConfig::m3(M3_HEAP_CEILING),
+                    spark: SparkConfig::m3(),
+                    job,
+                }
+            } else {
+                AppBlueprint::Spark {
+                    jvm: JvmConfig::stock(cfg.heap),
+                    spark: cfg.spark,
+                    job,
+                }
+            }
+        }
+        AppKind::GoCache => AppBlueprint::GoCache {
+            go: if m3 {
+                GoConfig::m3(cfg.gogc)
+            } else {
+                GoConfig::stock(cfg.gogc)
+            },
+            workload: hibench::gocache_workload(),
+            max_bytes: cfg.cache_bytes,
+            m3_mode: m3,
+        },
+        AppKind::Memcached => AppBlueprint::Memcached {
+            // Stock Memcached links malloc; the paper's M3 port swaps in
+            // jemalloc so freed slabs actually reach the OS (§4.1).
+            allocator: if m3 {
+                AllocatorKind::Jemalloc
+            } else {
+                AllocatorKind::Malloc
+            },
+            workload: hibench::memtier_workload(),
+            max_bytes: cfg.cache_bytes,
+            m3_mode: m3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = AppConfig::stock_default();
+        assert_eq!(c.heap, 16 * GIB);
+        assert_eq!(c.gogc, 100);
+        assert_eq!(c.cache_bytes, 16 * GIB);
+    }
+
+    #[test]
+    fn m3_blueprints_are_m3() {
+        for kind in [
+            AppKind::KMeans,
+            AppKind::PageRank,
+            AppKind::NWeight,
+            AppKind::GoCache,
+            AppKind::Memcached,
+        ] {
+            let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
+            assert!(bp.is_m3(), "{kind:?} must be M3 under the M3 setting");
+            let stock = blueprint_for(kind, &AppConfig::stock_default(), false);
+            assert!(!stock.is_m3(), "{kind:?} must be stock otherwise");
+        }
+    }
+
+    #[test]
+    fn stock_spark_uses_configured_heap() {
+        let cfg = AppConfig {
+            heap: 24 * GIB,
+            ..AppConfig::stock_default()
+        };
+        match blueprint_for(AppKind::KMeans, &cfg, false) {
+            AppBlueprint::Spark { jvm, .. } => assert_eq!(jvm.max_heap, 24 * GIB),
+            other => panic!("expected Spark, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stock_memcached_links_malloc() {
+        match blueprint_for(AppKind::Memcached, &AppConfig::stock_default(), false) {
+            AppBlueprint::Memcached { allocator, .. } => {
+                assert_eq!(allocator, AllocatorKind::Malloc);
+            }
+            other => panic!("expected Memcached, got {other:?}"),
+        }
+        match blueprint_for(AppKind::Memcached, &AppConfig::stock_default(), true) {
+            AppBlueprint::Memcached { allocator, .. } => {
+                assert_eq!(allocator, AllocatorKind::Jemalloc);
+            }
+            other => panic!("expected Memcached, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn setting_constructors() {
+        let d = Setting::default_for(3);
+        assert_eq!(d.kind, SettingKind::Default);
+        assert_eq!(d.per_app.len(), 3);
+        assert!(!d.is_m3());
+        assert!(Setting::m3(2).is_m3());
+        let labels: Vec<_> = [
+            SettingKind::Default,
+            SettingKind::GloballyOptimal,
+            SettingKind::Oracle,
+            SettingKind::OracleWithSpark,
+            SettingKind::M3,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,79 @@
+//! A full mixed-tenancy story: analytics + caches, M3 vs tuned static.
+//!
+//! ```text
+//! cargo run --release --example mixed_tenancy
+//! ```
+//!
+//! Runs the CCW 300 workload (two Go-Cache benchmarks and an n-weight job)
+//! under M3, under the Default setting, and under an Oracle found by this
+//! repository's grid search — then prints the comparison the paper's Fig. 5
+//! makes, plus where the memory actually went.
+
+use m3::prelude::*;
+use m3::sim::units::bytes_to_gib;
+use m3::workloads::search::{search_oracle, SearchSpace};
+
+fn main() {
+    let scenario = Scenario::uniform("CCW", 300);
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.max_time = SimDuration::from_secs(40_000);
+
+    println!("searching the per-workload Oracle (bounded grid search) ...");
+    let oracle_setting = search_oracle(&scenario, &SearchSpace::quick(), cfg);
+    for (i, app_cfg) in oracle_setting.per_app.iter().enumerate() {
+        println!(
+            "  app {i}: heap {:.0} GiB, cache {:.0} GiB, GOGC {}",
+            bytes_to_gib(app_cfg.heap),
+            bytes_to_gib(app_cfg.cache_bytes),
+            app_cfg.gogc
+        );
+    }
+
+    let m3 = run_scenario(&scenario, &Setting::m3(scenario.len()), cfg);
+    let default = run_scenario(&scenario, &Setting::default_for(scenario.len()), cfg);
+    let oracle = run_scenario(&scenario, &oracle_setting, cfg);
+
+    println!(
+        "\n{:<8} {:>8} {:>10} {:>10}",
+        "app", "M3 (s)", "Default", "Oracle"
+    );
+    for i in 0..scenario.len() {
+        let cell = |o: &m3::workloads::runner::ScenarioOutcome| {
+            o.runtimes_secs()[i]
+                .map(|r| format!("{r:.0}"))
+                .unwrap_or_else(|| "FAIL".into())
+        };
+        println!(
+            "{:<8} {:>8} {:>10} {:>10}",
+            m3.run.apps[i].name,
+            cell(&m3),
+            cell(&default),
+            cell(&oracle)
+        );
+    }
+
+    for (label, base) in [("Default", &default), ("Oracle", &oracle)] {
+        let rep = speedup_report(&m3, base);
+        println!(
+            "M3 vs {label}: {}",
+            rep.mean_speedup
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "INF (baseline cannot run the workload)".into())
+        );
+    }
+
+    println!(
+        "\npeak per-app memory under M3: {:?} GiB (sum may exceed the 64-GiB node: \
+         peaks do not coincide)",
+        m3.run
+            .apps
+            .iter()
+            .map(|a| (bytes_to_gib(a.peak_rss) * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "mean node usage: M3 {:.1} GiB vs Oracle {:.1} GiB (effective utilization, §7.3)",
+        m3.run.mean_rss / GIB as f64,
+        oracle.run.mean_rss / GIB as f64
+    );
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Plot the JSON series that `cargo bench --workspace` writes to results/.
+
+Produces one PNG per figure in results/plots/. Requires matplotlib:
+
+    pip install matplotlib
+    python3 scripts/plot_results.py
+"""
+import json
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+OUT = os.path.join(RESULTS, "plots")
+
+
+def load(name):
+    path = os.path.join(RESULTS, f"{name}.json")
+    if not os.path.exists(path):
+        print(f"  (skipping {name}: run `cargo bench -p m3-bench` first)")
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def fig1(plt):
+    for job in ("kmeans", "pagerank"):
+        data = load(f"fig1_{job}")
+        if data is None:
+            continue
+        heaps = [p["heap_gib"] for p in data]
+        mm = [p["spark_mm_s"] for p in data]
+        gc = [p["gc_pause_s"] for p in data]
+        rest = [p["total_s"] - p["spark_mm_s"] - p["gc_pause_s"] for p in data]
+        fig, ax = plt.subplots()
+        ax.bar(heaps, rest, width=2.4, label="runtime")
+        ax.bar(heaps, mm, width=2.4, bottom=rest, label="Spark MM")
+        ax.bar(heaps, gc, width=2.4, bottom=[r + m for r, m in zip(rest, mm)], label="GC pause")
+        ax.set_xlabel("maximum JVM heap size (GiB)")
+        ax.set_ylabel("job completion time (s)")
+        ax.set_title(f"Figure 1 — {job}")
+        ax.legend()
+        fig.savefig(os.path.join(OUT, f"fig1_{job}.png"), dpi=150)
+        print(f"  wrote fig1_{job}.png")
+
+
+def fig5(plt):
+    data = load("fig5_speedup")
+    if data is None:
+        return
+    names = [r["workload"] for r in data]
+    for key, label in [
+        ("vs_ows", "vs Oracle with Spark configuration"),
+        ("vs_oracle", "vs Oracle"),
+        ("vs_global_optimal", "vs Globally Optimal"),
+    ]:
+        vals = [r[key] if r[key] is not None else 0 for r in data]
+        fig, ax = plt.subplots(figsize=(9, 4))
+        ax.bar(names, vals)
+        ax.axhline(1.0, color="k", linewidth=0.8)
+        ax.set_ylabel(f"M3 speedup {label}")
+        ax.set_title("Figure 5")
+        plt.xticks(rotation=45, ha="right")
+        fig.tight_layout()
+        fig.savefig(os.path.join(OUT, f"fig5_{key}.png"), dpi=150)
+        print(f"  wrote fig5_{key}.png")
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+    os.makedirs(OUT, exist_ok=True)
+    fig1(plt)
+    fig5(plt)
+    print(f"plots in {os.path.abspath(OUT)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,217 @@
+//! `m3run` — command-line driver for the M3 reproduction.
+//!
+//! ```text
+//! m3run list
+//! m3run run MMW180 [--setting m3|default|oracle|ows] [--nodes N]
+//!                  [--phys-gib G] [--json FILE] [--profile]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin m3run -- list
+//! cargo run --release --bin m3run -- run CMW180 --setting m3 --profile
+//! cargo run --release --bin m3run -- run MMW180 --setting ows --json out.json
+//! cargo run --release --bin m3run -- run CCC480 --setting m3 --nodes 8
+//! ```
+
+use m3::prelude::*;
+use m3::sim::clock::SimDuration;
+use m3::workloads::cluster::run_cluster;
+use m3::workloads::scenario::all_scenarios;
+use m3::workloads::search::{search_oracle, search_ows, SearchSpace};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  m3run list\n  m3run run <WORKLOAD> [--setting m3|default|oracle|ows] \
+         [--nodes N] [--phys-gib G] [--json FILE] [--profile]\n\n\
+         WORKLOAD is a paper name without the space, e.g. MMW180 or CCC0;\n\
+         or letters and delay separately, e.g. 'MMW 180'."
+    );
+    std::process::exit(2);
+}
+
+fn find_scenario(name: &str) -> Option<Scenario> {
+    let normalized = name.replace([' ', '-', '_'], "").to_uppercase();
+    all_scenarios()
+        .into_iter()
+        .find(|s| s.name.replace(' ', "") == normalized)
+}
+
+fn ascii_profile(profile: &m3::sim::metrics::Profile, cols: usize, max: f64) {
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    for s in &profile.series {
+        if s.samples.is_empty() {
+            continue;
+        }
+        let mut row = vec![b' '; cols];
+        let t_end = s
+            .samples
+            .last()
+            .expect("non-empty")
+            .t
+            .as_secs_f64()
+            .max(1.0);
+        for p in &s.samples {
+            let col = ((p.t.as_secs_f64() / t_end) * (cols - 1) as f64) as usize;
+            let lvl = ((p.v / max).clamp(0.0, 1.0) * (GLYPHS.len() - 1) as f64) as usize;
+            row[col] = GLYPHS[lvl].max(row[col]);
+        }
+        println!(
+            "{:>16} |{}|",
+            s.name,
+            String::from_utf8(row).expect("ascii")
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<10} {:>5} {:>12}", "workload", "apps", "worst-case?");
+            for s in all_scenarios() {
+                println!(
+                    "{:<10} {:>5} {:>12}",
+                    s.name,
+                    s.len(),
+                    if s.is_worst_case() { "yes" } else { "" }
+                );
+            }
+            println!("\nsettings: m3 (default), default, oracle, ows");
+        }
+        Some("run") => run_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_cmd(args: &[String]) {
+    let Some(workload) = args.first() else {
+        usage()
+    };
+    let Some(scenario) = find_scenario(workload) else {
+        eprintln!("unknown workload {workload:?}; try `m3run list`");
+        std::process::exit(2);
+    };
+
+    let mut setting_name = "m3".to_string();
+    let mut nodes = 1usize;
+    let mut phys_gib = 64u64;
+    let mut json_path: Option<String> = None;
+    let mut show_profile = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--setting" => setting_name = it.next().unwrap_or_else(|| usage()).clone(),
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--phys-gib" => {
+                phys_gib = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--profile" => show_profile = true,
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = MachineConfig::scaled(phys_gib * GIB, true);
+    cfg.max_time = SimDuration::from_secs(60_000);
+    if !show_profile {
+        cfg.sample_period = None;
+    }
+
+    let setting = match setting_name.as_str() {
+        "m3" => Setting::m3(scenario.len()),
+        "default" => Setting::default_for(scenario.len()),
+        "oracle" => {
+            eprintln!(
+                "[m3run] grid-searching the Oracle for {} ...",
+                scenario.name
+            );
+            search_oracle(&scenario, &SearchSpace::paper(), cfg)
+        }
+        "ows" => {
+            eprintln!("[m3run] grid-searching OWS for {} ...", scenario.name);
+            search_ows(&scenario, &SearchSpace::paper(), cfg)
+        }
+        other => {
+            eprintln!("unknown setting {other:?} (want m3|default|oracle|ows)");
+            std::process::exit(2);
+        }
+    };
+
+    if nodes > 1 {
+        let res = run_cluster(&scenario, &setting, cfg, nodes);
+        println!(
+            "{} under {} on {} nodes (job completion = slowest node):",
+            scenario.name,
+            setting.kind.label(),
+            nodes
+        );
+        for (i, rt) in res.app_runtimes_s.iter().enumerate() {
+            println!(
+                "  app {i}: {}  (node spread {:.0}s)",
+                rt.map_or("FAIL".into(), |v| format!("{v:.0}s")),
+                res.spread_s[i]
+            );
+        }
+        if let Some(path) = json_path {
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&res).expect("serialise"),
+            )
+            .expect("write json");
+            println!("wrote {path}");
+        }
+        return;
+    }
+
+    let out = run_scenario(&scenario, &setting, cfg);
+    println!("{} under {}:", scenario.name, setting.kind.label());
+    for a in &out.run.apps {
+        let status = if a.failed {
+            "FAIL (insufficient static memory)".to_string()
+        } else if a.killed {
+            "KILLED".to_string()
+        } else {
+            format!(
+                "{:.0}s  (gc {:.0}s, mm {:.0}s, peak {:.1} GiB)",
+                a.runtime().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+                a.gc_pause.as_secs_f64(),
+                a.mm_time.as_secs_f64(),
+                a.peak_rss as f64 / GIB as f64
+            )
+        };
+        println!("  {:<8} {}", a.name, status);
+    }
+    if let Some(stats) = out.run.monitor_stats {
+        println!(
+            "  monitor: {} polls, {} low, {} high, {} kills",
+            stats.polls, stats.low_signals, stats.high_signals, stats.kills
+        );
+    }
+    println!(
+        "  mean node usage: {:.1} GiB of {} GiB",
+        out.run.mean_rss / GIB as f64,
+        phys_gib
+    );
+    if show_profile {
+        println!();
+        ascii_profile(&out.run.profile, 72, phys_gib as f64);
+    }
+    if let Some(path) = json_path {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&out.run.apps).expect("serialise"),
+        )
+        .expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests of M3's core invariants (proptest).
+
+use m3::core::selection::{select_processes, sort_candidates, Candidate};
+use m3::core::thresholds::AdaptiveThresholds;
+use m3::core::{AdaptiveAllocator, MonitorConfig, SortOrder};
+use m3::os::{Kernel, KernelConfig};
+use m3::sim::clock::SimTime;
+use m3::sim::units::{GIB, KIB, MIB};
+use proptest::prelude::*;
+
+fn candidate_strategy() -> impl Strategy<Value = Candidate> {
+    (0u64..50, 0u64..1000, 0u64..(64 * GIB), 1u64..(8 * GIB)).prop_map(
+        |(pid, spawn, rss, expect)| Candidate {
+            pid,
+            spawned_at: SimTime::from_secs(spawn),
+            rss,
+            expected_reclaim: expect,
+        },
+    )
+}
+
+proptest! {
+    /// Algorithm 1 selects enough expected reclamation to cover the target,
+    /// or everything if the total cannot cover it — and never over-selects:
+    /// dropping the last selected process would leave the target uncovered.
+    #[test]
+    fn selection_covers_target_minimally(
+        cands in proptest::collection::vec(candidate_strategy(), 0..20),
+        target in 0u64..(64 * GIB),
+        order_idx in 0usize..4,
+    ) {
+        let order = [
+            SortOrder::NewestFirst,
+            SortOrder::OldestFirst,
+            SortOrder::LargestRss,
+            SortOrder::LargestExpectedReclaim,
+        ][order_idx];
+        let selected = select_processes(&cands, order, target);
+        let expect_of = |pid: u64| {
+            cands.iter().find(|c| c.pid == pid).map(|c| c.expected_reclaim)
+        };
+        // Duplicated pids make per-pid lookups ambiguous; restrict to the
+        // well-formed case.
+        let mut pids: Vec<u64> = cands.iter().map(|c| c.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        prop_assume!(pids.len() == cands.len());
+
+        let total: u64 = cands.iter().map(|c| c.expected_reclaim).sum();
+        let covered: u64 = selected.iter().filter_map(|&p| expect_of(p)).sum();
+        if target == 0 {
+            prop_assert!(selected.is_empty());
+        } else if total >= target {
+            prop_assert!(covered >= target, "selection must cover the target");
+            // Minimality: without the last pick, the target is uncovered.
+            let without_last: u64 = selected[..selected.len() - 1]
+                .iter()
+                .filter_map(|&p| expect_of(p))
+                .sum();
+            prop_assert!(without_last < target);
+        } else {
+            prop_assert_eq!(selected.len(), cands.len(), "all must be signalled");
+        }
+    }
+
+    /// Sorting is a permutation and honours the requested key.
+    #[test]
+    fn sort_is_a_permutation(
+        mut cands in proptest::collection::vec(candidate_strategy(), 0..20),
+    ) {
+        let mut pids: Vec<u64> = cands.iter().map(|c| c.pid).collect();
+        sort_candidates(&mut cands, SortOrder::LargestRss);
+        let mut sorted_pids: Vec<u64> = cands.iter().map(|c| c.pid).collect();
+        pids.sort_unstable();
+        sorted_pids.sort_unstable();
+        prop_assert_eq!(pids, sorted_pids);
+        for w in cands.windows(2) {
+            prop_assert!(w[0].rss >= w[1].rss);
+        }
+    }
+
+    /// The allow rate is within [0, 1], non-decreasing with time after a
+    /// signal, and resets to zero on a new signal.
+    #[test]
+    fn allow_rate_is_monotone(
+        epoch_ms in 1u64..60_000,
+        num_epochs in 1u32..10,
+        probes in proptest::collection::vec(0u64..600_000, 1..20),
+    ) {
+        let mut a = AdaptiveAllocator::new(num_epochs);
+        a.on_high_signal(SimTime::from_millis(1000));
+        a.on_reclaim_done(SimTime::from_millis(1000 + epoch_ms));
+        let mut sorted = probes.clone();
+        sorted.sort_unstable();
+        let mut last = -1.0f64;
+        for p in sorted {
+            let r = a.allow_rate(SimTime::from_millis(1000 + p));
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(r >= last);
+            last = r;
+        }
+        a.on_high_signal(SimTime::from_millis(700_000));
+        prop_assert_eq!(a.allow_rate(SimTime::from_millis(700_000)), 0.0);
+    }
+
+    /// Batched delays track the exact throttle fraction: over many batches
+    /// at rate r, the delayed share converges to 1 − r.
+    #[test]
+    fn batched_delays_match_rate(
+        epoch_s in 1u64..100,
+        elapsed_frac in 0.0f64..1.0,
+        batch in 1u64..5000,
+    ) {
+        let mut a = AdaptiveAllocator::new(1);
+        a.on_high_signal(SimTime::ZERO);
+        a.on_reclaim_done(SimTime::from_secs(epoch_s));
+        let now = SimTime::from_millis((epoch_s as f64 * 1000.0 * elapsed_frac) as u64);
+        let rate = a.allow_rate(now);
+        let mut delayed = 0u64;
+        let rounds = 50;
+        for _ in 0..rounds {
+            delayed += a.delayed_of(batch, now);
+        }
+        let total = (batch * rounds) as f64;
+        let frac = delayed as f64 / total;
+        // The fractional carry bounds the error by one allocation in
+        // `total`, plus float slack.
+        prop_assert!((frac - (1.0 - rate)).abs() <= 1.0 / total + 1e-9,
+            "delayed fraction {frac} vs expected {}", 1.0 - rate);
+    }
+
+    /// Threshold ordering low <= high <= top holds under any usage stream.
+    #[test]
+    fn thresholds_stay_ordered(
+        usages in proptest::collection::vec(0u64..(70 * GIB), 1..300),
+    ) {
+        let cfg = MonitorConfig::paper_64gb();
+        let mut t = AdaptiveThresholds::new(&cfg);
+        for u in usages {
+            t.observe(u);
+            prop_assert!(t.low() <= t.high());
+            prop_assert!(t.high() <= t.top());
+        }
+    }
+
+    /// Kernel accounting: committed equals the sum of per-process RSS under
+    /// any interleaving of grows, releases and exits; meminfo stays
+    /// self-consistent.
+    #[test]
+    fn kernel_ledger_balances(
+        ops in proptest::collection::vec((0u8..4, 0u64..8, 1u64..(4 * GIB)), 1..200),
+    ) {
+        let mut os = Kernel::new(KernelConfig::with_total(16 * GIB));
+        let pids: Vec<_> = (0..8).map(|i| os.spawn(format!("p{i}"))).collect();
+        for (op, which, bytes) in ops {
+            let pid = pids[which as usize];
+            match op {
+                0 => { let _ = os.grow(pid, bytes); }
+                1 => { let _ = os.release(pid, bytes); }
+                2 => { os.exit(pid); }
+                _ => { os.kill(pid); }
+            }
+            let sum: u64 = pids.iter().map(|&p| os.rss(p)).sum();
+            prop_assert_eq!(os.committed(), sum);
+            let mi = os.meminfo();
+            prop_assert_eq!(mi.used + mi.available, mi.total);
+            prop_assert_eq!(mi.swapped, os.swapped());
+        }
+    }
+
+    /// Slab cache residency never exceeds the key space, never goes
+    /// negative, and byte accounting is slab-aligned.
+    #[test]
+    fn slab_cache_invariants(
+        ops in proptest::collection::vec((0u8..2, 1u64..100_000), 1..100),
+    ) {
+        use m3::cache::SlabCache;
+        let mut c = SlabCache::new(1_000_000, 4 * KIB, MIB, 2 * GIB);
+        for (op, n) in ops {
+            match op {
+                0 => { c.insert(n); }
+                _ => { c.evict_slabs(n / 256 + 1); }
+            }
+            prop_assert!(c.resident_items() <= c.key_space());
+            prop_assert_eq!(c.resident_bytes() % MIB, 0, "whole slabs only");
+            prop_assert!(c.resident_bytes() <= c.max_bytes() + MIB);
+            let h = c.hit_ratio();
+            prop_assert!((0.0..=1.0).contains(&h));
+        }
+    }
+
+    /// JVM pool accounting: committed = young + pinned + garbage + free at
+    /// all times, and the kernel agrees, under arbitrary operation mixes.
+    #[test]
+    fn jvm_accounting_invariant(
+        ops in proptest::collection::vec((0u8..5, 1u64..(512 * MIB)), 1..100),
+        m3_mode in proptest::bool::ANY,
+    ) {
+        use m3::runtime::{Jvm, JvmConfig};
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let pid = os.spawn("jvm");
+        let cfg = if m3_mode { JvmConfig::m3(32 * GIB) } else { JvmConfig::stock(8 * GIB) };
+        let mut jvm = Jvm::new(pid, cfg);
+        for (op, bytes) in ops {
+            match op {
+                0 => { let _ = jvm.alloc_transient(&mut os, bytes); }
+                1 => { let _ = jvm.alloc_pinned(&mut os, bytes); }
+                2 => { jvm.free_pinned(bytes); }
+                3 => { jvm.young_gc(&mut os); }
+                _ => { jvm.mixed_gc(&mut os); }
+            }
+            prop_assert_eq!(
+                jvm.committed(),
+                jvm.young_used() + jvm.pinned() + jvm.garbage() + jvm.free()
+            );
+            prop_assert_eq!(os.rss(pid), jvm.committed());
+            prop_assert!(jvm.committed() <= jvm.config().max_heap);
+        }
+    }
+}
