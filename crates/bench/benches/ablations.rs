@@ -13,7 +13,7 @@
 //! 5. **Low-threshold early warning** — with and without the low signal
 //!    (thresholds collapse to a single high threshold).
 
-use m3_bench::{render_table, write_json};
+use m3_bench::{render_table, write_json, BenchTimer};
 use m3_core::MonitorConfig;
 use m3_core::SortOrder;
 use m3_framework::SparkConfig;
@@ -69,7 +69,7 @@ fn run_bottom_up() -> Option<f64> {
                     ..SparkConfig::m3()
                 };
             }
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3_workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     let res = machine.run(schedule);
@@ -92,6 +92,7 @@ fn run_bottom_up() -> Option<f64> {
 }
 
 fn main() {
+    let bench = BenchTimer::start("ablations");
     println!(
         "Ablations on {} under M3 (mean per-app runtime, lower is better)\n",
         scenario().name
@@ -167,7 +168,7 @@ fn main() {
                 if let AppBlueprint::Spark { spark, .. } = &mut bp {
                     spark.rate_curve = curve;
                 }
-                (format!("{} {i}", kind.code()), start, bp)
+                (m3_workloads::app_name(kind.code(), i), start, bp)
             })
             .collect();
         let res = machine.run(schedule);
@@ -219,6 +220,7 @@ fn main() {
         render_table(&["ablation", "variant", "mean runtime (s)"], &table)
     );
     write_json("ablations", &rows);
+    bench.finish(&rows);
 
     // Keep the unused-import lints honest (these are exercised above via
     // blueprint construction).

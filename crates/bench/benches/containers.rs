@@ -16,7 +16,7 @@
 //! Expected: M3 wins both, because container limits cannot follow the
 //! workload's phase shifts — the same reason static heaps lose in Fig. 5.
 
-use m3_bench::{render_table, write_json};
+use m3_bench::{render_table, write_json, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::{Machine, MachineConfig, RunResult};
@@ -64,7 +64,7 @@ fn run_containers(scenario: &Scenario, limits: Vec<u64>) -> (Option<f64>, Vec<Op
         .enumerate()
         .map(|(i, &(kind, start))| {
             let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3_workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     let res = Machine::new(cfg).run_with_containers(schedule, Some(limits));
@@ -72,6 +72,7 @@ fn run_containers(scenario: &Scenario, limits: Vec<u64>) -> (Option<f64>, Vec<Op
 }
 
 fn main() {
+    let bench = BenchTimer::start("containers");
     let scenario = Scenario::uniform("CMW", 180);
     let mut cfg = MachineConfig::stock_64gb();
     cfg.sample_period = None;
@@ -139,4 +140,5 @@ fn main() {
         );
     }
     write_json("containers", &rows);
+    bench.finish(&rows);
 }

@@ -7,7 +7,7 @@
 //! thresholds ... the workload with dynamic thresholds terminates 1.93×
 //! earlier."
 
-use m3_bench::{ascii_profile, render_table, write_json};
+use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
 use m3_core::MonitorConfig;
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
@@ -61,6 +61,7 @@ fn run(adaptive: bool) -> (m3_workloads::runner::ScenarioOutcome, Fig10Row) {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig10_thresholds");
     println!("Figure 10 — dynamic vs static thresholds (three k-means, no delay)\n");
     let (dynamic_out, dynamic) = run(true);
     let (static_out, static_row) = run(false);
@@ -108,5 +109,7 @@ fn main() {
         "adaptive run must have raised the high threshold"
     );
 
-    write_json("fig10_thresholds", &vec![dynamic, static_row]);
+    let fig_rows = vec![dynamic, static_row];
+    write_json("fig10_thresholds", &fig_rows);
+    bench.finish(&fig_rows);
 }

@@ -12,7 +12,7 @@
 //! (~40 GB for k-means, ~76 GB for PageRank); Spark MM dominates at small
 //! heaps; GC time never reaches zero (footnote 2).
 
-use m3_bench::{fmt_secs, render_table, write_json};
+use m3_bench::{fmt_secs, render_table, write_json, BenchTimer};
 use m3_framework::{JobSpec, SparkConfig};
 use m3_runtime::JvmConfig;
 use m3_sim::clock::SimDuration;
@@ -43,7 +43,7 @@ fn sweep(job: JobSpec, heaps_gib: &[u64]) -> Vec<Point> {
             spark: SparkConfig::default(),
             job: job.clone(),
         };
-        let res = machine.run(vec![(job.name.clone(), SimDuration::ZERO, bp)]);
+        let res = machine.run(vec![(job.name.as_str().into(), SimDuration::ZERO, bp)]);
         let a = &res.apps[0];
         points.push(Point {
             heap_gib: h,
@@ -78,6 +78,7 @@ fn print_sweep(name: &str, points: &[Point]) {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig1_elasticity");
     let kmeans = sweep(hibench::kmeans(), &[8, 12, 16, 20, 24, 28, 32, 36, 40, 48]);
     print_sweep("k-means", &kmeans);
     let pagerank = sweep(
@@ -112,4 +113,5 @@ fn main() {
 
     write_json("fig1_kmeans", &kmeans);
     write_json("fig1_pagerank", &pagerank);
+    bench.finish(&(&kmeans, &pagerank));
 }

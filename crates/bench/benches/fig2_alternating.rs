@@ -7,7 +7,7 @@
 //! JVM returns collected regions and the combined footprint stays near one
 //! peak plus one baseline (~15 GB).
 
-use m3_bench::{ascii_profile, render_table, write_json};
+use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
 use m3_runtime::JvmConfig;
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
@@ -72,6 +72,7 @@ fn run(m3: bool) -> (f64, f64, m3_sim::metrics::Profile) {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig2_alternating");
     println!("Figure 2 — alternating-load JVM servers (Cassandra + Elasticsearch)\n");
     let (stock_peak, stock_mean, stock_profile) = run(false);
     let (m3_peak, m3_mean, m3_profile) = run(true);
@@ -104,19 +105,18 @@ fn main() {
         stock_peak / m3_peak
     );
 
-    write_json(
-        "fig2_alternating",
-        &vec![
-            Fig2Row {
-                system: "unmodified".into(),
-                combined_peak_gib: stock_peak,
-                combined_mean_gib: stock_mean,
-            },
-            Fig2Row {
-                system: "m3".into(),
-                combined_peak_gib: m3_peak,
-                combined_mean_gib: m3_mean,
-            },
-        ],
-    );
+    let fig_rows = vec![
+        Fig2Row {
+            system: "unmodified".into(),
+            combined_peak_gib: stock_peak,
+            combined_mean_gib: stock_mean,
+        },
+        Fig2Row {
+            system: "m3".into(),
+            combined_peak_gib: m3_peak,
+            combined_mean_gib: m3_mean,
+        },
+    ];
+    write_json("fig2_alternating", &fig_rows);
+    bench.finish(&fig_rows);
 }

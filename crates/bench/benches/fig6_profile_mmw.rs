@@ -11,7 +11,7 @@
 //! - effective utilization: the unmodified system's RSS is ~63 GB against
 //!   M3's ~38 GB for the same work (§7.3).
 
-use m3_bench::{ascii_profile, render_table, write_json};
+use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -62,6 +62,7 @@ fn summarise(out: &ScenarioOutcome, label: &str) -> Fig6Summary {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig6_profile_mmw");
     let scenario = Scenario::uniform("MMW", 180);
     let mut cfg = MachineConfig::stock_64gb();
     cfg.max_time = SimDuration::from_secs(40_000);
@@ -147,5 +148,7 @@ fn main() {
         m3_sum.peak_rss_gib[0], m3_sum.peak_rss_gib[1]
     );
 
-    write_json("fig6_mmw", &vec![m3_sum, ows_sum]);
+    let fig_rows = vec![m3_sum, ows_sum];
+    write_json("fig6_mmw", &fig_rows);
+    bench.finish(&fig_rows);
 }

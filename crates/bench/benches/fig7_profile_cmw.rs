@@ -10,7 +10,7 @@
 //!   because the peaks do not coincide;
 //! - all three jobs finish faster under M3 than under OWS.
 
-use m3_bench::{ascii_profile, render_table, write_json};
+use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -30,6 +30,7 @@ struct Fig7Summary {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig7_profile_cmw");
     let scenario = Scenario::uniform("CMW", 180);
     let mut cfg = MachineConfig::stock_64gb();
     cfg.max_time = SimDuration::from_secs(40_000);
@@ -127,4 +128,5 @@ fn main() {
         },
     ];
     write_json("fig7_cmw", &summaries);
+    bench.finish(&summaries);
 }

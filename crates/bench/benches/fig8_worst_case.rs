@@ -7,7 +7,7 @@
 //! slow-down vs OWS (worst case 7.00 %), while still beating the plain
 //! Oracle on MMM 0 because default Spark parameters waste 40 % of the heap.
 
-use m3_bench::{fmt_speedup, render_table, write_json};
+use m3_bench::{fmt_speedup, render_table, write_json, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_workloads::machine::MachineConfig;
 use m3_workloads::runner::{run_scenario, speedup_report};
@@ -25,6 +25,7 @@ struct Fig8Row {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig8_worst_case");
     let mut cfg = MachineConfig::stock_64gb();
     cfg.sample_period = None;
     cfg.max_time = SimDuration::from_secs(40_000);
@@ -73,4 +74,5 @@ fn main() {
     );
 
     write_json("fig8_worst_case", &json_rows);
+    bench.finish(&json_rows);
 }

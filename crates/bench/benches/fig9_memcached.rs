@@ -9,7 +9,7 @@
 //! and used a best effort approach"). Paper result: average application
 //! speedup 2.23×.
 
-use m3_bench::{fmt_runtime, fmt_speedup, render_table, write_json};
+use m3_bench::{fmt_runtime, fmt_speedup, render_table, write_json, BenchTimer};
 use m3_framework::SparkConfig;
 use m3_runtime::{AllocatorKind, JvmConfig};
 use m3_sim::clock::SimDuration;
@@ -72,6 +72,7 @@ fn run(m3: bool) -> Vec<AppResult> {
 }
 
 fn main() {
+    let bench = BenchTimer::start("fig9_memcached");
     println!("Figure 9 — k-means + Memcached (memtier) on a single 8-GB node\n");
     let m3 = run(true);
     let stock = run(false);
@@ -121,4 +122,5 @@ fn main() {
         })
         .collect();
     write_json("fig9_memcached", &json);
+    bench.finish(&json);
 }

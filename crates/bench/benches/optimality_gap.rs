@@ -13,7 +13,7 @@
 //! (possible — a static split cannot shift memory over time); `gap` close
 //! to 1 means M3 is near-optimal among static distributions.
 
-use m3_bench::{render_table, write_json};
+use m3_bench::{render_table, write_json, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -40,6 +40,7 @@ fn scenario() -> Scenario {
 }
 
 fn main() {
+    let bench = BenchTimer::start("optimality_gap");
     let mut cfg = MachineConfig::stock_64gb();
     cfg.sample_period = None;
     cfg.max_time = SimDuration::from_secs(40_000);
@@ -119,4 +120,5 @@ fn main() {
     );
 
     write_json("optimality_gap", &points);
+    bench.finish(&points);
 }

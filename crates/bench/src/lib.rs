@@ -91,6 +91,50 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     println!("[results written to {}]", path.display());
 }
 
+/// Times one figure sweep and writes `results/BENCH_<fig>.json` containing
+/// the figure's series plus the wall clock of producing them and the worker
+/// count used — so harness speedups are tracked alongside the data itself.
+pub struct BenchTimer {
+    fig: String,
+    started: std::time::Instant,
+}
+
+impl BenchTimer {
+    /// Starts timing the sweep for figure `fig`.
+    pub fn start(fig: &str) -> Self {
+        println!(
+            "[{fig}] sweep starting on {} worker(s)",
+            m3_workloads::worker_threads()
+        );
+        BenchTimer {
+            fig: fig.to_string(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`BenchTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Writes `results/BENCH_<fig>.json` with the sweep wall clock and the
+    /// figure payload. Consumes the timer: one report per sweep.
+    pub fn finish<T: Serialize>(self, results: &T) {
+        let wall = self.elapsed_secs();
+        let report = serde::Content::Map(vec![
+            ("fig".to_string(), serde::Content::Str(self.fig.clone())),
+            ("wall_clock_secs".to_string(), serde::Content::F64(wall)),
+            (
+                "workers".to_string(),
+                serde::Content::U64(m3_workloads::worker_threads() as u64),
+            ),
+            ("results".to_string(), results.serialize()),
+        ]);
+        println!("[{}] sweep finished in {wall:.2}s", self.fig);
+        write_json(&format!("BENCH_{}", self.fig), &report);
+    }
+}
+
 /// Summarises a profile's series into `(name, mean, max)` rows for quick
 /// textual inspection of the figure panels.
 pub fn profile_summary(profile: &Profile) -> Vec<Vec<String>> {

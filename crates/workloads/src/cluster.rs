@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::machine::{Machine, MachineConfig, RunResult};
-use crate::runner::run_scenario;
+use crate::parallel::{run_scenario_cached, worker_threads};
 use crate::scenario::Scenario;
 use crate::settings::Setting;
 
@@ -57,15 +57,25 @@ fn runtimes(res: &RunResult) -> Vec<Option<f64>> {
 pub fn run_cluster(
     scenario: &Scenario,
     setting: &Setting,
-    mut machine_cfg: MachineConfig,
+    machine_cfg: MachineConfig,
     nodes: usize,
 ) -> ClusterResult {
     assert!(nodes > 0, "need at least one node");
     let napps = scenario.len();
+    // Nodes are independent simulations (only the salt differs), so they
+    // fan out on the worker pool; results come back in node order.
+    let node_cfgs: Vec<MachineConfig> = (0..nodes)
+        .map(|node| {
+            let mut cfg = machine_cfg;
+            cfg.node_salt = node as u64 + 1;
+            cfg
+        })
+        .collect();
+    let outs = crate::parallel::parallel_map(node_cfgs, worker_threads(), |cfg| {
+        run_scenario_cached(scenario, setting, cfg)
+    });
     let mut per_node: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(nodes); napps];
-    for node in 0..nodes {
-        machine_cfg.node_salt = node as u64 + 1;
-        let out = run_scenario(scenario, setting, machine_cfg);
+    for out in &outs {
         for (i, rt) in runtimes(&out.run).into_iter().enumerate() {
             per_node[i].push(rt);
         }

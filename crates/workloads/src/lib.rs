@@ -16,6 +16,9 @@
 //!   Optimal, Oracle, Oracle-with-Spark-configuration, and M3 (§7.1.2);
 //! - [`runner`] — runs a scenario under a setting and extracts per-app
 //!   runtimes and speedups;
+//! - [`parallel`] — the parallel deterministic experiment harness: a
+//!   work-sharing thread pool over independent runs plus a
+//!   content-addressed run memoization cache;
 //! - [`cluster`] — aggregates N independent worker nodes, job completion =
 //!   slowest node (the paper's 8-worker setup);
 //! - [`search`] — the bounded grid search standing in for the paper's
@@ -28,13 +31,18 @@ pub mod apps;
 pub mod cluster;
 pub mod hibench;
 pub mod machine;
+pub mod parallel;
 pub mod runner;
 pub mod scenario;
 pub mod search;
 pub mod settings;
 
 pub use apps::{AnyApp, AppBlueprint};
-pub use machine::{AppResult, Machine, MachineConfig, RunResult};
-pub use runner::{run_scenario, ScenarioOutcome};
+pub use machine::{AppResult, Machine, MachineConfig, RunResult, ScheduleEntry};
+pub use parallel::{
+    cache_stats, parallel_map, run_scenario_cached, run_scenarios_parallel,
+    run_scenarios_parallel_with, worker_threads, CacheStats,
+};
+pub use runner::{app_name, run_scenario, ScenarioOutcome};
 pub use scenario::{AppKind, Scenario};
 pub use settings::{AppConfig, Setting, SettingKind};

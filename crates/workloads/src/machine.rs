@@ -8,6 +8,8 @@
 //! kernel's swap-thrash multiplier, runs the OOM check, and samples the
 //! memory profile.
 
+use std::sync::Arc;
+
 use m3_core::{Monitor, MonitorConfig, Registry, ThresholdSignal};
 use m3_os::cgroup::{Cgroup, CgroupSet};
 use m3_os::{DiskModel, Kernel, KernelConfig, Signal};
@@ -17,9 +19,19 @@ use m3_sim::units::{bytes_to_gib, GIB};
 use serde::{Deserialize, Serialize};
 
 use crate::apps::{AnyApp, AppBlueprint};
+use crate::settings::Setting;
+
+/// One schedule entry: display name, start delay, and the blueprint built at
+/// start time. Names are `Arc<str>` so interned names are shared across the
+/// many runs of a sweep instead of being reallocated per run.
+pub type ScheduleEntry = (Arc<str>, SimDuration, AppBlueprint);
 
 /// World parameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializable so a `(scenario, setting, machine_cfg)` triple can be
+/// content-addressed by the run memoization cache (see
+/// [`crate::parallel`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Physical memory of the node (the paper: 64 GB by cgroup).
     pub phys_total: u64,
@@ -34,6 +46,13 @@ pub struct MachineConfig {
     /// Node salt: perturbs application-internal orderings so cluster nodes
     /// are not bit-identical (0 for single-node runs).
     pub node_salt: u64,
+    /// Enables the world-loop fast path: when no application process is
+    /// live, the clock jumps to the next scheduled instant (app start,
+    /// chaos kill, monitor poll, cgroup enforcement, profile sample)
+    /// instead of idling tick by tick. Results are bit-identical either
+    /// way; the flag exists so the determinism test can compare both
+    /// paths. Part of the memoization cache key.
+    pub fast_path: bool,
 }
 
 impl MachineConfig {
@@ -46,6 +65,7 @@ impl MachineConfig {
             sample_period: Some(SimDuration::from_secs(2)),
             max_time: SimDuration::from_secs(30_000),
             node_salt: 0,
+            fast_path: true,
         }
     }
 
@@ -64,6 +84,22 @@ impl MachineConfig {
             monitor: m3.then(|| MonitorConfig::scaled(phys_total)),
             ..MachineConfig::stock_64gb()
         }
+    }
+
+    /// Resolves the monitor field against a setting: M3 settings get a
+    /// monitor scaled to the node (keeping an explicit one if present),
+    /// every other regime runs stock. This is the single place the
+    /// setting→monitor rule lives; the runner, comparison, and search
+    /// paths all go through it.
+    pub fn with_setting(mut self, setting: &Setting) -> Self {
+        if setting.is_m3() {
+            if self.monitor.is_none() {
+                self.monitor = Some(MonitorConfig::scaled(self.phys_total));
+            }
+        } else {
+            self.monitor = None;
+        }
+        self
     }
 }
 
@@ -96,7 +132,11 @@ impl AppResult {
 }
 
 /// Outcome of one experiment run.
-#[derive(Debug, Clone)]
+///
+/// Serializable end to end: the determinism regression test compares runs
+/// by their serialized bytes, and the memoization cache hands out shared
+/// results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Per-application outcomes, in schedule order.
     pub apps: Vec<AppResult>,
@@ -145,7 +185,7 @@ impl Machine {
 
     /// Runs a schedule of `(name, start, blueprint)` to completion (or the
     /// time cap) and returns per-app results plus the memory profile.
-    pub fn run(&self, schedule: Vec<(String, SimDuration, AppBlueprint)>) -> RunResult {
+    pub fn run(&self, schedule: Vec<ScheduleEntry>) -> RunResult {
         self.run_full(schedule, None, Vec::new())
     }
 
@@ -156,7 +196,7 @@ impl Machine {
     /// container question.
     pub fn run_with_containers(
         &self,
-        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
     ) -> RunResult {
         self.run_full(schedule, container_limits, Vec::new())
@@ -168,7 +208,7 @@ impl Machine {
     /// freed memory to the survivors.
     pub fn run_with_chaos(
         &self,
-        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        schedule: Vec<ScheduleEntry>,
         kills: Vec<(SimDuration, usize)>,
     ) -> RunResult {
         self.run_full(schedule, None, kills)
@@ -176,7 +216,7 @@ impl Machine {
 
     fn run_full(
         &self,
-        schedule: Vec<(String, SimDuration, AppBlueprint)>,
+        schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
         kills: Vec<(SimDuration, usize)>,
     ) -> RunResult {
@@ -187,7 +227,7 @@ impl Machine {
         let mut results: Vec<AppResult> = Vec::with_capacity(schedule.len());
         for (i, (name, start, _)) in schedule.iter().enumerate() {
             results.push(AppResult {
-                name: name.clone(),
+                name: name.to_string(),
                 started: SimTime::ZERO + *start,
                 finished: None,
                 killed: false,
@@ -216,7 +256,7 @@ impl Machine {
             );
             let mut set = CgroupSet::new();
             for (i, (name, _, _)) in schedule.iter().enumerate() {
-                set.add(Cgroup::new(name.clone(), limits[i]));
+                set.add(Cgroup::new(name.as_ref(), limits[i]));
             }
             set
         });
@@ -227,8 +267,23 @@ impl Machine {
         }
         let mut next_poll = SimTime::ZERO + poll_period;
         let mut next_sample = SimTime::ZERO;
-        let mut rss_area = 0.0;
-        let mut rss_time = 0.0;
+        // Mean-RSS integral as exact integers (`committed` summed per tick):
+        // integer addition is associative, so the fast path below can account
+        // a whole gap of idle ticks in one multiplication and stay
+        // bit-identical to the tick-by-tick loop.
+        let mut rss_area: u128 = 0;
+        let mut ticks: u64 = 0;
+        if let Some(period) = self.cfg.sample_period {
+            // The sample count over the horizon is known up front; pre-size
+            // the always-present series so the hot loop never regrows them.
+            let cap = (self.cfg.max_time.as_millis() / period.as_millis() + 1) as usize;
+            profile.reserve_series("total", cap);
+            if self.cfg.monitor.is_some() {
+                profile.reserve_series("low-threshold", cap);
+                profile.reserve_series("high-threshold", cap);
+                profile.reserve_series("top", cap);
+            }
+        }
 
         loop {
             kernel.set_time(now);
@@ -236,7 +291,7 @@ impl Machine {
             // 1. Start applications whose delay has elapsed.
             for idx in queue.pop_due(now) {
                 let (name, _, bp) = &schedule[idx];
-                let pid = kernel.spawn(name.clone());
+                let pid = kernel.spawn(name.as_ref());
                 let app = bp.build_salted(pid, self.cfg.node_salt);
                 results[idx].started = now;
                 if app.failed() {
@@ -247,7 +302,7 @@ impl Machine {
                 if bp.is_m3() {
                     // §6: participants drop a PID file in the registration
                     // directory; the monitor picks it up on its next poll.
-                    registry.register(pid, name.clone());
+                    registry.register(pid, name.as_ref());
                 }
                 if let Some(set) = cgroups.as_mut() {
                     set.group_mut(idx).add(pid);
@@ -376,17 +431,26 @@ impl Machine {
 
             // 6. Sample the profile.
             let committed = kernel.committed();
-            rss_area += committed as f64 * self.cfg.tick.as_secs_f64();
-            rss_time += self.cfg.tick.as_secs_f64();
+            rss_area += committed as u128;
+            ticks += 1;
             if let Some(period) = self.cfg.sample_period {
                 if now >= next_sample {
                     profile
                         .series_mut("total")
                         .push(now, bytes_to_gib(committed));
+                    let remaining = (self
+                        .cfg
+                        .max_time
+                        .as_millis()
+                        .saturating_sub(now.as_millis())
+                        / period.as_millis()
+                        + 1) as usize;
                     for slot in &running {
                         let rss = kernel.rss(slot.app.pid());
                         let name = &results[slot.idx].name;
-                        profile.series_mut(name).push(now, bytes_to_gib(rss));
+                        profile
+                            .reserve_series(name, remaining)
+                            .push(now, bytes_to_gib(rss));
                     }
                     if let Some(m) = monitor.as_ref() {
                         let (low, high) = m.thresholds();
@@ -411,6 +475,40 @@ impl Machine {
             {
                 break;
             }
+
+            // Fast path: with no live process the world is inert between
+            // scheduled instants — nothing allocates, the OOM check stays
+            // quiescent, and `committed` is constant — so jump the clock to
+            // the next instant at which anything can happen (app start,
+            // chaos kill, monitor poll, cgroup enforcement, profile sample),
+            // accounting the skipped ticks into the mean-RSS integral.
+            if self.cfg.fast_path && running.is_empty() {
+                let tick_ms = self.cfg.tick.as_millis();
+                let grid_ceil = |t: u64| t.div_ceil(tick_ms) * tick_ms;
+                // The break above fires at the first grid instant at or past
+                // the time cap, so no loop iteration can run later than this.
+                let mut target_ms = grid_ceil(self.cfg.max_time.as_millis());
+                let candidates = [
+                    queue.next_due().map(|t| t.as_millis()),
+                    chaos.next_due().map(|t| t.as_millis()),
+                    monitor.is_some().then(|| next_poll.as_millis()),
+                    cgroups.is_some().then(|| next_enforce.as_millis()),
+                    self.cfg.sample_period.map(|_| next_sample.as_millis()),
+                ];
+                for t in candidates.into_iter().flatten() {
+                    target_ms = target_ms.min(grid_ceil(t));
+                }
+                let now_ms = now.as_millis();
+                if target_ms > now_ms {
+                    let skipped = (target_ms - now_ms) / tick_ms;
+                    rss_area += kernel.committed() as u128 * u128::from(skipped);
+                    ticks += skipped;
+                    now = SimTime::from_millis(target_ms);
+                    if now.saturating_since(SimTime::ZERO) >= self.cfg.max_time {
+                        break;
+                    }
+                }
+            }
         }
 
         // Finalize GC/MM stats for apps killed mid-flight (already recorded
@@ -420,8 +518,8 @@ impl Machine {
             profile,
             monitor_stats: monitor.map(|m| m.stats),
             end: now,
-            mean_rss: if rss_time > 0.0 {
-                rss_area / rss_time
+            mean_rss: if ticks > 0 {
+                rss_area as f64 / ticks as f64
             } else {
                 0.0
             },
@@ -459,7 +557,7 @@ mod tests {
         heap_gib: u64,
         m3: bool,
         ws_gib: u64,
-    ) -> (String, SimDuration, AppBlueprint) {
+    ) -> ScheduleEntry {
         let bp = if m3 {
             AppBlueprint::Spark {
                 jvm: JvmConfig::m3(crate::settings::M3_HEAP_CEILING),
@@ -476,12 +574,7 @@ mod tests {
         (name.into(), SimDuration::from_secs(start_s), bp)
     }
 
-    fn spark_entry(
-        name: &str,
-        start_s: u64,
-        heap_gib: u64,
-        m3: bool,
-    ) -> (String, SimDuration, AppBlueprint) {
+    fn spark_entry(name: &str, start_s: u64, heap_gib: u64, m3: bool) -> ScheduleEntry {
         spark_entry_ws(name, start_s, heap_gib, m3, 4)
     }
 

@@ -1,13 +1,33 @@
 //! Running scenarios under settings and scoring them (§7.2's methodology).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::scenario::Scenario;
 use crate::settings::{blueprint_for, Setting, SettingKind};
 
+/// Returns the interned display name for schedule slot `i` of an app kind
+/// (e.g. `"M 0"`). A sweep runs the same scenarios hundreds of times; the
+/// interner makes every run share one allocation per `(kind, slot)` pair
+/// instead of re-`format!`ing the name for every schedule entry.
+pub fn app_name(code: char, i: usize) -> Arc<str> {
+    type NameMap = HashMap<(char, usize), Arc<str>>;
+    static NAMES: OnceLock<Mutex<NameMap>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("name interner poisoned");
+    names
+        .entry((code, i))
+        .or_insert_with(|| format!("{code} {i}").into())
+        .clone()
+}
+
 /// One scenario run under one setting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioOutcome {
     /// The scenario name.
     pub scenario: String,
@@ -75,20 +95,13 @@ impl ScenarioOutcome {
 pub fn run_scenario(
     scenario: &Scenario,
     setting: &Setting,
-    mut machine_cfg: MachineConfig,
+    machine_cfg: MachineConfig,
 ) -> ScenarioOutcome {
     assert!(
         setting.is_m3() || setting.per_app.len() == scenario.apps.len(),
         "setting must cover every scheduled app"
     );
-    if setting.is_m3() {
-        if machine_cfg.monitor.is_none() {
-            machine_cfg.monitor = Some(m3_core::MonitorConfig::scaled(machine_cfg.phys_total));
-        }
-    } else {
-        machine_cfg.monitor = None;
-    }
-    let machine = Machine::new(machine_cfg);
+    let machine = Machine::new(machine_cfg.with_setting(setting));
     let schedule = scenario
         .apps
         .iter()
@@ -100,7 +113,7 @@ pub fn run_scenario(
                 .copied()
                 .unwrap_or_else(crate::settings::AppConfig::stock_default);
             let bp = blueprint_for(kind, &cfg, setting.is_m3());
-            (format!("{} {i}", kind.code()), start, bp)
+            (app_name(kind.code(), i), start, bp)
         })
         .collect();
     ScenarioOutcome {

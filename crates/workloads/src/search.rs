@@ -13,7 +13,7 @@ use m3_framework::SparkConfig;
 use m3_sim::units::GIB;
 
 use crate::machine::MachineConfig;
-use crate::runner::run_scenario;
+use crate::parallel::{cache_stats, parallel_map, run_scenario_cached, worker_threads};
 use crate::scenario::Scenario;
 use crate::settings::{AppConfig, Setting, SettingKind};
 
@@ -89,7 +89,7 @@ fn eval(
 ) -> f64 {
     scenarios
         .iter()
-        .map(|s| run_scenario(s, &setting_from_kinds(kind, per_kind, s), cfg).score())
+        .map(|s| run_scenario_cached(s, &setting_from_kinds(kind, per_kind, s), cfg).score())
         .sum::<f64>()
         / scenarios.len() as f64
 }
@@ -119,6 +119,7 @@ pub fn search(
     cfg: MachineConfig,
 ) -> (BTreeMap<char, AppConfig>, f64) {
     assert!(!scenarios.is_empty(), "need at least one scenario");
+    let cache_before = cache_stats();
     let mut best = seed_configs(scenarios);
     let mut best_score = eval(&best, setting_kind, scenarios, cfg);
     let kinds: Vec<char> = best.keys().copied().collect();
@@ -215,6 +216,13 @@ pub fn search(
             break;
         }
     }
+    let delta = cache_stats().since(&cache_before);
+    eprintln!(
+        "search[{}]: {} run lookups, memoization hit rate {:.0}%",
+        setting_kind.label(),
+        delta.hits + delta.misses,
+        delta.hit_rate() * 100.0
+    );
     (best, best_score)
 }
 
@@ -227,16 +235,30 @@ fn try_candidates(
     scenarios: &[Scenario],
     cfg: MachineConfig,
 ) -> bool {
-    let mut improved = false;
-    for cand in candidates {
-        if cand == best[&kind] {
-            continue;
-        }
-        let mut trial = best.clone();
+    let candidates: Vec<AppConfig> = candidates
+        .into_iter()
+        .filter(|c| *c != best[&kind])
+        .collect();
+    if candidates.is_empty() {
+        return false;
+    }
+    // Every candidate is evaluated against the same snapshot, in parallel.
+    // This is *exactly* the sequential accept-if-improves loop: evaluation
+    // is pure, and each trial map differs from the incumbent only in
+    // `kind`'s entry — the one entry the trial overwrites — so an accept
+    // mid-loop could not have changed any later trial. Accepting in
+    // submission order below preserves the sequential tie-breaking (ties
+    // keep the earliest winner, the incumbent keeps ties overall).
+    let snapshot = best.clone();
+    let scores = parallel_map(candidates.clone(), worker_threads(), |cand| {
+        let mut trial = snapshot.clone();
         trial.insert(kind, cand);
-        let score = eval(&trial, setting_kind, scenarios, cfg);
+        eval(&trial, setting_kind, scenarios, cfg)
+    });
+    let mut improved = false;
+    for (cand, score) in candidates.into_iter().zip(scores) {
         if score < *best_score {
-            *best = trial;
+            best.insert(kind, cand);
             *best_score = score;
             improved = true;
         }
@@ -283,6 +305,7 @@ pub fn search_global(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_scenario;
     use m3_sim::clock::SimDuration;
 
     fn quick_machine() -> MachineConfig {

@@ -33,7 +33,7 @@ fn main() {
 
     let schedule = vec![
         (
-            "go-cache".to_string(),
+            "go-cache".into(),
             SimDuration::ZERO,
             AppBlueprint::GoCache {
                 go: GoConfig::m3(100),
@@ -43,7 +43,7 @@ fn main() {
             },
         ),
         (
-            "memcached".to_string(),
+            "memcached".into(),
             SimDuration::from_secs(60),
             AppBlueprint::Memcached {
                 allocator: AllocatorKind::Jemalloc,

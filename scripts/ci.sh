@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, and check formatting for the whole workspace.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
+cargo fmt --check

@@ -1,0 +1,91 @@
+//! Determinism regression tests for the experiment harness.
+//!
+//! The parallel harness and the world-loop fast path are only sound if a
+//! run is a pure function of `(scenario, setting, machine_cfg)`. These
+//! tests pin that down at the byte level: the serialized `RunResult` must
+//! be identical whether the run executes serially, through the parallel
+//! harness at 1/4/8 workers (twice each), or with the fast-path clock
+//! jumping disabled.
+
+use m3::workloads::machine::MachineConfig;
+use m3::workloads::runner::run_scenario;
+use m3::workloads::scenario::Scenario;
+use m3::workloads::settings::Setting;
+use m3::workloads::{parallel_map, run_scenarios_parallel_with};
+
+/// A small but representative job mix: stock and M3 regimes, solo and
+/// staggered multi-app schedules, analytics and cache kinds — with profile
+/// sampling on, so the serialized result covers every `RunResult` field.
+fn jobs() -> Vec<(Scenario, Setting, MachineConfig)> {
+    let cfg = MachineConfig::stock_64gb();
+    vec![
+        (Scenario::uniform("M", 0), Setting::default_for(1), cfg),
+        (Scenario::uniform("M", 0), Setting::m3(1), cfg),
+        (Scenario::uniform("MM", 60), Setting::m3(2), cfg),
+        (Scenario::uniform("CM", 120), Setting::m3(2), cfg),
+    ]
+}
+
+fn run_bytes(scenario: &Scenario, setting: &Setting, cfg: MachineConfig) -> String {
+    serde_json::to_string(&run_scenario(scenario, setting, cfg).run).expect("serialize run")
+}
+
+#[test]
+fn fast_path_is_bit_identical_to_tick_by_tick() {
+    for (scenario, setting, cfg) in jobs() {
+        let mut slow = cfg;
+        slow.fast_path = false;
+        let mut fast = cfg;
+        fast.fast_path = true;
+        assert_eq!(
+            run_bytes(&scenario, &setting, slow),
+            run_bytes(&scenario, &setting, fast),
+            "fast path diverged on {} under {:?}",
+            scenario.name,
+            setting.kind
+        );
+    }
+}
+
+#[test]
+fn parallel_harness_matches_serial_at_1_4_8_workers() {
+    let jobs = jobs();
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|(s, set, cfg)| run_bytes(s, set, *cfg))
+        .collect();
+    for workers in [1, 4, 8] {
+        for rep in 0..2 {
+            let outs = run_scenarios_parallel_with(jobs.clone(), workers);
+            assert_eq!(outs.len(), jobs.len());
+            for (i, out) in outs.iter().enumerate() {
+                let bytes = serde_json::to_string(&out.run).expect("serialize run");
+                assert_eq!(
+                    reference[i], bytes,
+                    "parallel run diverged: workers={workers} rep={rep} job={i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn uncached_parallel_fanout_matches_serial() {
+    // `run_scenarios_parallel_with` may answer repeats from the memo cache;
+    // this variant forces a fresh simulation per job on every worker count,
+    // proving the fan-out itself (not just the cache) is deterministic.
+    let jobs = jobs();
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|(s, set, cfg)| run_bytes(s, set, *cfg))
+        .collect();
+    for workers in [1, 4, 8] {
+        let bytes = parallel_map(jobs.clone(), workers, |(s, set, cfg)| {
+            run_bytes(&s, &set, cfg)
+        });
+        assert_eq!(
+            reference, bytes,
+            "fresh fan-out diverged at {workers} workers"
+        );
+    }
+}

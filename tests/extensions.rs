@@ -43,7 +43,7 @@ fn container_limits_pressure_their_members() {
         .enumerate()
         .map(|(i, &(kind, start))| {
             let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3::workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     // The Go-Cache's full demand is ~46 GiB; a 10-GiB container must cap it.
@@ -70,7 +70,7 @@ fn m3_beats_static_containers_on_phase_shifting_workload() {
         .enumerate()
         .map(|(i, &(kind, start))| {
             let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3::workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     let contained = Machine::new(quick_cfg())
@@ -122,7 +122,7 @@ fn rate_curves_all_complete_the_workload() {
                 if let AppBlueprint::Spark { spark, .. } = &mut bp {
                     spark.rate_curve = curve;
                 }
-                (format!("{} {i}", kind.code()), start, bp)
+                (m3::workloads::app_name(kind.code(), i), start, bp)
             })
             .collect();
         let mut cfg = quick_cfg();
@@ -145,7 +145,7 @@ fn crash_mid_run_frees_memory_for_survivors() {
         .enumerate()
         .map(|(i, &(kind, start))| {
             let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3::workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     let mut cfg = quick_cfg();
@@ -173,7 +173,7 @@ fn chaos_on_all_apps_ends_the_run() {
         .enumerate()
         .map(|(i, &(kind, start))| {
             let bp = blueprint_for(kind, &AppConfig::stock_default(), true);
-            (format!("{} {i}", kind.code()), start, bp)
+            (m3::workloads::app_name(kind.code(), i), start, bp)
         })
         .collect();
     let mut cfg = quick_cfg();

@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the subset of the criterion API the workspace benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `Bencher::iter`/`iter_batched`)
+//! with plain `Instant`-based timing: each benchmark is calibrated to run
+//! for roughly 100 ms and reports mean ns/iter on stdout. No statistics,
+//! plots, or baselines — just enough to keep the benches compiling and
+//! producing a comparable number.
+
+use std::time::{Duration, Instant};
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// (iterations, elapsed) of the measured phase.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { result: None }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iter cost.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(100) || n >= 1 << 30 {
+                self.result = Some((n, elapsed));
+                return;
+            }
+            let per_iter = elapsed.as_nanos().max(1) / u128::from(n);
+            let target = Duration::from_millis(100).as_nanos();
+            n = (target / per_iter).clamp(u128::from(n) * 2, 1 << 30) as u64;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        while measured < Duration::from_millis(100) && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters, measured));
+    }
+}
+
+fn report(name: &str, result: Option<(u64, Duration)>) {
+    match result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let per_iter = elapsed.as_nanos() / u128::from(iters);
+            println!("{name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+        }
+        _ => println!("{name:<40} (no measurement)"),
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
