@@ -43,6 +43,17 @@ pub struct MonitorConfig {
     /// Ablation switch: if true, the red zone signals *every* registered
     /// process instead of running Algorithm 1's selective notification.
     pub signal_all: bool,
+    /// Reclamation watchdog: a participant high-signalled this many
+    /// consecutive polls with zero reclaimed bytes is escalated — re-signalled
+    /// with bounded backoff and deprioritized into the kill ordering.
+    pub watchdog_polls: u32,
+    /// Upper bound, in polls, of the watchdog's exponential re-signal
+    /// backoff for escalated participants.
+    pub watchdog_backoff_max: u32,
+    /// Degraded-mode polling: each consecutive failed meminfo read widens
+    /// the red-zone margin by this fraction of `top` (thresholds are pulled
+    /// down), so enforcement turns conservative instead of stopping.
+    pub degraded_margin_fraction: f64,
 }
 
 impl MonitorConfig {
@@ -71,6 +82,9 @@ impl MonitorConfig {
             kill_timeout: SimDuration::from_secs(30),
             adaptive: true,
             signal_all: false,
+            watchdog_polls: 5,
+            watchdog_backoff_max: 8,
+            degraded_margin_fraction: 0.02,
         }
     }
 
@@ -97,6 +111,15 @@ impl MonitorConfig {
             "ratio target must be in (0, 1)"
         );
         assert!(!self.poll_period.is_zero(), "poll period must be positive");
+        assert!(self.watchdog_polls > 0, "watchdog needs at least one poll");
+        assert!(
+            self.watchdog_backoff_max >= 1,
+            "backoff cap must allow re-signalling"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.degraded_margin_fraction),
+            "degraded margin fraction must be in [0, 1)"
+        );
     }
 }
 

@@ -12,7 +12,7 @@
 use m3_os::{Kernel, Pid, Signal};
 use m3_sim::clock::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::MonitorConfig;
 use crate::reclaim::ReclaimTracker;
@@ -49,6 +49,9 @@ pub struct PollReport {
     pub low: u64,
     /// The high threshold after this poll's adjustment.
     pub high: u64,
+    /// True if the meminfo read failed and the poll enforced against the
+    /// last known observation with a widened margin.
+    pub degraded: bool,
 }
 
 /// Cumulative monitor statistics.
@@ -62,7 +65,32 @@ pub struct MonitorStats {
     pub high_signals: u64,
     /// Processes killed.
     pub kills: u64,
+    /// Polls that ran in degraded mode (meminfo read failed).
+    pub degraded_polls: u64,
+    /// Polls that observed usage above the top of memory.
+    pub polls_above_top: u64,
+    /// Participants escalated by the reclamation watchdog (high-signalled
+    /// `watchdog_polls` consecutive polls with zero reclaim).
+    pub watchdog_escalations: u64,
+    /// Backed-off re-signals sent to already-escalated participants.
+    pub watchdog_resignals: u64,
 }
+
+/// Per-participant reclamation-watchdog state.
+#[derive(Debug, Clone, Copy, Default)]
+struct WatchdogEntry {
+    /// Consecutive high signals with no observed reclamation.
+    strikes: u32,
+    /// Escalated: re-signal with backoff, deprioritize in kill ordering.
+    escalated: bool,
+    /// Current backoff width, in polls.
+    backoff: u32,
+    /// Polls to skip before the next re-signal.
+    cooldown: u32,
+}
+
+/// How many failed reads the degraded-mode margin keeps widening for.
+const MAX_DEGRADED_WIDENING: u32 = 5;
 
 /// The M3 monitor.
 #[derive(Debug)]
@@ -76,6 +104,12 @@ pub struct Monitor {
     /// signal fires on the upward *crossing*, not on every in-zone poll —
     /// Fig. 6 shows sparse early warnings, not one per second).
     was_above_low: bool,
+    /// Last successfully observed usage, reused during meminfo outages.
+    last_used: Option<u64>,
+    /// Consecutive failed meminfo reads (degraded-margin widening factor).
+    failed_reads: u32,
+    /// Reclamation-watchdog state per high-signalled participant.
+    watchdog: BTreeMap<Pid, WatchdogEntry>,
     /// Cumulative statistics.
     pub stats: MonitorStats,
 }
@@ -91,6 +125,9 @@ impl Monitor {
             tracker: ReclaimTracker::new(),
             above_top_since: None,
             was_above_low: false,
+            last_used: None,
+            failed_reads: 0,
+            watchdog: BTreeMap::new(),
             stats: MonitorStats::default(),
         }
     }
@@ -105,10 +142,12 @@ impl Monitor {
         self.registered.insert(pid);
     }
 
-    /// Unregisters a process and forgets its reclamation history.
+    /// Unregisters a process and forgets its reclamation history and
+    /// watchdog state.
     pub fn unregister(&mut self, pid: Pid) {
         self.registered.remove(&pid);
         self.tracker.forget(pid);
+        self.watchdog.remove(&pid);
     }
 
     /// True if `pid` is registered.
@@ -117,9 +156,20 @@ impl Monitor {
     }
 
     /// Records how much a process reclaimed in response to a signal,
-    /// feeding the expected-reclamation estimator.
+    /// feeding the expected-reclamation estimator. Any positive reclamation
+    /// clears the process's watchdog record: a participant that resumes
+    /// cooperating is forgiven (and de-escalated).
     pub fn note_reclamation(&mut self, pid: Pid, bytes: u64) {
         self.tracker.record(pid, bytes);
+        if bytes > 0 {
+            self.watchdog.remove(&pid);
+        }
+    }
+
+    /// True if the reclamation watchdog has escalated `pid` (it will be
+    /// preferred by the kill ordering and re-signalled with backoff).
+    pub fn is_deprioritized(&self, pid: Pid) -> bool {
+        self.watchdog.get(&pid).is_some_and(|e| e.escalated)
     }
 
     /// The current (low, high) thresholds.
@@ -129,11 +179,18 @@ impl Monitor {
 
     /// Classifies a usage level against the current thresholds.
     pub fn zone_of(&self, used: u64) -> Zone {
+        self.zone_with_margin(used, 0)
+    }
+
+    /// [`Monitor::zone_of`] with the thresholds (not top) pulled down by a
+    /// safety margin — degraded-mode polling enforces conservatively when
+    /// it cannot see fresh memory state.
+    fn zone_with_margin(&self, used: u64, margin: u64) -> Zone {
         if used > self.cfg.top {
             Zone::AboveTop
-        } else if used > self.thresholds.high() {
+        } else if used > self.thresholds.high().saturating_sub(margin) {
             Zone::Red
-        } else if used > self.thresholds.low() {
+        } else if used > self.thresholds.low().saturating_sub(margin) {
             Zone::Yellow
         } else {
             Zone::Green
@@ -158,11 +215,42 @@ impl Monitor {
 
     /// Performs one poll: reads memory, adjusts thresholds, sends signals,
     /// escalates to kills if the system lingers above top.
+    ///
+    /// A failed meminfo read does not stop enforcement: the poll runs in
+    /// degraded mode against the last observation, with the thresholds
+    /// pulled down by a margin that widens with each consecutive failure
+    /// (stale data earns less trust, so the monitor turns conservative).
     pub fn poll(&mut self, os: &mut Kernel, now: SimTime) -> PollReport {
         self.stats.polls += 1;
-        let used = os.committed();
-        self.thresholds.observe(used);
-        let zone = self.zone_of(used);
+        let (used, degraded) = match os.try_meminfo() {
+            Ok(mi) => {
+                // The monitor-relevant quantity is committed memory: what
+                // applications hold, resident or swapped.
+                let used = mi.used + mi.swapped;
+                self.failed_reads = 0;
+                self.last_used = Some(used);
+                (used, false)
+            }
+            Err(_) => {
+                self.failed_reads = self.failed_reads.saturating_add(1);
+                self.stats.degraded_polls += 1;
+                (self.last_used.unwrap_or(0), true)
+            }
+        };
+        if !degraded {
+            // Stale observations must not feed the adaptive estimator.
+            self.thresholds.observe(used);
+        }
+        let margin = if degraded {
+            let step = (self.cfg.top as f64 * self.cfg.degraded_margin_fraction) as u64;
+            step * u64::from(self.failed_reads.min(MAX_DEGRADED_WIDENING))
+        } else {
+            0
+        };
+        let zone = self.zone_with_margin(used, margin);
+        if zone == Zone::AboveTop {
+            self.stats.polls_above_top += 1;
+        }
 
         let mut report = PollReport {
             zone,
@@ -172,11 +260,12 @@ impl Monitor {
             killed: Vec::new(),
             low: self.thresholds.low(),
             high: self.thresholds.high(),
+            degraded,
         };
 
         // The early warning fires when usage *grows past* the low threshold
         // (§5: an upward crossing), independent of the high-signal logic.
-        let above_low = used > self.thresholds.low();
+        let above_low = used > self.thresholds.low().saturating_sub(margin);
         if above_low && !self.was_above_low && zone != Zone::AboveTop {
             for c in self.candidates(os) {
                 os.send_signal(c.pid, Signal::LowMemory);
@@ -199,22 +288,16 @@ impl Monitor {
                     // Ablation: skip Algorithm 1 and disturb everyone.
                     cands.iter().map(|c| c.pid).collect()
                 } else {
-                    let target = used - self.thresholds.high();
+                    let target = used - self.thresholds.high().saturating_sub(margin);
                     select_processes(&cands, self.cfg.sort_order, target)
                 };
-                for &pid in &selected {
-                    os.send_signal(pid, Signal::HighMemory);
-                }
-                report.high_signalled = selected;
+                report.high_signalled = self.send_high_watchdogged(os, selected);
             }
             Zone::AboveTop => {
                 // Above top: all registered processes get the high signal in
                 // hopes of reclaiming everything possible (§5.1).
-                let cands = self.candidates(os);
-                for c in &cands {
-                    os.send_signal(c.pid, Signal::HighMemory);
-                    report.high_signalled.push(c.pid);
-                }
+                let all: Vec<Pid> = self.candidates(os).iter().map(|c| c.pid).collect();
+                report.high_signalled = self.send_high_watchdogged(os, all);
                 let since = *self.above_top_since.get_or_insert(now);
                 if now.saturating_since(since) >= self.cfg.kill_timeout {
                     report.killed = self.kill_down_to_top(os, used);
@@ -229,12 +312,53 @@ impl Monitor {
         report
     }
 
+    /// Sends the high signal through the reclamation watchdog.
+    ///
+    /// Every signalled participant earns a strike; `note_reclamation` with
+    /// positive bytes clears them. At `watchdog_polls` consecutive strikes
+    /// the participant is escalated: further signals are spaced by an
+    /// exponential backoff capped at `watchdog_backoff_max` polls (there is
+    /// no point hammering a non-responder every second), and the kill
+    /// ordering prefers it. Returns the pids actually signalled.
+    fn send_high_watchdogged(&mut self, os: &mut Kernel, targets: Vec<Pid>) -> Vec<Pid> {
+        let (k, backoff_max) = (self.cfg.watchdog_polls, self.cfg.watchdog_backoff_max);
+        let mut sent = Vec::new();
+        for pid in targets {
+            let e = self.watchdog.entry(pid).or_default();
+            if e.escalated {
+                if e.cooldown > 0 {
+                    e.cooldown -= 1;
+                    continue;
+                }
+                e.backoff = e.backoff.saturating_mul(2).clamp(1, backoff_max);
+                e.cooldown = e.backoff;
+                self.stats.watchdog_resignals += 1;
+            } else {
+                e.strikes += 1;
+                if e.strikes >= k {
+                    e.escalated = true;
+                    e.backoff = 1;
+                    e.cooldown = 0;
+                    self.stats.watchdog_escalations += 1;
+                }
+            }
+            os.send_signal(pid, Signal::HighMemory);
+            sent.push(pid);
+        }
+        sent
+    }
+
     /// Kills processes (Algorithm 1 ordering) until usage is at or below
     /// top. Killing releases memory immediately in the simulated kernel.
+    /// Watchdog-escalated participants are deprioritized to the front of the
+    /// ordering: a non-cooperator dies before any cooperating process.
     fn kill_down_to_top(&mut self, os: &mut Kernel, used: u64) -> Vec<Pid> {
         let cands = self.candidates(os);
         let mut sorted = cands;
         crate::selection::sort_candidates(&mut sorted, self.cfg.sort_order);
+        // Stable partition: escalated first, Algorithm-1 order within each
+        // class.
+        sorted.sort_by_key(|c| !self.is_deprioritized(c.pid));
         let mut killed = Vec::new();
         let mut remaining = used;
         for c in sorted {
@@ -419,6 +543,121 @@ mod tests {
         os.grow(a, 10 * GIB).unwrap();
         mon.poll(&mut os, t(3));
         assert_eq!(mon.stats.low_signals, 2);
+    }
+
+    #[test]
+    fn degraded_poll_reuses_last_observation_and_keeps_enforcing() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 56 * GIB).unwrap(); // red zone
+        let r0 = mon.poll(&mut os, t(0));
+        assert_eq!(r0.zone, Zone::Red);
+        assert!(!r0.degraded);
+        // The meminfo read starts failing; enforcement must continue from
+        // the last observation instead of going quiet.
+        os.set_meminfo_outage(true);
+        let r1 = mon.poll(&mut os, t(1));
+        assert!(r1.degraded);
+        assert_eq!(r1.used, 56 * GIB, "last observation reused");
+        assert_eq!(r1.zone, Zone::Red);
+        assert!(!r1.high_signalled.is_empty(), "still enforcing");
+        assert_eq!(mon.stats.degraded_polls, 1);
+    }
+
+    #[test]
+    fn degraded_margin_widens_with_consecutive_failures() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        mon.register(a);
+        // Just below the high threshold (55 GiB): a healthy poll sees
+        // Yellow, but degraded polls must turn conservative.
+        os.grow(a, 54 * GIB).unwrap();
+        assert_eq!(mon.poll(&mut os, t(0)).zone, Zone::Yellow);
+        os.set_meminfo_outage(true);
+        // One failure widens by 2% of top (~1.24 GiB): 54 > 55 - 1.24.
+        let r = mon.poll(&mut os, t(1));
+        assert_eq!(r.zone, Zone::Red, "stale data is trusted less");
+        os.set_meminfo_outage(false);
+        let r2 = mon.poll(&mut os, t(2));
+        assert!(!r2.degraded);
+        assert_eq!(r2.zone, Zone::Yellow, "fresh read restores full trust");
+    }
+
+    #[test]
+    fn watchdog_escalates_after_k_silent_polls_and_backs_off() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.watchdog_polls = 3;
+        cfg.watchdog_backoff_max = 4;
+        let mut mon = Monitor::new(cfg);
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 56 * GIB).unwrap(); // red zone, a is always selected
+        for i in 0..3 {
+            let r = mon.poll(&mut os, t(i));
+            assert_eq!(r.high_signalled, vec![a], "strike {i} still signals");
+            os.take_signals(a);
+        }
+        assert!(mon.is_deprioritized(a), "3 silent polls escalate");
+        assert_eq!(mon.stats.watchdog_escalations, 1);
+        // Escalated: the next poll re-signals (backoff 1), then cooldowns
+        // space the re-signals out.
+        let signalled: Vec<bool> = (3..10)
+            .map(|i| !mon.poll(&mut os, t(i)).high_signalled.is_empty())
+            .collect();
+        assert!(signalled[0], "first backed-off re-signal");
+        assert!(
+            signalled.iter().filter(|&&s| s).count() < signalled.len(),
+            "backoff must skip polls"
+        );
+        assert!(mon.stats.watchdog_resignals >= 1);
+    }
+
+    #[test]
+    fn reclamation_forgives_the_watchdog() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.watchdog_polls = 2;
+        let mut mon = Monitor::new(cfg);
+        let a = os.spawn("a");
+        mon.register(a);
+        os.grow(a, 56 * GIB).unwrap();
+        mon.poll(&mut os, t(0));
+        mon.poll(&mut os, t(1));
+        assert!(mon.is_deprioritized(a));
+        mon.note_reclamation(a, GIB);
+        assert!(!mon.is_deprioritized(a), "cooperation de-escalates");
+    }
+
+    #[test]
+    fn escalated_participant_dies_first_despite_sort_order() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.watchdog_polls = 2;
+        let mut mon = Monitor::new(cfg);
+        os.set_time(t(0));
+        let uncoop = os.spawn("uncooperative");
+        os.set_time(t(100));
+        let coop = os.spawn("cooperative");
+        mon.register(uncoop);
+        mon.register(coop);
+        os.grow(uncoop, 33 * GIB).unwrap();
+        os.grow(coop, 30 * GIB).unwrap(); // 63 GiB > top (62)
+
+        // Above top: both signalled; only `coop` ever reclaims.
+        mon.poll(&mut os, t(101));
+        mon.note_reclamation(coop, GIB / 2);
+        assert!(!mon.is_deprioritized(uncoop), "one strike is not enough");
+        // Second silent poll escalates `uncoop` (coop's record was cleared
+        // by its reclamation) and the kill timeout fires in the same poll.
+        // NewestFirst alone would kill `coop` (newest); the watchdog must
+        // redirect the escalation to the non-cooperator.
+        let r = mon.poll(&mut os, t(101 + 30));
+        assert!(mon.stats.watchdog_escalations >= 1);
+        assert_eq!(r.killed, vec![uncoop]);
+        assert!(os.is_alive(coop));
+        assert!(!os.is_alive(uncoop));
     }
 
     #[test]

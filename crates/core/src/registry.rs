@@ -18,6 +18,12 @@ pub struct PidFile {
     pub pid: Pid,
     /// The application name written into the file (for operator tooling).
     pub app_name: String,
+    /// The incarnation of the process that wrote the file. Pids are reused;
+    /// a file whose incarnation no longer matches the live process names a
+    /// *different* (dead) process and is stale, even though the pid is
+    /// alive. (Real PID files approximate this with the process start time
+    /// from `/proc/<pid>/stat`.)
+    pub incarnation: u64,
 }
 
 /// The known registration directory.
@@ -32,14 +38,18 @@ impl Registry {
         Registry::default()
     }
 
-    /// Registers a process (creates its PID file). Re-registration
-    /// overwrites the previous file, as writing the same path would.
-    pub fn register(&mut self, pid: Pid, app_name: impl Into<String>) {
+    /// Registers a process (creates its PID file), capturing the live
+    /// process's incarnation so a later pid-reuser cannot be mistaken for
+    /// it. Re-registration overwrites the previous file, as writing the
+    /// same path would.
+    pub fn register(&mut self, os: &Kernel, pid: Pid, app_name: impl Into<String>) {
+        let incarnation = os.process(pid).map_or(0, |p| p.incarnation);
         self.entries.insert(
             pid,
             PidFile {
                 pid,
                 app_name: app_name.into(),
+                incarnation,
             },
         );
     }
@@ -76,13 +86,18 @@ impl Registry {
     }
 
     /// Sweeps stale files: entries whose process is no longer alive
-    /// (crashed before deregistering). Returns the removed pids.
+    /// (crashed before deregistering), *or* whose pid is now occupied by a
+    /// different incarnation — a fresh process that reused the number must
+    /// not inherit the dead one's registration. Returns the removed pids.
     pub fn sweep_stale(&mut self, os: &Kernel) -> Vec<Pid> {
         let stale: Vec<Pid> = self
             .entries
-            .keys()
-            .copied()
-            .filter(|&p| !os.is_alive(p))
+            .iter()
+            .filter(|(&p, file)| {
+                !os.process(p)
+                    .is_some_and(|pr| pr.is_alive() && pr.incarnation == file.incarnation)
+            })
+            .map(|(&p, _)| p)
             .collect();
         for p in &stale {
             self.entries.remove(p);
@@ -122,7 +137,7 @@ mod tests {
         let pid = os.spawn("app");
         let mut reg = Registry::new();
         assert!(reg.is_empty());
-        reg.register(pid, "spark-executor");
+        reg.register(&os, pid, "spark-executor");
         assert!(reg.contains(pid));
         assert_eq!(reg.entry(pid).unwrap().app_name, "spark-executor");
         assert_eq!(reg.pids(), vec![pid]);
@@ -136,8 +151,8 @@ mod tests {
         let mut os = kernel();
         let pid = os.spawn("app");
         let mut reg = Registry::new();
-        reg.register(pid, "old");
-        reg.register(pid, "new");
+        reg.register(&os, pid, "old");
+        reg.register(&os, pid, "new");
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.entry(pid).unwrap().app_name, "new");
     }
@@ -148,11 +163,68 @@ mod tests {
         let live = os.spawn("live");
         let dead = os.spawn("dead");
         let mut reg = Registry::new();
-        reg.register(live, "a");
-        reg.register(dead, "b");
+        reg.register(&os, live, "a");
+        reg.register(&os, dead, "b");
         os.kill(dead);
         assert_eq!(reg.sweep_stale(&os), vec![dead]);
         assert_eq!(reg.pids(), vec![live]);
+    }
+
+    #[test]
+    fn pid_reuse_does_not_inherit_the_stale_registration() {
+        let mut os = kernel();
+        let victim = os.spawn("participant");
+        let mut reg = Registry::new();
+        reg.register(&os, victim, "participant");
+        // The participant crashes, and — before any sweep runs — an
+        // unrelated process spawns under the same pid.
+        os.kill(victim);
+        let bystander = os.spawn_reusing(victim, "bystander");
+        assert_eq!(bystander, victim);
+        assert!(os.is_alive(bystander), "the pid is alive again...");
+        let swept = reg.sweep_stale(&os);
+        assert_eq!(
+            swept,
+            vec![victim],
+            "...but the file names a dead incarnation and must be swept"
+        );
+        assert!(!reg.contains(bystander));
+    }
+
+    #[test]
+    fn pid_reuse_never_reaches_the_monitor() {
+        let mut os = kernel();
+        let mut reg = Registry::new();
+        let mut mon = Monitor::new(MonitorConfig::scaled(4 * GIB));
+        let victim = os.spawn("participant");
+        reg.register(&os, victim, "participant");
+        reg.sync_monitor(&mut mon, &os);
+        assert!(mon.is_registered(victim));
+        // Crash + pid reuse between two syncs: the bystander must not be
+        // registered (it never dropped a PID file of its own).
+        os.kill(victim);
+        os.spawn_reusing(victim, "bystander");
+        reg.sync_monitor(&mut mon, &os);
+        assert!(
+            !mon.is_registered(victim),
+            "the reused pid must not inherit M3 participation"
+        );
+        assert!(!reg.contains(victim));
+    }
+
+    #[test]
+    fn reregistration_by_the_reuser_is_fresh() {
+        let mut os = kernel();
+        let mut reg = Registry::new();
+        let victim = os.spawn("old");
+        reg.register(&os, victim, "old");
+        os.kill(victim);
+        let pid = os.spawn_reusing(victim, "new");
+        // The new process opts in itself: the overwritten file now carries
+        // the live incarnation and survives the sweep.
+        reg.register(&os, pid, "new");
+        assert!(reg.sweep_stale(&os).is_empty());
+        assert_eq!(reg.entry(pid).unwrap().app_name, "new");
     }
 
     #[test]
@@ -162,8 +234,8 @@ mod tests {
         let b = os.spawn("b");
         let mut reg = Registry::new();
         let mut mon = Monitor::new(MonitorConfig::scaled(4 * GIB));
-        reg.register(a, "a");
-        reg.register(b, "b");
+        reg.register(&os, a, "a");
+        reg.register(&os, b, "b");
         reg.sync_monitor(&mut mon, &os);
         assert!(mon.is_registered(a) && mon.is_registered(b));
         // b crashes without deregistering.

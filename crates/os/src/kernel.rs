@@ -9,7 +9,7 @@ use std::fmt;
 
 use crate::meminfo::MemInfo;
 use crate::process::{Pid, Process, ProcessState};
-use crate::signals::{Signal, SignalBus};
+use crate::signals::{SendOutcome, Signal, SignalBus, SignalFaultConfig, SignalFaultStats};
 use crate::swap::SwapModel;
 
 /// Kernel construction parameters.
@@ -40,6 +40,9 @@ pub enum KernelError {
     /// Both physical memory and swap are exhausted; the allocation cannot be
     /// backed. (The caller should expect the OOM killer to fire.)
     OutOfMemory,
+    /// `/proc/meminfo` could not be read (injected poll outage). The monitor
+    /// is expected to degrade gracefully, not to panic.
+    MemInfoUnavailable,
 }
 
 impl fmt::Display for KernelError {
@@ -47,6 +50,7 @@ impl fmt::Display for KernelError {
         match self {
             KernelError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
             KernelError::OutOfMemory => write!(f, "out of memory and swap"),
+            KernelError::MemInfoUnavailable => write!(f, "meminfo read failed"),
         }
     }
 }
@@ -65,7 +69,12 @@ pub struct Kernel {
     procs: BTreeMap<Pid, Process>,
     signals: SignalBus,
     next_pid: Pid,
+    /// Lifetime spawn counter: stamps each process with a unique
+    /// incarnation so pid reuse is detectable.
+    spawn_seq: u64,
     now: SimTime,
+    /// Injected meminfo outage: while set, [`Kernel::try_meminfo`] fails.
+    meminfo_down: bool,
     /// Structured event log (signals, kills, OOM) for tests and figures.
     pub trace: TraceLog,
 }
@@ -78,7 +87,9 @@ impl Kernel {
             procs: BTreeMap::new(),
             signals: SignalBus::new(),
             next_pid: 1,
+            spawn_seq: 0,
             now: SimTime::ZERO,
+            meminfo_down: false,
             trace: TraceLog::new(),
         }
     }
@@ -89,9 +100,11 @@ impl Kernel {
     }
 
     /// Updates the kernel's notion of "now" (used to timestamp spawns and
-    /// trace events). The world loop calls this once per tick.
+    /// trace events), delivering any deferred signals that have come due.
+    /// The world loop calls this once per tick.
     pub fn set_time(&mut self, now: SimTime) {
         self.now = now;
+        self.signals.deliver_due(now);
     }
 
     /// The kernel's current time.
@@ -103,9 +116,35 @@ impl Kernel {
     pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
-        let proc = Process::new(pid, name, self.now);
+        self.spawn_seq += 1;
+        let proc = Process::new(pid, name, self.now, self.spawn_seq);
         self.trace
             .record(self.now, pid, "proc.spawn", proc.name.clone());
+        self.procs.insert(pid, proc);
+        pid
+    }
+
+    /// Creates a new process *reusing* a dead process's pid (the PID-reuse
+    /// hazard real registries face: a fresh, unrelated process appears under
+    /// a number a stale PID file still names). The new process gets a fresh
+    /// incarnation and inherits nothing — pending and in-flight signals for
+    /// the old pid are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is still alive (a real kernel never reuses a live
+    /// pid) or was never allocated.
+    pub fn spawn_reusing(&mut self, pid: Pid, name: impl Into<String>) -> Pid {
+        assert!(
+            pid < self.next_pid,
+            "cannot reuse a pid that was never allocated"
+        );
+        assert!(!self.is_alive(pid), "cannot reuse a live pid");
+        self.signals.forget(pid);
+        self.spawn_seq += 1;
+        let proc = Process::new(pid, name, self.now, self.spawn_seq);
+        self.trace
+            .record(self.now, pid, "proc.respawn", proc.name.clone());
         self.procs.insert(pid, proc);
         pid
     }
@@ -216,6 +255,32 @@ impl Kernel {
         }
     }
 
+    /// Fallible `/proc/meminfo` read: fails while a poll outage is injected.
+    /// Monitors should read through this and degrade on `Err` rather than
+    /// assuming the snapshot is always available.
+    pub fn try_meminfo(&self) -> Result<MemInfo, KernelError> {
+        if self.meminfo_down {
+            Err(KernelError::MemInfoUnavailable)
+        } else {
+            Ok(self.meminfo())
+        }
+    }
+
+    /// Injects (or clears) a meminfo outage.
+    pub fn set_meminfo_outage(&mut self, down: bool) {
+        self.meminfo_down = down;
+    }
+
+    /// Installs (or clears) signal fault injection on the bus.
+    pub fn set_signal_faults(&mut self, cfg: Option<SignalFaultConfig>) {
+        self.signals.set_fault(cfg);
+    }
+
+    /// Signal fault-injection counters (zero when no faults are installed).
+    pub fn signal_fault_stats(&self) -> SignalFaultStats {
+        self.signals.fault_stats()
+    }
+
     /// Work-speed multiplier in `(0, 1]` applied to every running process,
     /// reflecting swap thrashing.
     pub fn thrash_multiplier(&self) -> f64 {
@@ -224,17 +289,21 @@ impl Kernel {
             .speed_multiplier(self.swapped(), self.config.total)
     }
 
-    /// Queues a signal for a running process. Signals to dead processes are
-    /// silently dropped (matching `kill(2)` on a reaped pid).
+    /// Queues a signal for a running process, subject to any installed
+    /// signal fault injection. Signals to dead processes are silently
+    /// dropped (matching `kill(2)` on a reaped pid).
     pub fn send_signal(&mut self, pid: Pid, sig: Signal) {
         if self.is_alive(pid) {
-            let kind = match sig {
-                Signal::LowMemory => "signal.low",
-                Signal::HighMemory => "signal.high",
-                Signal::Kill => "signal.kill",
+            let kind = match self.signals.send_at(pid, sig, self.now) {
+                SendOutcome::Delivered => match sig {
+                    Signal::LowMemory => "signal.low",
+                    Signal::HighMemory => "signal.high",
+                    Signal::Kill => "signal.kill",
+                },
+                SendOutcome::Dropped => "signal.dropped",
+                SendOutcome::Delayed => "signal.delayed",
             };
             self.trace.record(self.now, pid, kind, "");
-            self.signals.send(pid, sig);
         }
     }
 
@@ -416,5 +485,59 @@ mod tests {
         k.set_time(SimTime::from_secs(42));
         let p = k.spawn("late");
         assert_eq!(k.process(p).unwrap().spawned_at, SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn spawn_reusing_gets_fresh_incarnation_and_no_stale_signals() {
+        let mut k = kernel(1);
+        let p = k.spawn("victim");
+        let first_inc = k.process(p).unwrap().incarnation;
+        k.kill(p); // queues a Kill signal for the dead pid
+        let reused = k.spawn_reusing(p, "bystander");
+        assert_eq!(reused, p, "same pid, new process");
+        assert!(k.is_alive(p));
+        assert!(
+            k.take_signals(p).is_empty(),
+            "the reuser must not inherit the victim's Kill"
+        );
+        assert!(k.process(p).unwrap().incarnation > first_inc);
+        assert_eq!(k.process(p).unwrap().name, "bystander");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reuse a live pid")]
+    fn spawn_reusing_rejects_live_pids() {
+        let mut k = kernel(1);
+        let p = k.spawn("alive");
+        k.spawn_reusing(p, "imposter");
+    }
+
+    #[test]
+    fn meminfo_outage_fails_try_meminfo_only() {
+        let mut k = kernel(4);
+        let p = k.spawn("p");
+        k.grow(p, GIB).unwrap();
+        assert_eq!(k.try_meminfo().unwrap().used, GIB);
+        k.set_meminfo_outage(true);
+        assert_eq!(k.try_meminfo(), Err(KernelError::MemInfoUnavailable));
+        k.set_meminfo_outage(false);
+        assert!(k.try_meminfo().is_ok());
+    }
+
+    #[test]
+    fn deferred_signals_flush_on_set_time() {
+        use crate::signals::SignalFaultConfig;
+        let mut k = kernel(1);
+        let p = k.spawn("p");
+        k.set_signal_faults(Some(SignalFaultConfig::laggy(
+            1,
+            1.0,
+            SimTime::from_secs(3).saturating_since(SimTime::ZERO),
+        )));
+        k.send_signal(p, Signal::HighMemory);
+        assert!(k.take_signals(p).is_empty(), "in flight");
+        k.set_time(SimTime::from_secs(3));
+        assert_eq!(k.take_signals(p), vec![Signal::HighMemory]);
+        assert_eq!(k.signal_fault_stats().delayed, 1);
     }
 }

@@ -40,4 +40,4 @@ pub use disk::DiskModel;
 pub use kernel::{Kernel, KernelConfig, KernelError};
 pub use meminfo::MemInfo;
 pub use process::{Pid, ProcessState};
-pub use signals::Signal;
+pub use signals::{SendOutcome, Signal, SignalFaultConfig, SignalFaultStats};

@@ -30,17 +30,23 @@ pub struct Process {
     pub committed: u64,
     /// Life-cycle state.
     pub state: ProcessState,
+    /// Monotonic spawn counter, unique across the kernel's lifetime even
+    /// when pids are reused. A pid identifies a *slot*; the incarnation
+    /// identifies the *process* — registries that remember pids across
+    /// reuse must compare this (the PID-file staleness problem of §6).
+    pub incarnation: u64,
 }
 
 impl Process {
     /// Creates a new running process with no memory.
-    pub fn new(pid: Pid, name: impl Into<String>, spawned_at: SimTime) -> Self {
+    pub fn new(pid: Pid, name: impl Into<String>, spawned_at: SimTime, incarnation: u64) -> Self {
         Process {
             pid,
             name: name.into(),
             spawned_at,
             committed: 0,
             state: ProcessState::Running,
+            incarnation,
         }
     }
 
@@ -56,16 +62,17 @@ mod tests {
 
     #[test]
     fn new_process_is_alive_and_empty() {
-        let p = Process::new(3, "spark-executor", SimTime::from_secs(7));
+        let p = Process::new(3, "spark-executor", SimTime::from_secs(7), 3);
         assert!(p.is_alive());
         assert_eq!(p.committed, 0);
         assert_eq!(p.spawned_at.as_secs(), 7);
         assert_eq!(p.name, "spark-executor");
+        assert_eq!(p.incarnation, 3);
     }
 
     #[test]
     fn terminal_states_are_not_alive() {
-        let mut p = Process::new(1, "x", SimTime::ZERO);
+        let mut p = Process::new(1, "x", SimTime::ZERO, 1);
         p.state = ProcessState::Exited;
         assert!(!p.is_alive());
         p.state = ProcessState::Killed;

@@ -7,6 +7,8 @@
 //! point, mirroring asynchronous signal delivery without needing actual
 //! interrupt semantics.
 
+use m3_sim::clock::{SimDuration, SimTime};
+use m3_sim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -24,6 +26,66 @@ pub enum Signal {
     Kill,
 }
 
+/// Fault injection for signal delivery: a deterministic, seeded lossy bus.
+///
+/// Each memory-pressure send rolls one uniform variate: below `drop_prob`
+/// the signal is lost outright; in the next `delay_prob`-wide band it is
+/// deferred by `delay` before entering the queue. `Kill` is immune — the
+/// kernel's termination path is not a user-space notification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalFaultConfig {
+    /// Probability a pressure signal is silently lost.
+    pub drop_prob: f64,
+    /// Probability a (non-dropped) pressure signal is deferred.
+    pub delay_prob: f64,
+    /// Deferral applied to delayed signals.
+    pub delay: SimDuration,
+    /// RNG seed; the fault sequence is a pure function of it.
+    pub seed: u64,
+}
+
+impl SignalFaultConfig {
+    /// Drops each pressure signal with probability `drop_prob`.
+    pub fn lossy(seed: u64, drop_prob: f64) -> Self {
+        SignalFaultConfig {
+            drop_prob,
+            delay_prob: 0.0,
+            delay: SimDuration::ZERO,
+            seed,
+        }
+    }
+
+    /// Delays each pressure signal with probability `delay_prob`.
+    pub fn laggy(seed: u64, delay_prob: f64, delay: SimDuration) -> Self {
+        SignalFaultConfig {
+            drop_prob: 0.0,
+            delay_prob,
+            delay,
+            seed,
+        }
+    }
+}
+
+/// Counters of what the fault injection did to the bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalFaultStats {
+    /// Pressure signals silently lost.
+    pub dropped: u64,
+    /// Pressure signals deferred (they were delivered later).
+    pub delayed: u64,
+}
+
+/// What happened to one send on a (possibly faulted) bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Queued for the target immediately.
+    Delivered,
+    /// Lost to injected signal loss.
+    Dropped,
+    /// Deferred; it will queue once the delay elapses.
+    Delayed,
+}
+
 /// Per-process FIFO signal queues.
 ///
 /// Duplicate *pending* memory-pressure signals are coalesced, matching the
@@ -33,6 +95,11 @@ pub enum Signal {
 #[derive(Debug, Clone, Default)]
 pub struct SignalBus {
     queues: BTreeMap<Pid, Vec<Signal>>,
+    fault: Option<(SignalFaultConfig, SimRng)>,
+    /// Deferred `(due, pid, sig)` sends, in send order. The fixed per-bus
+    /// delay keeps this chronologically sorted.
+    deferred: Vec<(SimTime, Pid, Signal)>,
+    stats: SignalFaultStats,
 }
 
 impl SignalBus {
@@ -41,12 +108,65 @@ impl SignalBus {
         SignalBus::default()
     }
 
+    /// Installs (or clears) signal fault injection. The RNG restarts from
+    /// the configured seed, so installing the same config twice replays the
+    /// same drop/delay sequence.
+    pub fn set_fault(&mut self, cfg: Option<SignalFaultConfig>) {
+        self.fault = cfg.map(|c| (c, SimRng::new(c.seed)));
+    }
+
+    /// Fault-injection counters so far.
+    pub fn fault_stats(&self) -> SignalFaultStats {
+        self.stats
+    }
+
     /// Queues `sig` for `pid`. Memory-pressure signals already pending for
     /// the process are not duplicated; `Kill` always queues.
     pub fn send(&mut self, pid: Pid, sig: Signal) {
         let q = self.queues.entry(pid).or_default();
         if sig == Signal::Kill || !q.contains(&sig) {
             q.push(sig);
+        }
+    }
+
+    /// Like [`SignalBus::send`], but subject to the installed fault
+    /// injection; `now` timestamps deferred deliveries.
+    pub fn send_at(&mut self, pid: Pid, sig: Signal, now: SimTime) -> SendOutcome {
+        if sig != Signal::Kill {
+            if let Some((cfg, rng)) = self.fault.as_mut() {
+                let roll = rng.gen_f64();
+                if roll < cfg.drop_prob {
+                    self.stats.dropped += 1;
+                    return SendOutcome::Dropped;
+                }
+                if roll < cfg.drop_prob + cfg.delay_prob {
+                    self.stats.delayed += 1;
+                    self.deferred.push((now + cfg.delay, pid, sig));
+                    return SendOutcome::Delayed;
+                }
+            }
+        }
+        self.send(pid, sig);
+        SendOutcome::Delivered
+    }
+
+    /// Moves deferred sends whose delay has elapsed into the queues (with
+    /// the usual coalescing). The kernel calls this when its clock advances.
+    pub fn deliver_due(&mut self, now: SimTime) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        self.deferred.retain(|&(t, pid, sig)| {
+            if t <= now {
+                due.push((pid, sig));
+                false
+            } else {
+                true
+            }
+        });
+        for (pid, sig) in due {
+            self.send(pid, sig);
         }
     }
 
@@ -65,9 +185,12 @@ impl SignalBus {
         self.queues.get(&pid).map_or(0, Vec::len)
     }
 
-    /// Discards all state for an exited process.
+    /// Discards all state for an exited process — including deferred
+    /// in-flight sends, so a later process reusing the pid cannot inherit
+    /// the dead one's signals.
     pub fn forget(&mut self, pid: Pid) {
         self.queues.remove(&pid);
+        self.deferred.retain(|&(_, p, _)| p != pid);
     }
 }
 
@@ -131,5 +254,68 @@ mod tests {
         bus.send(9, Signal::LowMemory);
         bus.forget(9);
         assert_eq!(bus.pending_count(9), 0);
+    }
+
+    #[test]
+    fn lossy_bus_drops_deterministically() {
+        let run = || {
+            let mut bus = SignalBus::new();
+            bus.set_fault(Some(SignalFaultConfig::lossy(7, 0.5)));
+            (0..64)
+                .map(|i| bus.send_at(i, Signal::HighMemory, SimTime::ZERO))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.contains(&SendOutcome::Dropped));
+        assert!(a.contains(&SendOutcome::Delivered));
+    }
+
+    #[test]
+    fn kill_is_immune_to_fault_injection() {
+        let mut bus = SignalBus::new();
+        bus.set_fault(Some(SignalFaultConfig::lossy(1, 1.0)));
+        assert_eq!(
+            bus.send_at(3, Signal::Kill, SimTime::ZERO),
+            SendOutcome::Delivered
+        );
+        assert_eq!(
+            bus.send_at(3, Signal::HighMemory, SimTime::ZERO),
+            SendOutcome::Dropped
+        );
+        assert_eq!(bus.take(3), vec![Signal::Kill]);
+        assert_eq!(bus.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn delayed_signals_arrive_after_the_delay() {
+        let mut bus = SignalBus::new();
+        bus.set_fault(Some(SignalFaultConfig::laggy(
+            2,
+            1.0,
+            SimDuration::from_secs(5),
+        )));
+        let t0 = SimTime::ZERO;
+        assert_eq!(bus.send_at(1, Signal::HighMemory, t0), SendOutcome::Delayed);
+        bus.deliver_due(t0 + SimDuration::from_secs(4));
+        assert_eq!(bus.pending_count(1), 0, "still in flight");
+        bus.deliver_due(t0 + SimDuration::from_secs(5));
+        assert_eq!(bus.take(1), vec![Signal::HighMemory]);
+        assert_eq!(bus.fault_stats().delayed, 1);
+    }
+
+    #[test]
+    fn forget_purges_deferred_sends() {
+        let mut bus = SignalBus::new();
+        bus.set_fault(Some(SignalFaultConfig::laggy(
+            2,
+            1.0,
+            SimDuration::from_secs(1),
+        )));
+        bus.send_at(4, Signal::HighMemory, SimTime::ZERO);
+        bus.forget(4); // process died; a pid-reuser must not inherit this
+        bus.deliver_due(SimTime::from_secs(10));
+        assert_eq!(bus.pending_count(4), 0);
     }
 }

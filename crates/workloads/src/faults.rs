@@ -1,0 +1,340 @@
+//! Fault injection for world-loop experiments.
+//!
+//! A [`FaultPlan`] is a serializable description of everything that goes
+//! wrong during a run: scheduled crash-kills (the old
+//! `Machine::run_with_chaos` behaviour), seeded signal loss/delay on the
+//! bus, participants that handle signals but never return pages,
+//! `/proc/meminfo` outages, per-app leaks, and stale-registration churn
+//! with pid reuse. Being serializable, the plan participates in the
+//! content-addressed memoization key (see [`crate::parallel`]), so a cached
+//! result can never be returned for a different fault schedule.
+//!
+//! What the run *did* about the plan comes back in a
+//! [`DegradationReport`] inside [`crate::machine::RunResult`]: which events
+//! applied, which could not (and why), how many signals the bus lost, how
+//! the monitor's watchdog escalated, and how long recovery took.
+
+use m3_os::SignalFaultConfig;
+use m3_sim::clock::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What an app-targeted fault does to its victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Kill the process outright (a crash).
+    Crash,
+    /// The participant keeps handling signals but returns only
+    /// `reclaim_fraction` of what its handler frees to the OS — 0.0 models
+    /// full non-cooperation, the problem the reclamation watchdog exists
+    /// for.
+    Unresponsive {
+        /// Fraction of handler-freed bytes actually returned, in `[0, 1]`.
+        reclaim_fraction: f64,
+    },
+    /// The app leaks memory at a steady rate for the rest of its life.
+    Leak {
+        /// Leak rate in bytes per simulated second.
+        bytes_per_sec: u64,
+    },
+}
+
+// Hand-written: the vendored serde derive only handles unit enum variants,
+// and `Unresponsive`/`Leak` carry data. Serialized as an internally tagged
+// map so plans stay readable as JSON.
+impl Serialize for FaultKind {
+    fn serialize(&self) -> serde::Content {
+        use serde::Content;
+        match self {
+            FaultKind::Crash => Content::Map(vec![("kind".into(), Content::Str("crash".into()))]),
+            FaultKind::Unresponsive { reclaim_fraction } => Content::Map(vec![
+                ("kind".into(), Content::Str("unresponsive".into())),
+                ("reclaim_fraction".into(), Content::F64(*reclaim_fraction)),
+            ]),
+            FaultKind::Leak { bytes_per_sec } => Content::Map(vec![
+                ("kind".into(), Content::Str("leak".into())),
+                ("bytes_per_sec".into(), Content::U64(*bytes_per_sec)),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for FaultKind {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        let tag: String = serde::map_field(c, "kind")?;
+        match tag.as_str() {
+            "crash" => Ok(FaultKind::Crash),
+            "unresponsive" => Ok(FaultKind::Unresponsive {
+                reclaim_fraction: serde::map_field(c, "reclaim_fraction")?,
+            }),
+            "leak" => Ok(FaultKind::Leak {
+                bytes_per_sec: serde::map_field(c, "bytes_per_sec")?,
+            }),
+            other => Err(serde::DeError::new(format!("unknown fault kind `{other}`"))),
+        }
+    }
+}
+
+/// One scheduled fault against a scheduled application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimDuration,
+    /// Schedule index of the victim.
+    pub target: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A window during which the monitor's meminfo reads fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Outage start.
+    pub start: SimDuration,
+    /// Outage length.
+    pub duration: SimDuration,
+}
+
+impl OutageWindow {
+    /// True if `now` falls inside the window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        let t = now.saturating_since(SimTime::ZERO);
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// Stale-registration churn: at `at`, a ghost process registers with the
+/// monitor and immediately crashes without deregistering; an unrelated
+/// bystander then spawns *reusing the ghost's pid* and holds
+/// `bystander_rss` bytes for `bystander_lifetime`. The registry's sweep
+/// must not let the bystander inherit the ghost's M3 participation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the ghost registers and dies.
+    pub at: SimDuration,
+    /// Memory the pid-reusing bystander holds.
+    pub bystander_rss: u64,
+    /// How long the bystander lives before exiting cleanly.
+    pub bystander_lifetime: SimDuration,
+}
+
+/// A serializable schedule of everything that goes wrong during a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// App-targeted faults (crash / unresponsive / leak).
+    pub events: Vec<FaultEvent>,
+    /// Seeded signal loss/delay installed on the kernel's bus.
+    pub signal_faults: Option<SignalFaultConfig>,
+    /// Meminfo outage windows (degraded-mode polling).
+    pub poll_outages: Vec<OutageWindow>,
+    /// Stale-registration churn events (pid reuse).
+    pub churn: Vec<ChurnEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing goes wrong. This is what every plain
+    /// [`crate::machine::Machine::run`] uses.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.signal_faults.is_none()
+            && self.poll_outages.is_empty()
+            && self.churn.is_empty()
+    }
+
+    /// Adds a crash-kill of schedule index `target` at `at`.
+    pub fn with_crash(mut self, at: SimDuration, target: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Makes schedule index `target` unresponsive from `at` on: its handler
+    /// runs but only `reclaim_fraction` of freed bytes reach the OS.
+    pub fn with_unresponsive(
+        mut self,
+        at: SimDuration,
+        target: usize,
+        reclaim_fraction: f64,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Unresponsive { reclaim_fraction },
+        });
+        self
+    }
+
+    /// Makes schedule index `target` leak `bytes_per_sec` from `at` on.
+    pub fn with_leak(mut self, at: SimDuration, target: usize, bytes_per_sec: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Leak { bytes_per_sec },
+        });
+        self
+    }
+
+    /// Installs seeded signal loss/delay on the bus.
+    pub fn with_signal_faults(mut self, cfg: SignalFaultConfig) -> Self {
+        self.signal_faults = Some(cfg);
+        self
+    }
+
+    /// Adds a meminfo outage window.
+    pub fn with_poll_outage(mut self, start: SimDuration, duration: SimDuration) -> Self {
+        self.poll_outages.push(OutageWindow { start, duration });
+        self
+    }
+
+    /// Adds a stale-registration churn event at `at`.
+    pub fn with_churn(
+        mut self,
+        at: SimDuration,
+        bystander_rss: u64,
+        lifetime: SimDuration,
+    ) -> Self {
+        self.churn.push(ChurnEvent {
+            at,
+            bystander_rss,
+            bystander_lifetime: lifetime,
+        });
+        self
+    }
+
+    /// Converts the legacy `(t, idx)` crash-kill list.
+    pub fn from_kills(kills: Vec<(SimDuration, usize)>) -> Self {
+        kills
+            .into_iter()
+            .fold(FaultPlan::none(), |plan, (t, idx)| plan.with_crash(t, idx))
+    }
+
+    /// Number of injectable items in the plan (app events + churn).
+    pub fn injected_count(&self) -> u64 {
+        (self.events.len() + self.churn.len()) as u64
+    }
+}
+
+/// Why an app-targeted fault event could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnappliedReason {
+    /// The victim had not started when the fault fired.
+    NotStarted,
+    /// The victim had already finished, failed or been killed.
+    AlreadyDone,
+    /// The target index names no scheduled app.
+    NoSuchApp,
+    /// The run ended before the fault's scheduled time.
+    RunEnded,
+}
+
+/// An app-targeted fault that could not be applied, and why. The old
+/// `run_with_chaos` silently dropped these; now they are accounted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnappliedFault {
+    /// The event that could not be applied.
+    pub event: FaultEvent,
+    /// Why it could not be applied.
+    pub reason: UnappliedReason,
+}
+
+/// Recovery bookkeeping for one applied fault event: how many monitor polls
+/// passed between the fault's application and the system returning to a
+/// comfortable zone (Green/Yellow) *after* an actual Red/AboveTop
+/// excursion. A fault that never pushes the system into trouble counts as
+/// recovered when the run ends below the high threshold. Only tracked when
+/// a monitor runs (the unit of measure is its poll).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// Index into [`FaultPlan::events`].
+    pub event_index: usize,
+    /// Polls from application to recovery; `None` if the system never
+    /// returned below the high threshold while the run lasted.
+    pub recovered_after_polls: Option<u64>,
+}
+
+/// What a run did about its fault plan, and how the monitor degraded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Injectable items in the plan (app events + churn).
+    pub faults_injected: u64,
+    /// Items actually applied to a live target.
+    pub faults_applied: u64,
+    /// App-targeted events that could not be applied, with reasons.
+    pub faults_unapplied: Vec<UnappliedFault>,
+    /// Pressure signals lost to injected signal faults.
+    pub signals_dropped: u64,
+    /// Pressure signals deferred by injected signal faults.
+    pub signals_delayed: u64,
+    /// Monitor polls that ran in degraded mode (meminfo unreadable).
+    pub degraded_polls: u64,
+    /// Participants escalated by the reclamation watchdog.
+    pub watchdog_escalations: u64,
+    /// Backed-off re-signals to escalated participants.
+    pub watchdog_resignals: u64,
+    /// Monitor polls that observed usage above the top of memory.
+    pub polls_above_top: u64,
+    /// Simulated time spent above top (`polls_above_top × poll_period`).
+    pub time_above_top: SimDuration,
+    /// Per-applied-fault recovery times, in polls.
+    pub recoveries: Vec<FaultRecovery>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_serialize() {
+        let plan = FaultPlan::none()
+            .with_crash(SimDuration::from_secs(10), 0)
+            .with_unresponsive(SimDuration::from_secs(20), 1, 0.5)
+            .with_leak(SimDuration::from_secs(30), 2, 1024)
+            .with_signal_faults(SignalFaultConfig::lossy(7, 0.2))
+            .with_poll_outage(SimDuration::from_secs(5), SimDuration::from_secs(3))
+            .with_churn(SimDuration::from_secs(40), 4096, SimDuration::from_secs(60));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.injected_count(), 4);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back, "plans round-trip byte-exactly");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().injected_count(), 0);
+        assert_eq!(FaultPlan::none(), FaultPlan::default());
+    }
+
+    #[test]
+    fn from_kills_matches_legacy_semantics() {
+        let plan = FaultPlan::from_kills(vec![
+            (SimDuration::from_secs(1), 0),
+            (SimDuration::from_secs(2), 1),
+        ]);
+        assert_eq!(plan.events.len(), 2);
+        assert!(plan
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::Crash)));
+    }
+
+    #[test]
+    fn outage_window_contains_is_half_open() {
+        let w = OutageWindow {
+            start: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(5),
+        };
+        assert!(!w.contains(SimTime::from_secs(9)));
+        assert!(w.contains(SimTime::from_secs(10)));
+        assert!(w.contains(SimTime::from_secs(14)));
+        assert!(!w.contains(SimTime::from_secs(15)));
+    }
+}

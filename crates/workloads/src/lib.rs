@@ -29,6 +29,7 @@
 pub mod alternating;
 pub mod apps;
 pub mod cluster;
+pub mod faults;
 pub mod hibench;
 pub mod machine;
 pub mod parallel;
@@ -38,11 +39,15 @@ pub mod search;
 pub mod settings;
 
 pub use apps::{AnyApp, AppBlueprint};
+pub use faults::{
+    ChurnEvent, DegradationReport, FaultEvent, FaultKind, FaultPlan, FaultRecovery, OutageWindow,
+    UnappliedFault, UnappliedReason,
+};
 pub use machine::{AppResult, Machine, MachineConfig, RunResult, ScheduleEntry};
 pub use parallel::{
-    cache_stats, parallel_map, run_scenario_cached, run_scenarios_parallel,
-    run_scenarios_parallel_with, worker_threads, CacheStats,
+    cache_stats, parallel_map, run_scenario_cached, run_scenario_cached_faulted,
+    run_scenarios_parallel, run_scenarios_parallel_with, worker_threads, CacheStats,
 };
-pub use runner::{app_name, run_scenario, ScenarioOutcome};
+pub use runner::{app_name, run_scenario, run_scenario_with_faults, ScenarioOutcome};
 pub use scenario::{AppKind, Scenario};
 pub use settings::{AppConfig, Setting, SettingKind};

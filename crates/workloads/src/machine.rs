@@ -10,15 +10,18 @@
 
 use std::sync::Arc;
 
-use m3_core::{Monitor, MonitorConfig, Registry, ThresholdSignal};
+use m3_core::{Monitor, MonitorConfig, Registry, ThresholdSignal, Zone};
 use m3_os::cgroup::{Cgroup, CgroupSet};
-use m3_os::{DiskModel, Kernel, KernelConfig, Signal};
+use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal};
 use m3_sim::clock::{SimDuration, SimTime};
 use m3_sim::metrics::Profile;
 use m3_sim::units::{bytes_to_gib, GIB};
 use serde::{Deserialize, Serialize};
 
 use crate::apps::{AnyApp, AppBlueprint};
+use crate::faults::{
+    DegradationReport, FaultKind, FaultPlan, FaultRecovery, UnappliedFault, UnappliedReason,
+};
 use crate::settings::Setting;
 
 /// One schedule entry: display name, start delay, and the blueprint built at
@@ -149,6 +152,9 @@ pub struct RunResult {
     /// Time-weighted mean of total committed bytes (§7.3's effective
     /// utilization measure).
     pub mean_rss: f64,
+    /// Fault-injection accounting and monitor degradation telemetry
+    /// (all-zero for fault-free runs).
+    pub degradation: DegradationReport,
 }
 
 impl RunResult {
@@ -164,6 +170,24 @@ struct Slot {
     idx: usize,
     app: AnyApp,
     peak_rss: u64,
+    /// Injected non-cooperation: when set, the app's signal handler still
+    /// runs but only this fraction of freed bytes is returned to the OS.
+    unresponsive: Option<f64>,
+    /// Injected leak rate in bytes per simulated second (0 = none).
+    leak_rate: u64,
+    /// Sub-second leak remainder carried between ticks (exact integer
+    /// accounting, so results stay bit-deterministic).
+    leak_carry: u64,
+}
+
+/// Internal event type of the fault queue.
+enum FaultAction {
+    /// Apply `FaultPlan::events[i]`.
+    App(usize),
+    /// Run `FaultPlan::churn[i]`: ghost registers, dies, pid is reused.
+    ChurnSpawn(usize),
+    /// Retire churn `i`'s bystander.
+    ChurnRetire(usize),
 }
 
 /// A simulated node.
@@ -186,7 +210,7 @@ impl Machine {
     /// Runs a schedule of `(name, start, blueprint)` to completion (or the
     /// time cap) and returns per-app results plus the memory profile.
     pub fn run(&self, schedule: Vec<ScheduleEntry>) -> RunResult {
-        self.run_full(schedule, None, Vec::new())
+        self.run_full(schedule, None, &FaultPlan::none())
     }
 
     /// Like [`Machine::run`], but places each scheduled application in its
@@ -199,26 +223,33 @@ impl Machine {
         schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
     ) -> RunResult {
-        self.run_full(schedule, container_limits, Vec::new())
+        self.run_full(schedule, container_limits, &FaultPlan::none())
     }
 
-    /// Failure injection: like [`Machine::run`], but the application at
-    /// schedule index `idx` is killed (as by a crash) at each `(t, idx)` in
-    /// `kills`. M3 must sweep the stale registration and redistribute the
-    /// freed memory to the survivors.
+    /// Legacy failure injection: the application at schedule index `idx` is
+    /// killed (as by a crash) at each `(t, idx)` in `kills`. Equivalent to
+    /// [`Machine::run_with_faults`] with a crash-only [`FaultPlan`].
     pub fn run_with_chaos(
         &self,
         schedule: Vec<ScheduleEntry>,
         kills: Vec<(SimDuration, usize)>,
     ) -> RunResult {
-        self.run_full(schedule, None, kills)
+        self.run_full(schedule, None, &FaultPlan::from_kills(kills))
+    }
+
+    /// Fault injection: runs the schedule while executing `faults` against
+    /// it — crashes, non-cooperation, leaks, signal loss/delay, meminfo
+    /// outages, registration churn. The returned
+    /// [`RunResult::degradation`] accounts for every injected item.
+    pub fn run_with_faults(&self, schedule: Vec<ScheduleEntry>, faults: &FaultPlan) -> RunResult {
+        self.run_full(schedule, None, faults)
     }
 
     fn run_full(
         &self,
         schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
-        kills: Vec<(SimDuration, usize)>,
+        faults: &FaultPlan,
     ) -> RunResult {
         let mut kernel = Kernel::new(KernelConfig::with_total(self.cfg.phys_total));
         let disk = DiskModel::hdd_7200rpm();
@@ -261,10 +292,25 @@ impl Machine {
             set
         });
         let mut next_enforce = SimTime::ZERO + poll_period;
-        let mut chaos: m3_sim::EventQueue<usize> = m3_sim::EventQueue::new();
-        for (t, idx) in kills {
-            chaos.schedule(SimTime::ZERO + t, idx);
+        let mut faultq: m3_sim::EventQueue<FaultAction> = m3_sim::EventQueue::new();
+        for (i, ev) in faults.events.iter().enumerate() {
+            faultq.schedule(SimTime::ZERO + ev.at, FaultAction::App(i));
         }
+        for (i, ch) in faults.churn.iter().enumerate() {
+            faultq.schedule(SimTime::ZERO + ch.at, FaultAction::ChurnSpawn(i));
+        }
+        kernel.set_signal_faults(faults.signal_faults);
+        let mut degradation = DegradationReport {
+            faults_injected: faults.injected_count(),
+            ..DegradationReport::default()
+        };
+        // Applied app faults awaiting recovery: (event index, monitor polls
+        // at application time, armed). An entry arms once the system enters
+        // Red/AboveTop after the fault; it closes at the next Green/Yellow
+        // poll — so the recorded time measures an actual excursion-and-
+        // return, not an incidental calm poll right after injection.
+        let mut pending_recoveries: Vec<(usize, u64, bool)> = Vec::new();
+        let mut churn_bystanders: Vec<Pid> = vec![0; faults.churn.len()];
         let mut next_poll = SimTime::ZERO + poll_period;
         let mut next_sample = SimTime::ZERO;
         // Mean-RSS integral as exact integers (`committed` summed per tick):
@@ -302,7 +348,7 @@ impl Machine {
                 if bp.is_m3() {
                     // §6: participants drop a PID file in the registration
                     // directory; the monitor picks it up on its next poll.
-                    registry.register(pid, name.as_ref());
+                    registry.register(&kernel, pid, name.as_ref());
                 }
                 if let Some(set) = cgroups.as_mut() {
                     set.group_mut(idx).add(pid);
@@ -311,13 +357,77 @@ impl Machine {
                     idx,
                     app,
                     peak_rss: 0,
+                    unresponsive: None,
+                    leak_rate: 0,
+                    leak_carry: 0,
                 });
             }
 
-            // 1b. Failure injection: crash the scheduled victims.
-            for idx in chaos.pop_due(now) {
-                if let Some(slot) = running.iter().find(|s| s.idx == idx) {
-                    kernel.kill(slot.app.pid());
+            // 1b. Fault injection: apply due fault events. Events whose
+            //     victim is not running are recorded as unapplied, never
+            //     silently dropped.
+            for action in faultq.pop_due(now) {
+                match action {
+                    FaultAction::App(i) => {
+                        let ev = &faults.events[i];
+                        if ev.target >= schedule.len() {
+                            degradation.faults_unapplied.push(UnappliedFault {
+                                event: ev.clone(),
+                                reason: UnappliedReason::NoSuchApp,
+                            });
+                            continue;
+                        }
+                        match running.iter_mut().find(|s| s.idx == ev.target) {
+                            Some(slot) => {
+                                match ev.kind {
+                                    FaultKind::Crash => kernel.kill(slot.app.pid()),
+                                    FaultKind::Unresponsive { reclaim_fraction } => {
+                                        slot.unresponsive = Some(reclaim_fraction.clamp(0.0, 1.0));
+                                    }
+                                    FaultKind::Leak { bytes_per_sec } => {
+                                        slot.leak_rate = bytes_per_sec;
+                                    }
+                                }
+                                degradation.faults_applied += 1;
+                                // Recovery is measured in monitor polls, so
+                                // it is only tracked when a monitor runs.
+                                if let Some(m) = monitor.as_ref() {
+                                    pending_recoveries.push((i, m.stats.polls, false));
+                                }
+                            }
+                            None => {
+                                let r = &results[ev.target];
+                                let reason = if r.finished.is_some() || r.killed || r.failed {
+                                    UnappliedReason::AlreadyDone
+                                } else {
+                                    UnappliedReason::NotStarted
+                                };
+                                degradation.faults_unapplied.push(UnappliedFault {
+                                    event: ev.clone(),
+                                    reason,
+                                });
+                            }
+                        }
+                    }
+                    FaultAction::ChurnSpawn(i) => {
+                        let ch = &faults.churn[i];
+                        // A ghost participant registers and crashes without
+                        // deregistering; its stale PID file lingers.
+                        let ghost = kernel.spawn(format!("ghost-{i}"));
+                        registry.register(&kernel, ghost, format!("ghost-{i}"));
+                        kernel.kill(ghost);
+                        // An unrelated bystander immediately reuses the pid.
+                        // The sweep must not let it inherit the ghost's
+                        // registration (incarnation mismatch).
+                        let bystander = kernel.spawn_reusing(ghost, format!("bystander-{i}"));
+                        let _ = kernel.grow(bystander, ch.bystander_rss);
+                        churn_bystanders[i] = bystander;
+                        faultq.schedule(now + ch.bystander_lifetime, FaultAction::ChurnRetire(i));
+                        degradation.faults_applied += 1;
+                    }
+                    FaultAction::ChurnRetire(i) => {
+                        kernel.exit(churn_bystanders[i]);
+                    }
                 }
             }
 
@@ -336,12 +446,42 @@ impl Machine {
             }
 
             // 2. Monitor poll (once per second of simulated time). The
-            //    monitor first re-reads the PID-file directory.
+            //    monitor first re-reads the PID-file directory. Injected
+            //    outage windows make the meminfo read fail; the monitor
+            //    then polls in degraded mode instead of skipping.
             if let Some(m) = monitor.as_mut() {
                 if now >= next_poll {
+                    kernel.set_meminfo_outage(faults.poll_outages.iter().any(|w| w.contains(now)));
                     registry.sync_monitor(m, &kernel);
                     let report = m.poll(&mut kernel, now);
                     next_poll += poll_period;
+                    match report.zone {
+                        Zone::AboveTop => {
+                            // Usage crossed top: arm every pending fault so
+                            // its eventual return to comfort is measured as
+                            // a real excursion-and-recovery. (Red alone does
+                            // not arm — threshold-riding through the red
+                            // zone is normal M3 operation, not damage.)
+                            for entry in &mut pending_recoveries {
+                                entry.2 = true;
+                            }
+                        }
+                        Zone::Red => {}
+                        Zone::Green | Zone::Yellow => {
+                            // Comfortably below the high threshold again:
+                            // every armed fault has recovered.
+                            let polls_now = m.stats.polls;
+                            pending_recoveries.retain(|&(i, at, armed)| {
+                                if armed {
+                                    degradation.recoveries.push(FaultRecovery {
+                                        event_index: i,
+                                        recovered_after_polls: Some(polls_now.saturating_sub(at)),
+                                    });
+                                }
+                                !armed
+                            });
+                        }
+                    }
                     if self.cfg.sample_period.is_some() {
                         for _ in &report.low_signalled {
                             profile.mark(now, "signal.low");
@@ -366,14 +506,33 @@ impl Machine {
                             results[slot.idx].killed = true;
                         }
                         other => {
+                            // A pressure signal can share the batch with (or
+                            // be deferred by the lossy bus past) the kill
+                            // that terminated this process; the dead cannot
+                            // run handlers.
+                            if !kernel.is_alive(pid) {
+                                continue;
+                            }
                             let Some(t) = ThresholdSignal::from_os_signal(other) else {
                                 continue;
                             };
                             let out = slot.app.handle_signal(t, &mut kernel, now);
                             slot.app.add_debt(out.duration);
+                            // Injected non-cooperation: the handler ran and
+                            // freed pages internally, but only a fraction
+                            // actually reaches the OS — the rest is re-grown
+                            // into the kernel ledger (pages never madvised).
+                            let returned = match slot.unresponsive {
+                                Some(f) => {
+                                    let kept = (out.returned_to_os as f64 * f) as u64;
+                                    let _ = kernel.grow(pid, out.returned_to_os - kept);
+                                    kept
+                                }
+                                None => out.returned_to_os,
+                            };
                             if t == ThresholdSignal::High {
                                 if let Some(m) = monitor.as_mut() {
-                                    m.note_reclamation(pid, out.returned_to_os);
+                                    m.note_reclamation(pid, returned);
                                 }
                             }
                         }
@@ -399,6 +558,16 @@ impl Machine {
             let readers = running.iter().filter(|s| s.app.uses_disk()).count();
             let mut finished_idx = Vec::new();
             for slot in &mut running {
+                // Injected leak: steady growth the app itself never frees.
+                // Exact integer carry keeps sub-second rates deterministic.
+                if slot.leak_rate > 0 {
+                    slot.leak_carry += slot.leak_rate * self.cfg.tick.as_millis();
+                    let bytes = slot.leak_carry / 1000;
+                    slot.leak_carry %= 1000;
+                    if bytes > 0 {
+                        let _ = kernel.grow(slot.app.pid(), bytes);
+                    }
+                }
                 let done = slot.app.tick(&mut kernel, &disk, now, budget, readers);
                 slot.peak_rss = slot.peak_rss.max(kernel.rss(slot.app.pid()));
                 if done {
@@ -490,7 +659,7 @@ impl Machine {
                 let mut target_ms = grid_ceil(self.cfg.max_time.as_millis());
                 let candidates = [
                     queue.next_due().map(|t| t.as_millis()),
-                    chaos.next_due().map(|t| t.as_millis()),
+                    faultq.next_due().map(|t| t.as_millis()),
                     monitor.is_some().then(|| next_poll.as_millis()),
                     cgroups.is_some().then(|| next_enforce.as_millis()),
                     self.cfg.sample_period.map(|_| next_sample.as_millis()),
@@ -511,6 +680,42 @@ impl Machine {
             }
         }
 
+        // Fault events the loop never reached (the run ended first) are
+        // still accounted, not lost.
+        for action in faultq.pop_due(SimTime::ZERO + SimDuration::from_millis(u64::MAX / 2)) {
+            if let FaultAction::App(i) = action {
+                degradation.faults_unapplied.push(UnappliedFault {
+                    event: faults.events[i].clone(),
+                    reason: UnappliedReason::RunEnded,
+                });
+            }
+        }
+        // Faults still pending recovery: if the run ended with committed
+        // memory at or below the high threshold, termination itself was the
+        // recovery (faults that never armed never caused an excursion at
+        // all); otherwise the system never got back down.
+        if let Some(m) = monitor.as_ref() {
+            let recovered_by_end = kernel.committed() <= m.thresholds().1;
+            let polls_now = m.stats.polls;
+            for (i, at, _) in pending_recoveries.drain(..) {
+                degradation.recoveries.push(FaultRecovery {
+                    event_index: i,
+                    recovered_after_polls: recovered_by_end.then(|| polls_now.saturating_sub(at)),
+                });
+            }
+        }
+        let fault_stats = kernel.signal_fault_stats();
+        degradation.signals_dropped = fault_stats.dropped;
+        degradation.signals_delayed = fault_stats.delayed;
+        if let Some(m) = monitor.as_ref() {
+            degradation.degraded_polls = m.stats.degraded_polls;
+            degradation.watchdog_escalations = m.stats.watchdog_escalations;
+            degradation.watchdog_resignals = m.stats.watchdog_resignals;
+            degradation.polls_above_top = m.stats.polls_above_top;
+            degradation.time_above_top =
+                SimDuration::from_millis(poll_period.as_millis() * m.stats.polls_above_top);
+        }
+
         // Finalize GC/MM stats for apps killed mid-flight (already recorded
         // for finished apps).
         RunResult {
@@ -523,6 +728,7 @@ impl Machine {
             } else {
                 0.0
             },
+            degradation,
         }
     }
 }

@@ -23,8 +23,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::faults::FaultPlan;
 use crate::machine::MachineConfig;
-use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::runner::{run_scenario_with_faults, ScenarioOutcome};
 use crate::scenario::Scenario;
 use crate::settings::Setting;
 
@@ -141,8 +142,21 @@ pub fn run_scenario_cached(
     setting: &Setting,
     machine_cfg: MachineConfig,
 ) -> Arc<ScenarioOutcome> {
+    run_scenario_cached_faulted(scenario, setting, machine_cfg, &FaultPlan::none())
+}
+
+/// [`run_scenario_cached`] under a [`FaultPlan`]. The plan is part of the
+/// content-addressed key, so a faulted run can never be answered from (or
+/// pollute) the cache entry of the same run with a different plan — in
+/// particular the fault-free one.
+pub fn run_scenario_cached_faulted(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    faults: &FaultPlan,
+) -> Arc<ScenarioOutcome> {
     let cfg = machine_cfg.with_setting(setting);
-    let key = serde_json::to_string(&(scenario, setting, &cfg))
+    let key = serde_json::to_string(&(scenario, setting, &cfg, faults))
         .expect("cache key serialization cannot fail");
     if let Some(hit) = cache().lock().expect("run cache poisoned").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
@@ -152,7 +166,7 @@ pub fn run_scenario_cached(
     // The lock is not held across the simulation: two threads racing on the
     // same key both compute it, which is benign (the results are identical)
     // and far cheaper than serializing every run behind one lock.
-    let outcome = Arc::new(run_scenario(scenario, setting, cfg));
+    let outcome = Arc::new(run_scenario_with_faults(scenario, setting, cfg, faults));
     Arc::clone(
         cache()
             .lock()

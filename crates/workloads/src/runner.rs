@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
+use crate::faults::FaultPlan;
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::scenario::Scenario;
 use crate::settings::{blueprint_for, Setting, SettingKind};
@@ -97,6 +98,19 @@ pub fn run_scenario(
     setting: &Setting,
     machine_cfg: MachineConfig,
 ) -> ScenarioOutcome {
+    run_scenario_with_faults(scenario, setting, machine_cfg, &FaultPlan::none())
+}
+
+/// Like [`run_scenario`], but the run executes under a [`FaultPlan`]: a
+/// chaos drill over a real scenario. The outcome's
+/// [`RunResult::degradation`] reports what the plan did and how the monitor
+/// coped.
+pub fn run_scenario_with_faults(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    faults: &FaultPlan,
+) -> ScenarioOutcome {
     assert!(
         setting.is_m3() || setting.per_app.len() == scenario.apps.len(),
         "setting must cover every scheduled app"
@@ -119,7 +133,7 @@ pub fn run_scenario(
     ScenarioOutcome {
         scenario: scenario.name.clone(),
         setting: setting.kind,
-        run: machine.run(schedule),
+        run: machine.run_with_faults(schedule, faults),
     }
 }
 
@@ -203,6 +217,7 @@ mod tests {
                 monitor_stats: None,
                 end: SimTime::ZERO,
                 mean_rss: 0.0,
+                degradation: Default::default(),
             },
         }
     }

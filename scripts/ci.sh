@@ -6,5 +6,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Chaos suite: fault injection, watchdog escalation, degradation accounting.
+cargo test -q --test chaos
+# Fixed-seed chaos drill; asserts its own replay is byte-identical.
+cargo run --release --example chaos_drill
 cargo clippy -- -D warnings
 cargo fmt --check

@@ -44,11 +44,14 @@ pub mod prelude {
         AdaptiveAllocator, M3Participant, Monitor, MonitorConfig, SignalOutcome, SortOrder,
         ThresholdSignal, Zone,
     };
-    pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal};
+    pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal, SignalFaultConfig};
     pub use m3_sim::clock::{SimDuration, SimTime};
     pub use m3_sim::units::{GIB, KIB, MIB};
+    pub use m3_workloads::faults::{DegradationReport, FaultKind, FaultPlan};
     pub use m3_workloads::machine::{Machine, MachineConfig, RunResult};
-    pub use m3_workloads::runner::{compare_m3_vs, run_scenario, speedup_report};
+    pub use m3_workloads::runner::{
+        compare_m3_vs, run_scenario, run_scenario_with_faults, speedup_report,
+    };
     pub use m3_workloads::scenario::{AppKind, Scenario};
     pub use m3_workloads::settings::{AppConfig, Setting, SettingKind};
 }

@@ -7,8 +7,12 @@
 //! harness at 1/4/8 workers (twice each), or with the fast-path clock
 //! jumping disabled.
 
+use m3::os::SignalFaultConfig;
+use m3::sim::clock::SimDuration;
+use m3::sim::units::MIB;
+use m3::workloads::faults::FaultPlan;
 use m3::workloads::machine::MachineConfig;
-use m3::workloads::runner::run_scenario;
+use m3::workloads::runner::{run_scenario, run_scenario_with_faults};
 use m3::workloads::scenario::Scenario;
 use m3::workloads::settings::Setting;
 use m3::workloads::{parallel_map, run_scenarios_parallel_with};
@@ -86,6 +90,64 @@ fn uncached_parallel_fanout_matches_serial() {
         assert_eq!(
             reference, bytes,
             "fresh fan-out diverged at {workers} workers"
+        );
+    }
+}
+
+/// A fault plan touching every injection channel: app faults, a lossy and
+/// laggy signal bus, and a monitor poll outage.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_unresponsive(SimDuration::from_secs(90), 0, 0.25)
+        .with_leak(SimDuration::from_secs(60), 1, 8 * MIB)
+        .with_signal_faults(SignalFaultConfig {
+            drop_prob: 0.2,
+            delay_prob: 0.3,
+            delay: SimDuration::from_secs(2),
+            seed: 77,
+        })
+        .with_poll_outage(SimDuration::from_secs(120), SimDuration::from_secs(30))
+}
+
+fn chaos_bytes(scenario: &Scenario, setting: &Setting, cfg: MachineConfig) -> String {
+    let plan = chaos_plan();
+    serde_json::to_string(&run_scenario_with_faults(scenario, setting, cfg, &plan).run)
+        .expect("serialize run")
+}
+
+#[test]
+fn chaos_runs_are_deterministic_across_paths_and_workers() {
+    // Fault injection must not perturb determinism: the fast path has to
+    // wake for fault events exactly when the tick-by-tick loop applies
+    // them, and the seeded lossy bus must replay the same drop/delay
+    // sequence on every worker.
+    let jobs = jobs();
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|(s, set, cfg)| {
+            let mut slow = *cfg;
+            slow.fast_path = false;
+            chaos_bytes(s, set, slow)
+        })
+        .collect();
+    for (i, (s, set, cfg)) in jobs.iter().enumerate() {
+        let mut fast = *cfg;
+        fast.fast_path = true;
+        assert_eq!(
+            reference[i],
+            chaos_bytes(s, set, fast),
+            "chaos fast path diverged on {} under {:?}",
+            s.name,
+            set.kind
+        );
+    }
+    for workers in [1, 4] {
+        let bytes = parallel_map(jobs.clone(), workers, |(s, set, cfg)| {
+            chaos_bytes(&s, &set, cfg)
+        });
+        assert_eq!(
+            reference, bytes,
+            "chaos fan-out diverged at {workers} workers"
         );
     }
 }
