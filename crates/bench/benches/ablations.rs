@@ -13,7 +13,7 @@
 //! 5. **Low-threshold early warning** — with and without the low signal
 //!    (thresholds collapse to a single high threshold).
 
-use m3_bench::{render_table, write_json, BenchTimer};
+use m3_bench::{render_table, BenchTimer};
 use m3_core::MonitorConfig;
 use m3_core::SortOrder;
 use m3_framework::SparkConfig;
@@ -219,7 +219,6 @@ fn main() {
         "{}",
         render_table(&["ablation", "variant", "mean runtime (s)"], &table)
     );
-    write_json("ablations", &rows);
     bench.finish(&rows);
 
     // Keep the unused-import lints honest (these are exercised above via

@@ -16,7 +16,7 @@
 //! Expected: M3 wins both, because container limits cannot follow the
 //! workload's phase shifts — the same reason static heaps lose in Fig. 5.
 
-use m3_bench::{render_table, write_json, BenchTimer};
+use m3_bench::{render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::{Machine, MachineConfig, RunResult};
@@ -139,6 +139,5 @@ fn main() {
             p / m
         );
     }
-    write_json("containers", &rows);
     bench.finish(&rows);
 }

@@ -7,7 +7,7 @@
 //! thresholds ... the workload with dynamic thresholds terminates 1.93×
 //! earlier."
 
-use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
+use m3_bench::{ascii_profile, render_table, BenchTimer};
 use m3_core::MonitorConfig;
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
@@ -110,6 +110,5 @@ fn main() {
     );
 
     let fig_rows = vec![dynamic, static_row];
-    write_json("fig10_thresholds", &fig_rows);
     bench.finish(&fig_rows);
 }

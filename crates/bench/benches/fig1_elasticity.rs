@@ -12,7 +12,7 @@
 //! (~40 GB for k-means, ~76 GB for PageRank); Spark MM dominates at small
 //! heaps; GC time never reaches zero (footnote 2).
 
-use m3_bench::{fmt_secs, render_table, write_json, BenchTimer};
+use m3_bench::{fmt_secs, render_table, BenchTimer};
 use m3_framework::{JobSpec, SparkConfig};
 use m3_runtime::JvmConfig;
 use m3_sim::clock::SimDuration;
@@ -111,7 +111,5 @@ fn main() {
         fmt_secs(SimDuration::from_millis((p_flat.gc_pause_s * 1000.0) as u64))
     );
 
-    write_json("fig1_kmeans", &kmeans);
-    write_json("fig1_pagerank", &pagerank);
     bench.finish(&(&kmeans, &pagerank));
 }

@@ -7,7 +7,7 @@
 //! JVM returns collected regions and the combined footprint stays near one
 //! peak plus one baseline (~15 GB).
 
-use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
+use m3_bench::{ascii_profile, render_table, BenchTimer};
 use m3_runtime::JvmConfig;
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
@@ -117,6 +117,5 @@ fn main() {
             combined_mean_gib: m3_mean,
         },
     ];
-    write_json("fig2_alternating", &fig_rows);
     bench.finish(&fig_rows);
 }

@@ -15,7 +15,7 @@
 //! deterministic coordinate-descent grid search of `m3_workloads::search`;
 //! expect this harness to run for several minutes.
 
-use m3_bench::{fmt_speedup, render_table, write_json, BenchTimer};
+use m3_bench::{fmt_speedup, render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_workloads::machine::MachineConfig;
 use m3_workloads::runner::{run_scenario, speedup_report, ScenarioOutcome};
@@ -133,6 +133,5 @@ fn main() {
     let default_failures = json_rows.iter().filter(|r| r.vs_default.is_none()).count();
     println!("workloads Default cannot run: {default_failures} of 12   (paper: nine of twelve)");
 
-    write_json("fig5_speedup", &json_rows);
     bench.finish(&json_rows);
 }

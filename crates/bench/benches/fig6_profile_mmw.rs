@@ -11,7 +11,7 @@
 //! - effective utilization: the unmodified system's RSS is ~63 GB against
 //!   M3's ~38 GB for the same work (§7.3).
 
-use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
+use m3_bench::{ascii_profile, render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -149,6 +149,5 @@ fn main() {
     );
 
     let fig_rows = vec![m3_sum, ows_sum];
-    write_json("fig6_mmw", &fig_rows);
     bench.finish(&fig_rows);
 }

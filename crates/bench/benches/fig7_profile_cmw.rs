@@ -10,7 +10,7 @@
 //!   because the peaks do not coincide;
 //! - all three jobs finish faster under M3 than under OWS.
 
-use m3_bench::{ascii_profile, render_table, write_json, BenchTimer};
+use m3_bench::{ascii_profile, render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -127,6 +127,5 @@ fn main() {
             mean_rss_gib: ows.run.mean_rss / GIB as f64,
         },
     ];
-    write_json("fig7_cmw", &summaries);
     bench.finish(&summaries);
 }

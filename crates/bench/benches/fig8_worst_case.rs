@@ -7,7 +7,7 @@
 //! slow-down vs OWS (worst case 7.00 %), while still beating the plain
 //! Oracle on MMM 0 because default Spark parameters waste 40 % of the heap.
 
-use m3_bench::{fmt_speedup, render_table, write_json, BenchTimer};
+use m3_bench::{fmt_speedup, render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_workloads::machine::MachineConfig;
 use m3_workloads::runner::{run_scenario, speedup_report};
@@ -73,6 +73,5 @@ fn main() {
         fmt_speedup(json_rows.last().expect("rows").vs_oracle)
     );
 
-    write_json("fig8_worst_case", &json_rows);
     bench.finish(&json_rows);
 }

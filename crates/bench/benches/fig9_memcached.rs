@@ -9,7 +9,7 @@
 //! and used a best effort approach"). Paper result: average application
 //! speedup 2.23×.
 
-use m3_bench::{fmt_runtime, fmt_speedup, render_table, write_json, BenchTimer};
+use m3_bench::{fmt_runtime, fmt_speedup, render_table, BenchTimer};
 use m3_framework::SparkConfig;
 use m3_runtime::{AllocatorKind, JvmConfig};
 use m3_sim::clock::SimDuration;
@@ -121,6 +121,5 @@ fn main() {
             speedup: *sp,
         })
         .collect();
-    write_json("fig9_memcached", &json);
     bench.finish(&json);
 }

@@ -13,7 +13,7 @@
 //! (possible — a static split cannot shift memory over time); `gap` close
 //! to 1 means M3 is near-optimal among static distributions.
 
-use m3_bench::{render_table, write_json, BenchTimer};
+use m3_bench::{render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
 use m3_workloads::machine::MachineConfig;
@@ -119,6 +119,5 @@ fn main() {
         m3 / best_s
     );
 
-    write_json("optimality_gap", &points);
     bench.finish(&points);
 }

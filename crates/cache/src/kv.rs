@@ -14,6 +14,7 @@ use m3_core::{AdaptiveAllocator, M3Participant, SignalOutcome, ThresholdSignal};
 use m3_os::{Kernel, Pid};
 use m3_runtime::{GoConfig, GoRuntime, NativeAllocator};
 use m3_sim::clock::{SimDuration, SimTime};
+use m3_sim::trace::{EvictReason, TraceData};
 use serde::{Deserialize, Serialize};
 
 use crate::slab::SlabCache;
@@ -307,15 +308,41 @@ impl KvApp {
             return SimDuration::ZERO;
         }
         let mut pause = SimDuration::ZERO;
-        let delayed = self.allocator.as_mut().map_or(0, |a| a.delayed_of(n, now));
+        let delayed = match self.allocator.as_mut() {
+            Some(a) => {
+                let snap = a.gate_snapshot(now);
+                let delayed = a.delayed_of(n, now);
+                if snap.rate < 1.0 {
+                    os.record_trace_with(self.backend.pid(), || TraceData::AllocBatch {
+                        n,
+                        delayed,
+                        rate: snap.rate,
+                        elapsed_ms: snap.elapsed_ms,
+                        epoch_ms: snap.epoch_ms,
+                        num_epochs: snap.num_epochs,
+                        curve: snap.curve.to_string(),
+                    });
+                }
+                delayed
+            }
+            None => 0,
+        };
         let allowed = n - delayed;
 
         if delayed > 0 {
             self.stats.delayed_puts += delayed;
             // Delayed puts first evict slabs covering their size, then
             // insert: resident memory does not grow.
+            let slabs_before = self.slabs.slab_count();
             let slabs_needed = delayed.div_ceil(self.slabs.items_per_slab());
             let evicted_items = self.slabs.evict_slabs(slabs_needed);
+            os.record_trace_with(self.backend.pid(), || TraceData::EvictSlabs {
+                before: slabs_before,
+                evicted: slabs_before - self.slabs.slab_count(),
+                items: evicted_items,
+                bytes: self.slabs.items_to_bytes(evicted_items),
+                reason: EvictReason::AdmissionDelay,
+            });
             self.backend
                 .free(os, self.slabs.items_to_bytes(evicted_items));
             pause += SimDuration::from_millis(slabs_needed * SLAB_EVICT_US / 1000);
@@ -363,7 +390,18 @@ impl M3Participant for KvApp {
                 a.on_high_signal(now);
             }
         }
+        let slabs_before = self.slabs.slab_count();
         let (slabs, items) = self.slabs.evict_fraction(fraction);
+        os.record_trace_with(self.backend.pid(), || TraceData::EvictSlabs {
+            before: slabs_before,
+            evicted: slabs,
+            items,
+            bytes: self.slabs.items_to_bytes(items),
+            reason: match sig {
+                ThresholdSignal::Low => EvictReason::LowSignal,
+                ThresholdSignal::High => EvictReason::HighSignal,
+            },
+        });
         self.backend.free(os, self.slabs.items_to_bytes(items));
         let evict_cost = SimDuration::from_millis(slabs * SLAB_EVICT_US / 1000);
         let (gc_pause, returned) = self.backend.gc(os, now);

@@ -39,6 +39,15 @@ pub enum RateCurve {
 }
 
 impl RateCurve {
+    /// Stable name used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            RateCurve::Linear => "linear",
+            RateCurve::Exponential => "exponential",
+            RateCurve::Step => "step",
+        }
+    }
+
     /// Maps normalized elapsed time `x = t / T` (clamped to `[0, 1]`) to an
     /// allow rate in `[0, 1]`.
     pub fn rate(self, x: f64) -> f64 {
@@ -55,6 +64,21 @@ impl RateCurve {
             }
         }
     }
+}
+
+/// A point-in-time view of the allocation gate, used by trace emission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateSnapshot {
+    /// The allow rate at snapshot time.
+    pub rate: f64,
+    /// Milliseconds since the last high signal (zero if none).
+    pub elapsed_ms: u64,
+    /// The current epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// `NUM_epochs`.
+    pub num_epochs: u32,
+    /// The recovery curve's stable name.
+    pub curve: &'static str,
 }
 
 /// Protocol state for one application's top-most layer.
@@ -155,6 +179,20 @@ impl AdaptiveAllocator {
     /// True once the throttle has fully released (rate back to 100 %).
     pub fn fully_recovered(&self, now: SimTime) -> bool {
         self.allow_rate(now) >= 1.0
+    }
+
+    /// Everything a trace event needs to replay the gating decision made at
+    /// `now`: the computed rate and the formula's inputs (§4.2).
+    pub fn gate_snapshot(&self, now: SimTime) -> GateSnapshot {
+        GateSnapshot {
+            rate: self.allow_rate(now),
+            elapsed_ms: self
+                .last_signal
+                .map_or(0, |t0| now.saturating_since(t0).as_millis()),
+            epoch_ms: self.epoch_len.as_millis(),
+            num_epochs: self.num_epochs,
+            curve: self.curve.name(),
+        }
     }
 
     /// Per-allocation gate: returns `true` if this `alloc()` call must be

@@ -40,10 +40,10 @@ pub mod registry;
 pub mod selection;
 pub mod thresholds;
 
-pub use alloc::{AdaptiveAllocator, RateCurve};
+pub use alloc::{AdaptiveAllocator, GateSnapshot, RateCurve};
 pub use config::MonitorConfig;
 pub use layer::{M3Participant, SignalOutcome, ThresholdSignal};
-pub use monitor::{Monitor, PollReport, Zone};
+pub use monitor::{Monitor, PollReport, Zone, MONITOR_PID};
 pub use registry::{PidFile, Registry};
 pub use selection::SortOrder;
-pub use thresholds::AdaptiveThresholds;
+pub use thresholds::{AdaptiveThresholds, ThresholdUpdate};

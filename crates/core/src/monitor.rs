@@ -11,6 +11,7 @@
 
 use m3_os::{Kernel, Pid, Signal};
 use m3_sim::clock::SimTime;
+use m3_sim::trace::{ThresholdSide, TraceData, TraceZone};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -31,6 +32,20 @@ pub enum Zone {
     /// Above the top of memory.
     AboveTop,
 }
+
+impl From<Zone> for TraceZone {
+    fn from(z: Zone) -> Self {
+        match z {
+            Zone::Green => TraceZone::Green,
+            Zone::Yellow => TraceZone::Yellow,
+            Zone::Red => TraceZone::Red,
+            Zone::AboveTop => TraceZone::AboveTop,
+        }
+    }
+}
+
+/// The pid trace events use for the monitor itself (real pids start at 1).
+pub const MONITOR_PID: Pid = 0;
 
 /// What one monitor poll did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,8 +104,9 @@ struct WatchdogEntry {
     cooldown: u32,
 }
 
-/// How many failed reads the degraded-mode margin keeps widening for.
-const MAX_DEGRADED_WIDENING: u32 = 5;
+/// How many failed reads the degraded-mode margin keeps widening for
+/// (public so the conformance oracle can replay degraded-mode zoning).
+pub const MAX_DEGRADED_WIDENING: u32 = 5;
 
 /// The M3 monitor.
 #[derive(Debug)]
@@ -110,6 +126,8 @@ pub struct Monitor {
     failed_reads: u32,
     /// Reclamation-watchdog state per high-signalled participant.
     watchdog: BTreeMap<Pid, WatchdogEntry>,
+    /// Zone seen by the previous poll, for zone-transition trace events.
+    last_zone: Option<Zone>,
     /// Cumulative statistics.
     pub stats: MonitorStats,
 }
@@ -128,6 +146,7 @@ impl Monitor {
             last_used: None,
             failed_reads: 0,
             watchdog: BTreeMap::new(),
+            last_zone: None,
             stats: MonitorStats::default(),
         }
     }
@@ -239,7 +258,27 @@ impl Monitor {
         };
         if !degraded {
             // Stale observations must not feed the adaptive estimator.
-            self.thresholds.observe(used);
+            let update = self.thresholds.observe(used);
+            if let Some((old, new)) = update.low {
+                os.record_trace(
+                    MONITOR_PID,
+                    TraceData::ThresholdAdjust {
+                        side: ThresholdSide::Low,
+                        old,
+                        new,
+                    },
+                );
+            }
+            if let Some((old, new)) = update.high {
+                os.record_trace(
+                    MONITOR_PID,
+                    TraceData::ThresholdAdjust {
+                        side: ThresholdSide::High,
+                        old,
+                        new,
+                    },
+                );
+            }
         }
         let margin = if degraded {
             let step = (self.cfg.top as f64 * self.cfg.degraded_margin_fraction) as u64;
@@ -251,6 +290,17 @@ impl Monitor {
         if zone == Zone::AboveTop {
             self.stats.polls_above_top += 1;
         }
+        let prev_zone = self.last_zone.unwrap_or(Zone::Green);
+        if prev_zone != zone {
+            os.record_trace(
+                MONITOR_PID,
+                TraceData::ZoneChange {
+                    from: prev_zone.into(),
+                    to: zone.into(),
+                },
+            );
+        }
+        self.last_zone = Some(zone);
 
         let mut report = PollReport {
             zone,
@@ -284,19 +334,34 @@ impl Monitor {
                 // the whole point of selective notification is to minimise
                 // handling overhead for everyone else (§5.1).
                 let cands = self.candidates(os);
+                let target = used - self.thresholds.high().saturating_sub(margin);
                 let selected = if self.cfg.signal_all {
                     // Ablation: skip Algorithm 1 and disturb everyone.
                     cands.iter().map(|c| c.pid).collect()
                 } else {
-                    let target = used - self.thresholds.high().saturating_sub(margin);
                     select_processes(&cands, self.cfg.sort_order, target)
                 };
+                os.record_trace_with(MONITOR_PID, || TraceData::Selection {
+                    order: self.cfg.sort_order.name().to_string(),
+                    target,
+                    all: self.cfg.signal_all,
+                    candidates: cands.iter().map(Candidate::info).collect(),
+                    selected: selected.clone(),
+                });
                 report.high_signalled = self.send_high_watchdogged(os, selected);
             }
             Zone::AboveTop => {
                 // Above top: all registered processes get the high signal in
                 // hopes of reclaiming everything possible (§5.1).
-                let all: Vec<Pid> = self.candidates(os).iter().map(|c| c.pid).collect();
+                let cands = self.candidates(os);
+                let all: Vec<Pid> = cands.iter().map(|c| c.pid).collect();
+                os.record_trace_with(MONITOR_PID, || TraceData::Selection {
+                    order: self.cfg.sort_order.name().to_string(),
+                    target: used.saturating_sub(self.cfg.top),
+                    all: true,
+                    candidates: cands.iter().map(Candidate::info).collect(),
+                    selected: all.clone(),
+                });
                 report.high_signalled = self.send_high_watchdogged(os, all);
                 let since = *self.above_top_since.get_or_insert(now);
                 if now.saturating_since(since) >= self.cfg.kill_timeout {
@@ -309,6 +374,16 @@ impl Monitor {
         self.stats.low_signals += report.low_signalled.len() as u64;
         self.stats.high_signals += report.high_signalled.len() as u64;
         self.stats.kills += report.killed.len() as u64;
+        os.record_trace_with(MONITOR_PID, || TraceData::MonitorPoll {
+            zone: zone.into(),
+            used,
+            low: report.low,
+            high: report.high,
+            degraded,
+            low_signalled: report.low_signalled.clone(),
+            high_signalled: report.high_signalled.clone(),
+            killed: report.killed.clone(),
+        });
         report
     }
 
@@ -328,11 +403,18 @@ impl Monitor {
             if e.escalated {
                 if e.cooldown > 0 {
                     e.cooldown -= 1;
+                    os.record_trace(pid, TraceData::WatchdogSkip);
                     continue;
                 }
                 e.backoff = e.backoff.saturating_mul(2).clamp(1, backoff_max);
                 e.cooldown = e.backoff;
                 self.stats.watchdog_resignals += 1;
+                os.record_trace(
+                    pid,
+                    TraceData::WatchdogResignal {
+                        backoff: u64::from(e.backoff),
+                    },
+                );
             } else {
                 e.strikes += 1;
                 if e.strikes >= k {
@@ -340,6 +422,12 @@ impl Monitor {
                     e.backoff = 1;
                     e.cooldown = 0;
                     self.stats.watchdog_escalations += 1;
+                    os.record_trace(
+                        pid,
+                        TraceData::WatchdogEscalate {
+                            backoff: u64::from(e.backoff),
+                        },
+                    );
                 }
             }
             os.send_signal(pid, Signal::HighMemory);
@@ -365,6 +453,7 @@ impl Monitor {
             if remaining <= self.cfg.top {
                 break;
             }
+            os.record_trace(c.pid, TraceData::MonitorKill { rss: c.rss });
             os.kill(c.pid);
             self.unregister(c.pid);
             remaining = remaining.saturating_sub(c.rss);

@@ -13,11 +13,12 @@ use std::collections::{BTreeMap, VecDeque};
 /// Number of past signal responses averaged (the paper uses five).
 pub const HISTORY_LEN: usize = 5;
 
-/// Fraction of RSS assumed reclaimable for a process with no history yet.
-const DEFAULT_RSS_FRACTION: f64 = 0.10;
+/// Fraction of RSS assumed reclaimable for a process with no history yet
+/// (public so the conformance oracle can replay fresh-process estimates).
+pub const DEFAULT_RSS_FRACTION: f64 = 0.10;
 
 /// Floor on the default estimate, so tiny processes still get selected.
-const DEFAULT_FLOOR: u64 = 64 * MIB;
+pub const DEFAULT_FLOOR: u64 = 64 * MIB;
 
 /// Tracks per-process reclamation history.
 #[derive(Debug, Clone, Default)]

@@ -9,6 +9,7 @@
 
 use m3_os::Pid;
 use m3_sim::clock::SimTime;
+use m3_sim::trace::CandidateInfo;
 use serde::{Deserialize, Serialize};
 
 /// The configurable sort order of Algorithm 1.
@@ -24,6 +25,29 @@ pub enum SortOrder {
     LargestExpectedReclaim,
 }
 
+impl SortOrder {
+    /// Stable name recorded in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            SortOrder::NewestFirst => "newest_first",
+            SortOrder::OldestFirst => "oldest_first",
+            SortOrder::LargestRss => "largest_rss",
+            SortOrder::LargestExpectedReclaim => "largest_expected_reclaim",
+        }
+    }
+
+    /// Parses a [`SortOrder::name`] string back (used by the trace oracle).
+    pub fn from_name(s: &str) -> Option<SortOrder> {
+        match s {
+            "newest_first" => Some(SortOrder::NewestFirst),
+            "oldest_first" => Some(SortOrder::OldestFirst),
+            "largest_rss" => Some(SortOrder::LargestRss),
+            "largest_expected_reclaim" => Some(SortOrder::LargestExpectedReclaim),
+            _ => None,
+        }
+    }
+}
+
 /// A candidate process as Algorithm 1 sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
@@ -35,6 +59,29 @@ pub struct Candidate {
     pub rss: u64,
     /// Expected reclamation on a high signal, bytes.
     pub expected_reclaim: u64,
+}
+
+impl Candidate {
+    /// The candidate as recorded in [`m3_sim::trace`] selection events.
+    pub fn info(&self) -> CandidateInfo {
+        CandidateInfo {
+            pid: self.pid,
+            spawned_at_ms: self.spawned_at.as_millis(),
+            rss: self.rss,
+            expected_reclaim: self.expected_reclaim,
+        }
+    }
+
+    /// Rebuilds a candidate from its trace record (used by the oracle to
+    /// replay Algorithm 1).
+    pub fn from_info(i: &CandidateInfo) -> Candidate {
+        Candidate {
+            pid: i.pid,
+            spawned_at: SimTime::from_millis(i.spawned_at_ms),
+            rss: i.rss,
+            expected_reclaim: i.expected_reclaim,
+        }
+    }
 }
 
 /// Sorts candidates in signalling priority order (highest priority first).

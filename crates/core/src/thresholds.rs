@@ -29,6 +29,18 @@ struct PollRecord {
     above_top: bool,
 }
 
+/// What one [`AdaptiveThresholds::observe`] call changed: `(old, new)` per
+/// threshold, `None` where the threshold did not move. The monitor turns
+/// these into `threshold.adjust.*` trace events; the conformance oracle
+/// replays the same algorithm and checks the recorded moves match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThresholdUpdate {
+    /// Low-threshold move, bytes.
+    pub low: Option<(u64, u64)>,
+    /// High-threshold move, bytes.
+    pub high: Option<(u64, u64)>,
+}
+
 /// The dynamically adjusted low/high thresholds.
 #[derive(Debug, Clone)]
 pub struct AdaptiveThresholds {
@@ -89,11 +101,12 @@ impl AdaptiveThresholds {
         self.records.iter().filter(|r| r.above_top).count() as f64 / self.records.len() as f64
     }
 
-    /// Feeds one poll's memory usage and adjusts the thresholds.
+    /// Feeds one poll's memory usage and adjusts the thresholds, reporting
+    /// which thresholds moved.
     ///
     /// Adjustments only happen once the window is full, so early polls do
     /// not whipsaw the thresholds.
-    pub fn observe(&mut self, used: u64) {
+    pub fn observe(&mut self, used: u64) -> ThresholdUpdate {
         if self.records.len() == self.window {
             self.records.pop_front();
         }
@@ -102,8 +115,9 @@ impl AdaptiveThresholds {
             above_top: used > self.top,
         });
         if !self.adaptive || self.records.len() < self.window {
-            return;
+            return ThresholdUpdate::default();
         }
+        let (low0, high0) = (self.low, self.high);
 
         // Low threshold: temper how often the high threshold is reached.
         let red = self.red_fraction();
@@ -134,6 +148,10 @@ impl AdaptiveThresholds {
         }
 
         debug_assert!(self.low <= self.high && self.high <= self.top);
+        ThresholdUpdate {
+            low: (self.low != low0).then_some((low0, self.low)),
+            high: (self.high != high0).then_some((high0, self.high)),
+        }
     }
 }
 
@@ -284,6 +302,76 @@ mod tests {
         }
         assert!(t.low() < low1, "low must drop in sustained red");
         assert!(t.high() > high1, "high keeps rising while under top");
+    }
+
+    #[test]
+    fn observe_reports_moves_with_old_and_new() {
+        let mut t = AdaptiveThresholds::new(&cfg());
+        for _ in 0..31 {
+            assert_eq!(t.observe(58 * GIB), ThresholdUpdate::default());
+        }
+        // 32nd poll fills the window: low drops, high rises, both reported.
+        let up = t.observe(58 * GIB);
+        assert_eq!(up.low, Some((50 * GIB, 50 * GIB - t.step)));
+        assert_eq!(up.high, Some((55 * GIB, 55 * GIB + t.step)));
+        // A green-zone poll moves nothing and reports nothing.
+        let red_gone: Vec<ThresholdUpdate> = (0..32).map(|_| t.observe(GIB)).collect();
+        assert_eq!(*red_gone.last().unwrap(), ThresholdUpdate::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_width_window_fails_construction() {
+        let mut c = cfg();
+        c.window = 0;
+        AdaptiveThresholds::new(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "high must not exceed top")]
+    fn top_below_initial_thresholds_fails_construction() {
+        // A top of memory smaller than the initial low/high gap cannot hold
+        // the initial thresholds; construction must fail cleanly instead of
+        // producing an inverted ordering.
+        let mut c = cfg();
+        c.top = 40 * GIB; // below initial_high (55 GiB)
+        AdaptiveThresholds::new(&c);
+    }
+
+    #[test]
+    fn degenerate_zero_gap_config_stays_ordered() {
+        // low == high == top is valid (zero-width yellow and red zones);
+        // the ordering must survive sustained pressure from both sides.
+        let mut c = cfg();
+        c.initial_low = c.top;
+        c.initial_high = c.top;
+        let mut t = AdaptiveThresholds::new(&c);
+        for used in [c.top + GIB, c.top - GIB, c.top + GIB] {
+            for _ in 0..64 {
+                t.observe(used);
+                assert!(t.low() <= t.high());
+                assert!(t.high() <= t.top());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_tiny_top_with_zero_step_stays_ordered() {
+        // A top so small the 2% step truncates to zero bytes: adjustments
+        // become no-ops but must never invert the ordering.
+        let mut c = cfg();
+        c.top = 40;
+        c.initial_low = 10;
+        c.initial_high = 20;
+        let mut t = AdaptiveThresholds::new(&c);
+        assert_eq!(t.step, 0);
+        for used in [25u64, 45, 5, 45, 15] {
+            for _ in 0..40 {
+                t.observe(used);
+                assert!(t.low() <= t.high());
+                assert!(t.high() <= t.top());
+            }
+        }
     }
 
     #[test]

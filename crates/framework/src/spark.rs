@@ -18,6 +18,7 @@ use m3_os::{DiskModel, Kernel, Pid};
 use m3_runtime::{Jvm, JvmConfig, RuntimeError};
 use m3_sim::clock::{SimDuration, SimTime};
 use m3_sim::rng::SimRng;
+use m3_sim::trace::{EvictReason, TraceData};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::BlockCache;
@@ -269,7 +270,7 @@ impl SparkApp {
         // delayed transient allocation reclaims its own space first (a
         // young collection) instead of growing the heap (§4.2).
         if self.job.churn_per_block > 0 {
-            let delayed = self.allocator.as_mut().is_some_and(|a| a.should_delay(now));
+            let delayed = self.gate_alloc(os, now);
             if delayed {
                 self.stats.delayed_allocs += 1;
                 let gc = self.jvm.young_gc(os);
@@ -300,6 +301,28 @@ impl SparkApp {
         cost
     }
 
+    /// Runs one `alloc()` through the adaptive gate. The decision is traced
+    /// whenever the throttle is engaged (rate below 100 %) so the oracle can
+    /// replay the ⌊1/r⌋ admission pattern against the §4.2 formula.
+    fn gate_alloc(&mut self, os: &mut Kernel, now: SimTime) -> bool {
+        let Some(a) = self.allocator.as_mut() else {
+            return false;
+        };
+        let snap = a.gate_snapshot(now);
+        let delayed = a.should_delay(now);
+        if snap.rate < 1.0 {
+            os.record_trace_with(self.jvm.pid(), || TraceData::AllocGate {
+                delayed,
+                rate: snap.rate,
+                elapsed_ms: snap.elapsed_ms,
+                epoch_ms: snap.epoch_ms,
+                num_epochs: snap.num_epochs,
+                curve: snap.curve.to_string(),
+            });
+        }
+        delayed
+    }
+
     /// Bytes of the cached representation of block `id` (uniform blocks;
     /// the tail block of the *input* may be short but the in-memory block
     /// is the unit of caching).
@@ -313,7 +336,7 @@ impl SparkApp {
         let bytes = self.effective_block_bytes(id);
         let mut cost = SimDuration::ZERO;
 
-        let delayed = self.allocator.as_mut().is_some_and(|a| a.should_delay(now));
+        let delayed = self.gate_alloc(os, now);
         if delayed {
             self.stats.delayed_allocs += 1;
             // §4.2: a delayed allocation first evicts enough of the
@@ -324,6 +347,12 @@ impl SparkApp {
                 let before = self.cache.len();
                 let freed = self.cache.evict_bytes(needed);
                 let evicted_blocks = (before - self.cache.len()) as u64;
+                os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
+                    before: before as u64,
+                    evicted: evicted_blocks,
+                    bytes: freed,
+                    reason: EvictReason::AdmissionDelay,
+                });
                 cost += SimDuration::from_millis(evicted_blocks * EVICT_MS_PER_BLOCK);
                 self.stats.spark_mm +=
                     SimDuration::from_millis(evicted_blocks * EVICT_MS_PER_BLOCK);
@@ -342,7 +371,7 @@ impl SparkApp {
         // Stock capacity limit (a no-op under M3's unbounded cache).
         let need = self.cache.needed_for(bytes);
         if need > 0 {
-            cost += self.evict_blocks_for_cache(need);
+            cost += self.evict_blocks_for_cache(os, need);
         }
         match self.jvm.alloc_pinned(os, bytes) {
             Ok(c) => cost += c.pause,
@@ -366,15 +395,16 @@ impl SparkApp {
     /// Evicts cache blocks totalling at least `need` bytes, marking the
     /// JVM data dead. `for_execution` distinguishes eviction forced by
     /// transient allocation from block-replacement eviction.
-    fn evict_blocks_for(
-        &mut self,
-        _os: &mut Kernel,
-        need: u64,
-        for_execution: bool,
-    ) -> SimDuration {
+    fn evict_blocks_for(&mut self, os: &mut Kernel, need: u64, for_execution: bool) -> SimDuration {
         let before = self.cache.len();
         let freed = self.cache.evict_bytes(need);
         let evicted = (before - self.cache.len()) as u64;
+        os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
+            before: before as u64,
+            evicted,
+            bytes: freed,
+            reason: EvictReason::Capacity,
+        });
         if !for_execution {
             // The replacement path reuses the space in place; only mark
             // dead what replace_pinned will not reuse.
@@ -388,10 +418,16 @@ impl SparkApp {
     }
 
     /// Capacity-eviction path (stock): evicted data becomes JVM garbage.
-    fn evict_blocks_for_cache(&mut self, need: u64) -> SimDuration {
+    fn evict_blocks_for_cache(&mut self, os: &mut Kernel, need: u64) -> SimDuration {
         let before = self.cache.len();
         let freed = self.cache.evict_bytes(need);
         let evicted = (before - self.cache.len()) as u64;
+        os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
+            before: before as u64,
+            evicted,
+            bytes: freed,
+            reason: EvictReason::Capacity,
+        });
         self.jvm.free_pinned(freed);
         let d = SimDuration::from_millis(evicted * EVICT_MS_PER_BLOCK);
         self.stats.spark_mm += d;
@@ -449,6 +485,12 @@ impl M3Participant for SparkApp {
                 let before = self.cache.len();
                 let freed = self.cache.evict_fraction(self.cfg.high_evict_fraction);
                 let evicted = (before - self.cache.len()) as u64;
+                os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
+                    before: before as u64,
+                    evicted,
+                    bytes: freed,
+                    reason: EvictReason::HighSignal,
+                });
                 self.jvm.free_pinned(freed);
                 let evict_cost = SimDuration::from_millis(evicted * EVICT_MS_PER_BLOCK);
                 self.stats.spark_mm += evict_cost;

@@ -1,0 +1,1328 @@
+//! Trace-replay conformance oracle.
+//!
+//! [`Oracle::check`] walks a recorded [`TraceLog`] and re-derives every
+//! decision the M3 stack claims to have made, flagging a [`Violation`]
+//! wherever the recorded behaviour diverges from the paper's protocols:
+//!
+//! - **Thresholds (§5.2)** — `low ≤ high ≤ top` at every poll, every move
+//!   bounded by the 2 %-of-top step, and a full replay of the adaptive
+//!   algorithm (1:32 ratio over the 32-poll window) from the recorded
+//!   usage sequence.
+//! - **Zoning (§5, §6)** — each poll's zone matches the recorded usage
+//!   against the recorded thresholds, including the widened margin of
+//!   degraded (stale-meminfo) polls; low signals only on upward crossings.
+//! - **Selective notification (§5.1, Algorithm 1)** — the selected set is
+//!   recomputed from the recorded candidates, order and target; the pids
+//!   actually high-signalled are the selection minus watchdog skips; every
+//!   signalled pid has a matching signal-bus event.
+//! - **Escalation (§6)** — kills only above the top of memory and only
+//!   after the kill-timeout grace period.
+//! - **Adaptive allocation (§4.2)** —
+//!   `allow_rate = min(elapsed / (epoch_len × NUM_epochs), 1)` recomputed
+//!   from each gate event's recorded inputs, plus an exact replay of the
+//!   ⌊1/r⌋ stride gate and of the batched gate's fractional carry.
+//! - **Reclamation responses (Table 1, §4.1)** — a high signal evicts ⅛ of
+//!   the Spark block cache, 1 % (low) / 4 % (high) of cache slabs, and each
+//!   handler reclaims top-down: eviction before GC before `madvise`.
+
+use std::collections::BTreeMap;
+
+use m3_core::alloc::RateCurve;
+use m3_core::config::MonitorConfig;
+use m3_core::monitor::MAX_DEGRADED_WIDENING;
+use m3_core::selection::{select_processes, Candidate, SortOrder};
+use m3_core::thresholds::AdaptiveThresholds;
+use m3_sim::trace::{
+    CandidateInfo, EvictReason, SigKind, ThresholdSide, TraceData, TraceEvent, TraceLog, TraceZone,
+};
+use serde::{Deserialize, Serialize};
+
+/// One divergence between a recorded trace and the paper's protocols.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which invariant failed (stable dotted name, e.g. `"alloc.stride"`).
+    pub invariant: String,
+    /// When the offending event happened, ms.
+    pub at_ms: u64,
+    /// The process the offending event concerns (0 for the monitor).
+    pub pid: u64,
+    /// Human-readable description of the divergence.
+    pub message: String,
+}
+
+/// The conformance oracle: paper constants plus the monitor configuration
+/// the run declared (monitor invariants are skipped for monitor-less runs).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    monitor: Option<MonitorConfig>,
+    /// Fraction of cached blocks a framework evicts on a high signal
+    /// (Table 1: Spark drops ⅛ of its block cache).
+    pub block_high_fraction: f64,
+    /// Fraction of slabs a cache evicts on a low signal (Table 1: 1 %).
+    pub slab_low_fraction: f64,
+    /// Fraction of slabs a cache evicts on a high signal (Table 1: 4 %).
+    pub slab_high_fraction: f64,
+}
+
+impl Oracle {
+    /// An oracle with the paper's Table 1 constants.
+    pub fn paper(monitor: Option<MonitorConfig>) -> Self {
+        Oracle {
+            monitor,
+            block_high_fraction: 1.0 / 8.0,
+            slab_low_fraction: 0.01,
+            slab_high_fraction: 0.04,
+        }
+    }
+
+    /// Replays `trace` and returns every divergence found (empty = conformant).
+    pub fn check(&self, trace: &TraceLog) -> Vec<Violation> {
+        Checker::new(self).run(trace.events())
+    }
+}
+
+/// Per-pid replay of the §4.2 allocation gate.
+#[derive(Default)]
+struct AllocReplay {
+    counter: u64,
+    carry: f64,
+}
+
+/// Reclamation events seen inside one open `handler.start`/`handler.end`
+/// window, by global event index.
+#[derive(Default)]
+struct HandlerWindow {
+    last_evict: Option<usize>,
+    first_gc: Option<usize>,
+    first_madvise: Option<usize>,
+}
+
+/// The red-zone/above-top selection awaiting its `monitor.poll`.
+struct PendingSelection {
+    target: u64,
+    all: bool,
+    selected: Vec<u64>,
+}
+
+struct Checker<'a> {
+    oracle: &'a Oracle,
+    out: Vec<Violation>,
+    /// Shadow copy of the adaptive-threshold state, fed the recorded polls.
+    replica: Option<AdaptiveThresholds>,
+    /// `threshold.adjust.*` events since the last poll (they precede their
+    /// poll's `monitor.poll` event).
+    pending_adjusts: Vec<(ThresholdSide, u64, u64)>,
+    pending_selection: Option<PendingSelection>,
+    /// Pids whose high signal the watchdog suppressed this poll.
+    skipped: Vec<u64>,
+    /// Signal-bus events (sent, dropped or delayed) since the last poll.
+    window_low: Vec<u64>,
+    window_high: Vec<u64>,
+    /// `monitor.kill` victims since the last poll.
+    window_kills: Vec<u64>,
+    /// Replay of the monitor's kill-grace clock, ms.
+    above_top_since: Option<u64>,
+    /// Replay of the low-signal upward-crossing edge detector.
+    prev_above_low: bool,
+    /// Consecutive degraded polls (degraded-margin widening factor).
+    degraded_run: u64,
+    alloc: BTreeMap<u64, AllocReplay>,
+    handlers: BTreeMap<u64, HandlerWindow>,
+}
+
+impl<'a> Checker<'a> {
+    fn new(oracle: &'a Oracle) -> Self {
+        Checker {
+            oracle,
+            out: Vec::new(),
+            replica: oracle.monitor.as_ref().map(AdaptiveThresholds::new),
+            pending_adjusts: Vec::new(),
+            pending_selection: None,
+            skipped: Vec::new(),
+            window_low: Vec::new(),
+            window_high: Vec::new(),
+            window_kills: Vec::new(),
+            above_top_since: None,
+            prev_above_low: false,
+            degraded_run: 0,
+            alloc: BTreeMap::new(),
+            handlers: BTreeMap::new(),
+        }
+    }
+
+    fn flag(&mut self, invariant: &str, e: &TraceEvent, message: String) {
+        self.out.push(Violation {
+            invariant: invariant.to_string(),
+            at_ms: e.t.as_millis(),
+            pid: e.pid,
+            message,
+        });
+    }
+
+    fn run(mut self, events: &[TraceEvent]) -> Vec<Violation> {
+        for (i, e) in events.iter().enumerate() {
+            match &e.data {
+                TraceData::ThresholdAdjust { side, old, new } => {
+                    self.on_adjust(e, *side, *old, *new);
+                }
+                TraceData::Selection {
+                    order,
+                    target,
+                    all,
+                    candidates,
+                    selected,
+                } => self.on_selection(e, order, *target, *all, candidates, selected),
+                TraceData::WatchdogSkip => self.skipped.push(e.pid),
+                TraceData::SignalSent { sig }
+                | TraceData::SignalDropped { sig }
+                | TraceData::SignalDelayed { sig } => match sig {
+                    SigKind::Low => self.window_low.push(e.pid),
+                    SigKind::High => self.window_high.push(e.pid),
+                    SigKind::Kill => {}
+                },
+                TraceData::MonitorKill { .. } => self.window_kills.push(e.pid),
+                TraceData::MonitorPoll { .. } => self.on_poll(e),
+                TraceData::AllocGate {
+                    delayed,
+                    rate,
+                    elapsed_ms,
+                    epoch_ms,
+                    num_epochs,
+                    curve,
+                } => self.on_gate(
+                    e,
+                    *delayed,
+                    *rate,
+                    *elapsed_ms,
+                    *epoch_ms,
+                    *num_epochs,
+                    curve,
+                ),
+                TraceData::AllocBatch {
+                    n,
+                    delayed,
+                    rate,
+                    elapsed_ms,
+                    epoch_ms,
+                    num_epochs,
+                    curve,
+                } => self.on_batch(
+                    e,
+                    *n,
+                    *delayed,
+                    *rate,
+                    *elapsed_ms,
+                    *epoch_ms,
+                    *num_epochs,
+                    curve,
+                ),
+                TraceData::EvictBlocks {
+                    before,
+                    evicted,
+                    reason,
+                    ..
+                } => {
+                    if *reason == EvictReason::HighSignal {
+                        let want = expected_fraction(*before, self.oracle.block_high_fraction);
+                        if *evicted != want {
+                            self.flag(
+                                "evict.blocks.magnitude",
+                                e,
+                                format!(
+                                    "high signal evicted {evicted} of {before} blocks, \
+                                     Table 1 expects {want}"
+                                ),
+                            );
+                        }
+                    }
+                    self.note_evict(e.pid, i);
+                }
+                TraceData::EvictSlabs {
+                    before,
+                    evicted,
+                    reason,
+                    ..
+                } => {
+                    let frac = match reason {
+                        EvictReason::LowSignal => Some(self.oracle.slab_low_fraction),
+                        EvictReason::HighSignal => Some(self.oracle.slab_high_fraction),
+                        _ => None,
+                    };
+                    if let Some(frac) = frac {
+                        // The slab layer always evicts at least one slab
+                        // when non-empty, so tiny caches still respond.
+                        let want = expected_fraction(*before, frac).max(u64::from(*before > 0));
+                        if *evicted != want {
+                            self.flag(
+                                "evict.slabs.magnitude",
+                                e,
+                                format!(
+                                    "{reason:?} evicted {evicted} of {before} slabs, \
+                                     Table 1 expects {want}"
+                                ),
+                            );
+                        }
+                    }
+                    self.note_evict(e.pid, i);
+                }
+                TraceData::Gc { .. } => {
+                    if let Some(w) = self.handlers.get_mut(&e.pid) {
+                        w.first_gc.get_or_insert(i);
+                    }
+                }
+                TraceData::Madvise { .. } => {
+                    if let Some(w) = self.handlers.get_mut(&e.pid) {
+                        w.first_madvise.get_or_insert(i);
+                    }
+                }
+                TraceData::HandlerStart { .. } => {
+                    self.handlers.insert(e.pid, HandlerWindow::default());
+                }
+                TraceData::HandlerEnd { .. } => self.on_handler_end(e),
+                TraceData::ProcSpawn { .. }
+                | TraceData::ProcRespawn { .. }
+                | TraceData::ProcExit
+                | TraceData::ProcKill
+                | TraceData::OomKill => {
+                    // A pid's allocator (and any handler window) dies with
+                    // the process; a respawn starts from fresh state.
+                    self.alloc.remove(&e.pid);
+                    self.handlers.remove(&e.pid);
+                }
+                TraceData::ZoneChange { .. }
+                | TraceData::WatchdogEscalate { .. }
+                | TraceData::WatchdogResignal { .. } => {}
+            }
+        }
+        self.out
+    }
+
+    fn note_evict(&mut self, pid: u64, i: usize) {
+        if let Some(w) = self.handlers.get_mut(&pid) {
+            w.last_evict = Some(i);
+        }
+    }
+
+    fn on_adjust(&mut self, e: &TraceEvent, side: ThresholdSide, old: u64, new: u64) {
+        if old == new {
+            self.flag(
+                "threshold.step",
+                e,
+                format!("{side:?} adjustment recorded with no movement (stayed {old})"),
+            );
+        }
+        if let Some(cfg) = &self.oracle.monitor {
+            let step = cfg.step();
+            if old.abs_diff(new) > step {
+                self.flag(
+                    "threshold.step",
+                    e,
+                    format!(
+                        "{side:?} moved {old} -> {new} ({} bytes), exceeding the \
+                         {:.0}%-of-top step of {step} bytes",
+                        old.abs_diff(new),
+                        cfg.step_fraction * 100.0
+                    ),
+                );
+            }
+        }
+        self.pending_adjusts.push((side, old, new));
+    }
+
+    fn on_selection(
+        &mut self,
+        e: &TraceEvent,
+        order: &str,
+        target: u64,
+        all: bool,
+        candidates: &[CandidateInfo],
+        selected: &[u64],
+    ) {
+        if self.pending_selection.is_some() {
+            self.flag(
+                "selection.replay",
+                e,
+                "two selections without an intervening monitor poll".to_string(),
+            );
+        }
+        if all {
+            let pids: Vec<u64> = candidates.iter().map(|c| c.pid).collect();
+            if pids != selected {
+                self.flag(
+                    "selection.all",
+                    e,
+                    format!(
+                        "signal-everyone selection picked {selected:?}, \
+                         expected every candidate {pids:?}"
+                    ),
+                );
+            }
+        } else {
+            match SortOrder::from_name(order) {
+                Some(ord) => {
+                    let cands: Vec<Candidate> =
+                        candidates.iter().map(Candidate::from_info).collect();
+                    let want = select_processes(&cands, ord, target);
+                    if want != selected {
+                        self.flag(
+                            "selection.replay",
+                            e,
+                            format!(
+                                "Algorithm 1 ({order}, target {target}) replays to \
+                                 {want:?}, trace recorded {selected:?}"
+                            ),
+                        );
+                    }
+                }
+                None => self.flag(
+                    "selection.replay",
+                    e,
+                    format!("unknown sort order `{order}`"),
+                ),
+            }
+        }
+        self.pending_selection = Some(PendingSelection {
+            target,
+            all,
+            selected: selected.to_vec(),
+        });
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn on_poll(&mut self, e: &TraceEvent) {
+        let TraceData::MonitorPoll {
+            zone,
+            used,
+            low,
+            high,
+            degraded,
+            low_signalled,
+            high_signalled,
+            killed,
+        } = &e.data
+        else {
+            unreachable!("on_poll called with a non-poll event");
+        };
+        let (zone, used, low, high, degraded) = (*zone, *used, *low, *high, *degraded);
+        let ms = e.t.as_millis();
+
+        // Degraded polls widen the enforcement margin with each consecutive
+        // failed meminfo read, capped at MAX_DEGRADED_WIDENING.
+        self.degraded_run = if degraded { self.degraded_run + 1 } else { 0 };
+        let margin = match &self.oracle.monitor {
+            Some(cfg) if degraded => {
+                let step = (cfg.top as f64 * cfg.degraded_margin_fraction) as u64;
+                step * self.degraded_run.min(u64::from(MAX_DEGRADED_WIDENING))
+            }
+            _ => 0,
+        };
+
+        // Ordering: low <= high <= top, always (§5.2).
+        if low > high {
+            self.flag(
+                "threshold.ordering",
+                e,
+                format!("low threshold {low} above high threshold {high}"),
+            );
+        }
+        if let Some(cfg) = &self.oracle.monitor {
+            if high > cfg.top {
+                self.flag(
+                    "threshold.ordering",
+                    e,
+                    format!("high threshold {high} above top of memory {}", cfg.top),
+                );
+            }
+        }
+
+        // Adaptive-threshold replay: feed the shadow copy this poll's usage
+        // and require the recorded moves and post-state to match (§5.2).
+        if let Some(mut replica) = self.replica.take() {
+            if degraded {
+                if !self.pending_adjusts.is_empty() {
+                    self.flag(
+                        "threshold.replay",
+                        e,
+                        format!(
+                            "degraded poll must not adjust thresholds, recorded {:?}",
+                            self.pending_adjusts
+                        ),
+                    );
+                }
+            } else {
+                let up = replica.observe(used);
+                let mut want: Vec<(ThresholdSide, u64, u64)> = Vec::new();
+                if let Some((old, new)) = up.low {
+                    want.push((ThresholdSide::Low, old, new));
+                }
+                if let Some((old, new)) = up.high {
+                    want.push((ThresholdSide::High, old, new));
+                }
+                if want != self.pending_adjusts {
+                    self.flag(
+                        "threshold.replay",
+                        e,
+                        format!(
+                            "replay expected adjustments {:?}, trace recorded {:?}",
+                            want, self.pending_adjusts
+                        ),
+                    );
+                }
+            }
+            if replica.low() != low || replica.high() != high {
+                self.flag(
+                    "threshold.replay",
+                    e,
+                    format!(
+                        "replayed thresholds ({}, {}) differ from recorded ({low}, {high})",
+                        replica.low(),
+                        replica.high()
+                    ),
+                );
+                // Re-sync so one divergence does not cascade over the rest
+                // of the trace.
+                if let Some(cfg) = &self.oracle.monitor {
+                    let mut resync = *cfg;
+                    resync.initial_high = high.min(cfg.top);
+                    resync.initial_low = low.min(resync.initial_high);
+                    replica = AdaptiveThresholds::new(&resync);
+                }
+            }
+            self.replica = Some(replica);
+        }
+        self.pending_adjusts.clear();
+
+        // Zone replay against the recorded usage and thresholds (§5, §6).
+        if let Some(cfg) = &self.oracle.monitor {
+            let want = if used > cfg.top {
+                TraceZone::AboveTop
+            } else if used > high.saturating_sub(margin) {
+                TraceZone::Red
+            } else if used > low.saturating_sub(margin) {
+                TraceZone::Yellow
+            } else {
+                TraceZone::Green
+            };
+            if want != zone {
+                self.flag(
+                    "zone.replay",
+                    e,
+                    format!(
+                        "used {used} with thresholds ({low}, {high}), margin {margin} \
+                         is {want:?}, poll recorded {zone:?}"
+                    ),
+                );
+            }
+        }
+
+        // The early warning fires on the upward crossing of the low
+        // threshold only, and never above top (§5).
+        let above_low = used > low.saturating_sub(margin);
+        let crossing = above_low && !self.prev_above_low && zone != TraceZone::AboveTop;
+        if !crossing && !low_signalled.is_empty() {
+            self.flag(
+                "lowsignal.crossing",
+                e,
+                format!(
+                    "low signals to {low_signalled:?} without an upward crossing \
+                     of the low threshold"
+                ),
+            );
+        }
+        self.prev_above_low = above_low;
+
+        // High-signal recipients are exactly the selection minus the pids
+        // whose signal the watchdog suppressed (§5.1, §6).
+        match self.pending_selection.take() {
+            Some(sel) => {
+                let want: Vec<u64> = sel
+                    .selected
+                    .iter()
+                    .copied()
+                    .filter(|p| !self.skipped.contains(p))
+                    .collect();
+                if want != *high_signalled {
+                    self.flag(
+                        "signal.recipients",
+                        e,
+                        format!(
+                            "selection {:?} minus watchdog skips {:?} expects \
+                             recipients {want:?}, poll recorded {high_signalled:?}",
+                            sel.selected, self.skipped
+                        ),
+                    );
+                }
+                if let Some(cfg) = &self.oracle.monitor {
+                    let want_target = match zone {
+                        TraceZone::Red => used - high.saturating_sub(margin),
+                        TraceZone::AboveTop => used.saturating_sub(cfg.top),
+                        _ => {
+                            self.flag(
+                                "selection.zone",
+                                e,
+                                format!("selection ran in the {zone:?} zone"),
+                            );
+                            sel.target
+                        }
+                    };
+                    if want_target != sel.target {
+                        self.flag(
+                            "selection.target",
+                            e,
+                            format!(
+                                "selection target {} does not match the {zone:?}-zone \
+                                 formula value {want_target}",
+                                sel.target
+                            ),
+                        );
+                    }
+                    if zone == TraceZone::AboveTop && !sel.all {
+                        self.flag(
+                            "selection.all",
+                            e,
+                            "above-top selection must signal everyone".to_string(),
+                        );
+                    }
+                }
+            }
+            None => {
+                if !high_signalled.is_empty() {
+                    self.flag(
+                        "signal.recipients",
+                        e,
+                        format!("high signals to {high_signalled:?} without a selection"),
+                    );
+                }
+            }
+        }
+        self.skipped.clear();
+
+        // Every signalled pid must have a matching signal-bus event (sent,
+        // dropped or delayed — the monitor cannot know the bus outcome).
+        for (signalled, window, which) in [
+            (low_signalled, &mut self.window_low, "low"),
+            (high_signalled, &mut self.window_high, "high"),
+        ] {
+            let mut available = std::mem::take(window);
+            let mut missing = Vec::new();
+            for pid in signalled {
+                match available.iter().position(|p| p == pid) {
+                    Some(i) => {
+                        available.swap_remove(i);
+                    }
+                    None => missing.push(*pid),
+                }
+            }
+            if !missing.is_empty() {
+                self.out.push(Violation {
+                    invariant: "signal.delivery".to_string(),
+                    at_ms: ms,
+                    pid: e.pid,
+                    message: format!(
+                        "poll reports {which} signals to {missing:?} but the signal \
+                         bus has no matching events"
+                    ),
+                });
+            }
+        }
+
+        // Kills: victims match the monitor.kill events, happen only above
+        // top, and only after the kill-timeout grace period (§6).
+        if *killed != self.window_kills {
+            self.flag(
+                "kill.victims",
+                e,
+                format!(
+                    "poll reports kills {killed:?} but monitor.kill events \
+                     name {:?}",
+                    self.window_kills
+                ),
+            );
+        }
+        self.window_kills.clear();
+        if zone == TraceZone::AboveTop {
+            let since = *self.above_top_since.get_or_insert(ms);
+            if !killed.is_empty() {
+                if let Some(cfg) = &self.oracle.monitor {
+                    let grace = cfg.kill_timeout.as_millis();
+                    if ms.saturating_sub(since) < grace {
+                        self.flag(
+                            "kill.grace",
+                            e,
+                            format!(
+                                "killed {killed:?} only {} ms above top, before the \
+                                 {grace} ms grace period",
+                                ms.saturating_sub(since)
+                            ),
+                        );
+                    }
+                }
+                self.above_top_since = None;
+            }
+        } else {
+            self.above_top_since = None;
+            if !killed.is_empty() {
+                self.flag(
+                    "kill.grace",
+                    e,
+                    format!("killed {killed:?} in the {zone:?} zone"),
+                );
+            }
+        }
+    }
+
+    /// Recorded allow rate must equal the §4.2 formula applied to the
+    /// recorded inputs.
+    fn check_rate(
+        &mut self,
+        e: &TraceEvent,
+        rate: f64,
+        elapsed_ms: u64,
+        epoch_ms: u64,
+        num_epochs: u32,
+        curve: &str,
+    ) {
+        let Some(c) = curve_from_name(curve) else {
+            self.flag("alloc.rate", e, format!("unknown rate curve `{curve}`"));
+            return;
+        };
+        let denom = (epoch_ms * u64::from(num_epochs)).max(1) as f64;
+        let want = c.rate(elapsed_ms as f64 / denom);
+        if (want - rate).abs() > 1e-9 {
+            self.flag(
+                "alloc.rate",
+                e,
+                format!(
+                    "recorded rate {rate} but {curve}({elapsed_ms} / ({epoch_ms} x \
+                     {num_epochs})) = {want}"
+                ),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_gate(
+        &mut self,
+        e: &TraceEvent,
+        delayed: bool,
+        rate: f64,
+        elapsed_ms: u64,
+        epoch_ms: u64,
+        num_epochs: u32,
+        curve: &str,
+    ) {
+        self.check_rate(e, rate, elapsed_ms, epoch_ms, num_epochs, curve);
+        if rate >= 1.0 {
+            self.flag(
+                "alloc.stride",
+                e,
+                "gate event recorded at full allow rate (the gate is a no-op)".to_string(),
+            );
+            return;
+        }
+        let st = self.alloc.entry(e.pid).or_default();
+        st.counter += 1;
+        let want = if rate <= 0.0 {
+            true
+        } else {
+            let stride = (1.0 / rate).floor().max(1.0) as u64;
+            !st.counter.is_multiple_of(stride)
+        };
+        if want != delayed {
+            self.flag(
+                "alloc.stride",
+                e,
+                format!(
+                    "at rate {rate} the \u{230a}1/r\u{230b} gate expects delayed={want}, \
+                     trace recorded delayed={delayed}"
+                ),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_batch(
+        &mut self,
+        e: &TraceEvent,
+        n: u64,
+        delayed: u64,
+        rate: f64,
+        elapsed_ms: u64,
+        epoch_ms: u64,
+        num_epochs: u32,
+        curve: &str,
+    ) {
+        self.check_rate(e, rate, elapsed_ms, epoch_ms, num_epochs, curve);
+        if rate >= 1.0 || n == 0 {
+            self.flag(
+                "alloc.carry",
+                e,
+                "batch event recorded at full allow rate (the gate is a no-op)".to_string(),
+            );
+            return;
+        }
+        let st = self.alloc.entry(e.pid).or_default();
+        let exact = n as f64 * (1.0 - rate) + st.carry;
+        let want = (exact.floor() as u64).min(n);
+        st.carry = exact - want as f64;
+        if want != delayed {
+            self.flag(
+                "alloc.carry",
+                e,
+                format!(
+                    "batch of {n} at rate {rate} expects {want} delayed, \
+                     trace recorded {delayed}"
+                ),
+            );
+        }
+    }
+
+    /// Top-down reclamation (§4.1): within one handler window the layers
+    /// act top to bottom — framework/cache eviction, then runtime GC, then
+    /// memory returned to the OS.
+    fn on_handler_end(&mut self, e: &TraceEvent) {
+        let Some(w) = self.handlers.remove(&e.pid) else {
+            return;
+        };
+        if let (Some(ev), Some(gc)) = (w.last_evict, w.first_gc) {
+            if ev > gc {
+                self.flag(
+                    "topdown.order",
+                    e,
+                    "eviction ran after the runtime GC inside one handler".to_string(),
+                );
+            }
+        }
+        if let (Some(gc), Some(m)) = (w.first_gc, w.first_madvise) {
+            if gc > m {
+                self.flag(
+                    "topdown.order",
+                    e,
+                    "memory returned to the OS before the runtime GC ran".to_string(),
+                );
+            }
+        }
+        if let (Some(ev), Some(m)) = (w.last_evict, w.first_madvise) {
+            if ev > m {
+                self.flag(
+                    "topdown.order",
+                    e,
+                    "memory returned to the OS before the eviction above it".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `ceil(before × fraction)`, clamped to the population.
+fn expected_fraction(before: u64, fraction: f64) -> u64 {
+    ((before as f64 * fraction).ceil() as u64).min(before)
+}
+
+fn curve_from_name(name: &str) -> Option<RateCurve> {
+    match name {
+        "linear" => Some(RateCurve::Linear),
+        "exponential" => Some(RateCurve::Exponential),
+        "step" => Some(RateCurve::Step),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_core::alloc::AdaptiveAllocator;
+    use m3_core::monitor::{Monitor, MONITOR_PID};
+    use m3_os::{Kernel, KernelConfig};
+    use m3_sim::clock::SimTime;
+    use m3_sim::trace::GcLayer;
+    use m3_sim::units::GIB;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn paper() -> MonitorConfig {
+        MonitorConfig::paper_64gb()
+    }
+
+    /// Drives a real monitor over a real kernel and returns the trace.
+    fn monitored_run(usages: &[u64]) -> (TraceLog, MonitorConfig) {
+        let cfg = paper();
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let mut mon = Monitor::new(cfg);
+        os.set_time(t(0));
+        let a = os.spawn("a");
+        let b = os.spawn("b");
+        mon.register(a);
+        mon.register(b);
+        let mut held = 0u64;
+        for (i, &used) in usages.iter().enumerate() {
+            let now = t(1 + i as u64);
+            os.set_time(now);
+            if os.is_alive(a) {
+                if used > held {
+                    os.grow(a, used - held).unwrap();
+                } else if held > used {
+                    os.release(a, held - used).unwrap();
+                }
+                held = used;
+            }
+            mon.poll(&mut os, now);
+            os.take_signals(a);
+            os.take_signals(b);
+        }
+        (std::mem::take(&mut os.trace), cfg)
+    }
+
+    #[test]
+    fn clean_monitor_run_has_no_violations() {
+        // Green, yellow crossings, sustained red (threshold adjustments once
+        // the window fills), and relief back to green.
+        let mut usages = vec![10 * GIB, 52 * GIB, 30 * GIB, 53 * GIB];
+        usages.extend(vec![58 * GIB; 40]);
+        usages.extend([20 * GIB, 52 * GIB]);
+        let (trace, cfg) = monitored_run(&usages);
+        assert!(trace.count("monitor.poll") == usages.len());
+        assert!(
+            trace.count("threshold.adjust") > 0,
+            "sustained red must adjust thresholds"
+        );
+        let violations = Oracle::paper(Some(cfg)).check(&trace);
+        assert_eq!(violations, Vec::new());
+    }
+
+    #[test]
+    fn above_top_kill_run_is_conformant() {
+        let mut usages = vec![63 * GIB; 31];
+        usages.push(10 * GIB);
+        let (trace, cfg) = monitored_run(&usages);
+        assert!(trace.count("monitor.kill") > 0, "kill path must trigger");
+        let violations = Oracle::paper(Some(cfg)).check(&trace);
+        assert_eq!(violations, Vec::new());
+    }
+
+    #[test]
+    fn empty_trace_is_conformant() {
+        assert!(Oracle::paper(Some(paper()))
+            .check(&TraceLog::new())
+            .is_empty());
+        assert!(Oracle::paper(None).check(&TraceLog::disabled()).is_empty());
+    }
+
+    #[test]
+    fn oversized_threshold_move_is_flagged() {
+        let cfg = paper();
+        let mut log = TraceLog::new();
+        // A 5%-of-top move: more than double the allowed 2% step.
+        let step5 = (cfg.top as f64 * 0.05) as u64;
+        log.record(
+            t(1),
+            MONITOR_PID,
+            TraceData::ThresholdAdjust {
+                side: ThresholdSide::Low,
+                old: cfg.initial_low,
+                new: cfg.initial_low - step5,
+            },
+        );
+        let violations = Oracle::paper(Some(cfg)).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "threshold.step"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_selection_is_flagged() {
+        let (trace, cfg) = monitored_run(&[58 * GIB; 4]);
+        // Rewrite one selection's outcome to a wrong pid set.
+        let mut log = TraceLog::new();
+        for e in trace.events() {
+            let data = match &e.data {
+                TraceData::Selection {
+                    order,
+                    target,
+                    all,
+                    candidates,
+                    ..
+                } => TraceData::Selection {
+                    order: order.clone(),
+                    target: *target,
+                    all: *all,
+                    candidates: candidates.clone(),
+                    selected: vec![999],
+                },
+                d => d.clone(),
+            };
+            log.record(e.t, e.pid, data);
+        }
+        let violations = Oracle::paper(Some(cfg)).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "selection.replay"),
+            "got {violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "signal.recipients"),
+            "recipients no longer match the (tampered) selection"
+        );
+    }
+
+    #[test]
+    fn high_signal_without_selection_is_flagged() {
+        let cfg = paper();
+        let mut log = TraceLog::new();
+        log.record(t(1), 3, TraceData::SignalSent { sig: SigKind::High });
+        log.record(
+            t(1),
+            MONITOR_PID,
+            TraceData::MonitorPoll {
+                zone: TraceZone::Red,
+                used: 56 * GIB,
+                low: cfg.initial_low,
+                high: cfg.initial_high,
+                degraded: false,
+                low_signalled: vec![],
+                high_signalled: vec![3],
+                killed: vec![],
+            },
+        );
+        let violations = Oracle::paper(Some(cfg)).check(&log);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == "signal.recipients"));
+    }
+
+    #[test]
+    fn kill_before_grace_period_is_flagged() {
+        let cfg = paper();
+        let mut log = TraceLog::new();
+        log.record(t(1), 7, TraceData::MonitorKill { rss: GIB });
+        log.record(
+            t(1),
+            MONITOR_PID,
+            TraceData::MonitorPoll {
+                zone: TraceZone::AboveTop,
+                used: 63 * GIB,
+                low: cfg.initial_low,
+                high: cfg.initial_high,
+                degraded: false,
+                low_signalled: vec![],
+                high_signalled: vec![],
+                killed: vec![7],
+            },
+        );
+        let violations = Oracle::paper(Some(cfg)).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "kill.grace"),
+            "first above-top poll cannot kill yet: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_gate_replay_accepts_the_real_allocator() {
+        let mut a = AdaptiveAllocator::new(1);
+        a.on_high_signal(SimTime::from_millis(0));
+        a.on_reclaim_done(SimTime::from_millis(10_000));
+        let mut log = TraceLog::new();
+        let now = SimTime::from_millis(1500); // rate 15%
+        for _ in 0..50 {
+            let snap = a.gate_snapshot(now);
+            let delayed = a.should_delay(now);
+            log.record(
+                now,
+                4,
+                TraceData::AllocGate {
+                    delayed,
+                    rate: snap.rate,
+                    elapsed_ms: snap.elapsed_ms,
+                    epoch_ms: snap.epoch_ms,
+                    num_epochs: snap.num_epochs,
+                    curve: snap.curve.to_string(),
+                },
+            );
+        }
+        assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    #[test]
+    fn wrong_stride_decision_is_flagged() {
+        let mut log = TraceLog::new();
+        // rate 0.5 -> stride 2: first call (counter 1) must be delayed.
+        log.record(
+            SimTime::from_millis(500),
+            4,
+            TraceData::AllocGate {
+                delayed: false,
+                rate: 0.5,
+                elapsed_ms: 500,
+                epoch_ms: 1000,
+                num_epochs: 1,
+                curve: "linear".to_string(),
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(violations.iter().any(|v| v.invariant == "alloc.stride"));
+    }
+
+    #[test]
+    fn misreported_rate_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            SimTime::from_millis(500),
+            4,
+            TraceData::AllocGate {
+                delayed: true,
+                rate: 0.9, // linear(500/1000) = 0.5
+                elapsed_ms: 500,
+                epoch_ms: 1000,
+                num_epochs: 1,
+                curve: "linear".to_string(),
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(violations.iter().any(|v| v.invariant == "alloc.rate"));
+    }
+
+    #[test]
+    fn batch_carry_replay_accepts_the_real_allocator() {
+        let mut a = AdaptiveAllocator::new(5);
+        a.on_high_signal(SimTime::from_millis(0));
+        a.on_reclaim_done(SimTime::from_millis(700));
+        let mut log = TraceLog::new();
+        for i in 0..40u64 {
+            let now = SimTime::from_millis(800 + i * 13);
+            let snap = a.gate_snapshot(now);
+            let delayed = a.delayed_of(7, now);
+            if snap.rate < 1.0 {
+                log.record(
+                    now,
+                    9,
+                    TraceData::AllocBatch {
+                        n: 7,
+                        delayed,
+                        rate: snap.rate,
+                        elapsed_ms: snap.elapsed_ms,
+                        epoch_ms: snap.epoch_ms,
+                        num_epochs: snap.num_epochs,
+                        curve: snap.curve.to_string(),
+                    },
+                );
+            }
+        }
+        assert!(log.count("alloc.batch") > 0);
+        assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    #[test]
+    fn wrong_batch_split_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            SimTime::from_millis(250),
+            9,
+            TraceData::AllocBatch {
+                n: 100,
+                delayed: 10, // linear rate 0.25 -> 75 delayed
+                rate: 0.25,
+                elapsed_ms: 250,
+                epoch_ms: 1000,
+                num_epochs: 1,
+                curve: "linear".to_string(),
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(violations.iter().any(|v| v.invariant == "alloc.carry"));
+    }
+
+    #[test]
+    fn table1_magnitudes_are_enforced() {
+        let mut log = TraceLog::new();
+        // 1/8 of 64 blocks = 8: recording 3 is a violation.
+        log.record(
+            t(1),
+            2,
+            TraceData::EvictBlocks {
+                before: 64,
+                evicted: 3,
+                bytes: 0,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        // 1% of 300 slabs rounds up to 3: recording 30 is a violation.
+        log.record(
+            t(2),
+            3,
+            TraceData::EvictSlabs {
+                before: 300,
+                evicted: 30,
+                items: 0,
+                bytes: 0,
+                reason: EvictReason::LowSignal,
+            },
+        );
+        // Capacity evictions are policy-free: any magnitude is fine.
+        log.record(
+            t(3),
+            2,
+            TraceData::EvictBlocks {
+                before: 64,
+                evicted: 64,
+                bytes: 0,
+                reason: EvictReason::Capacity,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| v.invariant.starts_with("evict."))
+                .count(),
+            2,
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn correct_table1_magnitudes_pass() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            2,
+            TraceData::EvictBlocks {
+                before: 60,
+                evicted: 8, // ceil(60/8)
+                bytes: 0,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        log.record(
+            t(2),
+            3,
+            TraceData::EvictSlabs {
+                before: 10,
+                evicted: 1, // ceil(0.04 * 10), min one slab
+                items: 0,
+                bytes: 0,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    #[test]
+    fn bottom_up_reclamation_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 5, TraceData::HandlerStart { sig: SigKind::High });
+        log.record(
+            t(1),
+            5,
+            TraceData::Gc {
+                layer: GcLayer::Mixed,
+                reclaimed: GIB,
+                returned: GIB,
+                pause_ms: 80,
+            },
+        );
+        log.record(t(1), 5, TraceData::Madvise { bytes: GIB });
+        log.record(
+            t(1),
+            5,
+            TraceData::EvictBlocks {
+                before: 8,
+                evicted: 1,
+                bytes: GIB,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        log.record(
+            t(2),
+            5,
+            TraceData::HandlerEnd {
+                sig: SigKind::High,
+                duration_ms: 1000,
+                returned: GIB,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "topdown.order"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn top_down_window_passes() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 5, TraceData::HandlerStart { sig: SigKind::High });
+        log.record(
+            t(1),
+            5,
+            TraceData::EvictBlocks {
+                before: 8,
+                evicted: 1,
+                bytes: GIB,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        log.record(
+            t(1),
+            5,
+            TraceData::Gc {
+                layer: GcLayer::Young,
+                reclaimed: GIB,
+                returned: GIB,
+                pause_ms: 10,
+            },
+        );
+        log.record(t(1), 5, TraceData::Madvise { bytes: GIB });
+        log.record(
+            t(2),
+            5,
+            TraceData::HandlerEnd {
+                sig: SigKind::High,
+                duration_ms: 1000,
+                returned: GIB,
+            },
+        );
+        assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    #[test]
+    fn respawn_resets_the_gate_replay() {
+        let mut log = TraceLog::new();
+        let gate = |delayed| TraceData::AllocGate {
+            delayed,
+            rate: 0.5,
+            elapsed_ms: 500,
+            epoch_ms: 1000,
+            num_epochs: 1,
+            curve: "linear".to_string(),
+        };
+        // counter 1 -> delayed, counter 2 -> admitted.
+        log.record(SimTime::from_millis(500), 4, gate(true));
+        log.record(SimTime::from_millis(500), 4, gate(false));
+        // The process respawns: its allocator starts over, so the next
+        // decision is counter 1 -> delayed again.
+        log.record(
+            SimTime::from_millis(501),
+            4,
+            TraceData::ProcRespawn { name: "a".into() },
+        );
+        log.record(SimTime::from_millis(502), 4, gate(true));
+        assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    #[test]
+    fn violations_serialize_round_trip() {
+        let v = Violation {
+            invariant: "alloc.stride".to_string(),
+            at_ms: 1500,
+            pid: 4,
+            message: "x".to_string(),
+        };
+        let c = v.serialize();
+        let back = Violation::deserialize(&c).expect("round trip");
+        assert_eq!(v, back);
+    }
+}

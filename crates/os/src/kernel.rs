@@ -1,7 +1,7 @@
 //! The kernel facade: process table, memory accounting, signal delivery, OOM.
 
 use m3_sim::clock::SimTime;
-use m3_sim::trace::TraceLog;
+use m3_sim::trace::{SigKind, TraceData, TraceLog};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -119,7 +119,9 @@ impl Kernel {
         self.spawn_seq += 1;
         let proc = Process::new(pid, name, self.now, self.spawn_seq);
         self.trace
-            .record(self.now, pid, "proc.spawn", proc.name.clone());
+            .record_with(self.now, pid, || TraceData::ProcSpawn {
+                name: proc.name.clone(),
+            });
         self.procs.insert(pid, proc);
         pid
     }
@@ -144,7 +146,9 @@ impl Kernel {
         self.spawn_seq += 1;
         let proc = Process::new(pid, name, self.now, self.spawn_seq);
         self.trace
-            .record(self.now, pid, "proc.respawn", proc.name.clone());
+            .record_with(self.now, pid, || TraceData::ProcRespawn {
+                name: proc.name.clone(),
+            });
         self.procs.insert(pid, proc);
         pid
     }
@@ -155,7 +159,7 @@ impl Kernel {
             p.committed = 0;
             p.state = ProcessState::Exited;
             self.signals.forget(pid);
-            self.trace.record(self.now, pid, "proc.exit", "");
+            self.trace.record(self.now, pid, TraceData::ProcExit);
         }
     }
 
@@ -167,7 +171,7 @@ impl Kernel {
                 p.committed = 0;
                 p.state = ProcessState::Killed;
                 self.signals.send(pid, Signal::Kill);
-                self.trace.record(self.now, pid, "proc.kill", "");
+                self.trace.record(self.now, pid, TraceData::ProcKill);
             }
         }
     }
@@ -220,8 +224,26 @@ impl Kernel {
             .get_mut(&pid)
             .filter(|p| p.is_alive())
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        proc.committed = proc.committed.saturating_sub(bytes);
+        let released = bytes.min(proc.committed);
+        proc.committed -= released;
+        if released > 0 {
+            self.trace
+                .record(self.now, pid, TraceData::Madvise { bytes: released });
+        }
         Ok(())
+    }
+
+    /// Records a typed trace event at the kernel's current time. Layers
+    /// above the kernel (monitor, runtimes, frameworks) emit their events
+    /// through this so every component shares one clock and one log.
+    pub fn record_trace(&mut self, pid: Pid, data: TraceData) {
+        self.trace.record(self.now, pid, data);
+    }
+
+    /// Lazy variant of [`Kernel::record_trace`]: the payload is built only
+    /// when tracing is enabled.
+    pub fn record_trace_with(&mut self, pid: Pid, make: impl FnOnce() -> TraceData) {
+        self.trace.record_with(self.now, pid, make);
     }
 
     /// A process's committed (resident + swapped) bytes; zero if unknown.
@@ -294,16 +316,17 @@ impl Kernel {
     /// dropped (matching `kill(2)` on a reaped pid).
     pub fn send_signal(&mut self, pid: Pid, sig: Signal) {
         if self.is_alive(pid) {
-            let kind = match self.signals.send_at(pid, sig, self.now) {
-                SendOutcome::Delivered => match sig {
-                    Signal::LowMemory => "signal.low",
-                    Signal::HighMemory => "signal.high",
-                    Signal::Kill => "signal.kill",
-                },
-                SendOutcome::Dropped => "signal.dropped",
-                SendOutcome::Delayed => "signal.delayed",
+            let kind = match sig {
+                Signal::LowMemory => SigKind::Low,
+                Signal::HighMemory => SigKind::High,
+                Signal::Kill => SigKind::Kill,
             };
-            self.trace.record(self.now, pid, kind, "");
+            let data = match self.signals.send_at(pid, sig, self.now) {
+                SendOutcome::Delivered => TraceData::SignalSent { sig: kind },
+                SendOutcome::Dropped => TraceData::SignalDropped { sig: kind },
+                SendOutcome::Delayed => TraceData::SignalDelayed { sig: kind },
+            };
+            self.trace.record(self.now, pid, data);
         }
     }
 
@@ -329,7 +352,7 @@ impl Kernel {
             .filter(|p| p.is_alive())
             .max_by_key(|p| (p.committed, p.pid))?
             .pid;
-        self.trace.record(self.now, victim, "oom.kill", "");
+        self.trace.record(self.now, victim, TraceData::OomKill);
         self.kill(victim);
         Some(victim)
     }

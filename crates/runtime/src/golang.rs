@@ -9,6 +9,7 @@
 
 use m3_os::{Kernel, Pid};
 use m3_sim::clock::{SimDuration, SimTime};
+use m3_sim::trace::{GcLayer, TraceData};
 use m3_sim::units::{MIB, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -185,6 +186,16 @@ impl GoRuntime {
         self.garbage = 0;
         self.last_gc_live = self.live;
         self.stats.record(GcKind::Full, pause, reclaimed);
+        os.record_trace_with(self.pid, || TraceData::Gc {
+            layer: GcLayer::Go,
+            reclaimed,
+            returned: if self.cfg.return_immediately {
+                self.free().saturating_sub(self.cfg.commit_chunk) / PAGE_SIZE * PAGE_SIZE
+            } else {
+                0
+            },
+            pause_ms: pause.as_millis(),
+        });
         let returned = if self.cfg.return_immediately {
             self.release_free(os)
         } else {

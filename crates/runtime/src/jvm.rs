@@ -27,6 +27,7 @@
 
 use m3_os::{Kernel, Pid};
 use m3_sim::clock::SimDuration;
+use m3_sim::trace::{GcLayer, TraceData};
 use m3_sim::units::{GIB, MIB, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -252,11 +253,7 @@ impl Jvm {
     /// one commit chunk of slack for allocation velocity. Only whole pages
     /// can be `madvise`d, so the amount is rounded down to page granularity.
     fn maybe_return_free(&mut self, os: &mut Kernel) -> u64 {
-        if !self.cfg.return_to_os {
-            return 0;
-        }
-        let retain = self.cfg.commit_chunk;
-        let releasable = self.free().saturating_sub(retain) / PAGE_SIZE * PAGE_SIZE;
+        let releasable = self.releasable();
         if releasable == 0 {
             return 0;
         }
@@ -265,6 +262,16 @@ impl Jvm {
         self.committed -= releasable;
         self.stats.returned_to_os += releasable;
         releasable
+    }
+
+    /// Bytes [`Jvm::maybe_return_free`] would give back right now: free heap
+    /// beyond one commit chunk of slack, page-aligned, zero when returning
+    /// is disabled.
+    fn releasable(&self) -> u64 {
+        if !self.cfg.return_to_os {
+            return 0;
+        }
+        self.free().saturating_sub(self.cfg.commit_chunk) / PAGE_SIZE * PAGE_SIZE
     }
 
     /// Performs a young collection: evacuates survivors to the old
@@ -276,6 +283,12 @@ impl Jvm {
         self.young_used = 0;
         self.old_garbage += survivors;
         self.stats.record(GcKind::Young, pause, reclaimed);
+        os.record_trace_with(self.pid, || TraceData::Gc {
+            layer: GcLayer::Young,
+            reclaimed,
+            returned: self.releasable(),
+            pause_ms: pause.as_millis(),
+        });
         let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Young,
@@ -297,6 +310,12 @@ impl Jvm {
         let copied = (self.old_live as f64 * 0.05) as u64;
         let pause = self.cfg.costs.pause(self.old_live, copied, old_reclaimed);
         self.stats.record(GcKind::Mixed, pause, old_reclaimed);
+        os.record_trace_with(self.pid, || TraceData::Gc {
+            layer: GcLayer::Mixed,
+            reclaimed: old_reclaimed,
+            returned: self.releasable(),
+            pause_ms: pause.as_millis(),
+        });
         let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Mixed,
@@ -317,6 +336,12 @@ impl Jvm {
             .costs
             .pause(self.old_live, self.old_live, reclaimed);
         self.stats.record(GcKind::Full, pause, reclaimed);
+        os.record_trace_with(self.pid, || TraceData::Gc {
+            layer: GcLayer::Full,
+            reclaimed,
+            returned: self.releasable(),
+            pause_ms: pause.as_millis(),
+        });
         let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Full,

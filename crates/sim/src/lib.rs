@@ -36,4 +36,7 @@ pub use histogram::DurationHistogram;
 pub use metrics::{Counter, Gauge, TimeSeries};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{
+    CandidateInfo, EvictReason, GcLayer, SigKind, ThresholdSide, TraceData, TraceEvent, TraceLog,
+    TraceZone,
+};

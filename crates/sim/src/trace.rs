@@ -1,24 +1,636 @@
-//! Structured event tracing.
+//! Typed end-to-end event tracing.
 //!
-//! Tests and the experiment harness assert on *what happened* (a young GC ran
-//! before Spark evicted; the monitor signalled exactly the selected
-//! processes) rather than scraping logs. Components append [`TraceEvent`]s to
-//! a shared [`TraceLog`], which offers simple query helpers.
+//! Tests, the experiment harness and the conformance oracle assert on *what
+//! happened* (a young GC ran before Spark evicted; the monitor signalled
+//! exactly the processes Algorithm 1 selected) rather than scraping logs.
+//! Components append [`TraceEvent`]s to a shared [`TraceLog`]; each event
+//! carries a typed [`TraceData`] payload so a replay oracle can recompute
+//! the paper's formulas from the recorded inputs instead of parsing strings.
+//!
+//! Every payload maps to a stable dotted *kind* string (e.g. `"gc.young"`,
+//! `"signal.high"`, `"evict.blocks"`); the prefix-query helpers
+//! ([`TraceLog::of_kind`], [`TraceLog::happened_before`], ...) operate on
+//! those kinds, so existing string-based assertions keep working.
 
 use crate::clock::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::{map_field, Content, DeError, Deserialize, Serialize};
+
+/// Monitor zone as recorded in a trace (mirrors `m3-core`'s `Zone` without
+/// depending on it; `m3-sim` sits below `m3-core` in the crate stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceZone {
+    /// Usage below the low threshold.
+    Green,
+    /// Usage between the low and high thresholds.
+    Yellow,
+    /// Usage between the high threshold and the top of memory.
+    Red,
+    /// Usage above the top of memory.
+    AboveTop,
+}
+
+/// Which notification a signal event carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SigKind {
+    /// Low-threshold (early-warning) signal.
+    Low,
+    /// High-threshold (severe-pressure) signal.
+    High,
+    /// Kill signal.
+    Kill,
+}
+
+/// Which threshold a `ThresholdAdjust` event moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdSide {
+    /// The low threshold.
+    Low,
+    /// The high threshold.
+    High,
+}
+
+/// Why an application-layer eviction ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictReason {
+    /// Responding to a low-threshold signal (Table 1).
+    LowSignal,
+    /// Responding to a high-threshold signal (Table 1).
+    HighSignal,
+    /// Making room under a static capacity limit.
+    Capacity,
+    /// A delayed allocation evicting to satisfy itself (§4.2).
+    AdmissionDelay,
+}
+
+/// Which collection a `Gc` event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcLayer {
+    /// JVM young collection.
+    Young,
+    /// JVM mixed collection.
+    Mixed,
+    /// JVM full collection.
+    Full,
+    /// Go runtime GC cycle.
+    Go,
+}
+
+/// One Algorithm 1 candidate as the monitor saw it at selection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateInfo {
+    /// The candidate process.
+    pub pid: u64,
+    /// When the process was spawned, ms.
+    pub spawned_at_ms: u64,
+    /// Resident set size at selection time, bytes.
+    pub rss: u64,
+    /// Expected reclamation on a high signal, bytes.
+    pub expected_reclaim: u64,
+}
+
+/// The typed payload of one traced event.
+///
+/// Each variant serializes as a flat map whose `"kind"` entry is the stable
+/// dotted string returned by [`TraceData::kind`]; signal, threshold, GC and
+/// allocation-gate variants encode their discriminating sub-field in the
+/// kind itself (`"signal.high"`, `"gc.young"`, `"alloc.delay"`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceData {
+    /// A process was spawned.
+    ProcSpawn {
+        /// Display name of the process.
+        name: String,
+    },
+    /// A process was respawned reusing an existing pid.
+    ProcRespawn {
+        /// Display name of the process.
+        name: String,
+    },
+    /// A process exited normally.
+    ProcExit,
+    /// A process was killed.
+    ProcKill,
+    /// The kernel OOM killer chose this victim.
+    OomKill,
+    /// A threshold/kill signal was delivered to the process.
+    SignalSent {
+        /// Which signal.
+        sig: SigKind,
+    },
+    /// A signal was dropped by a faulty bus.
+    SignalDropped {
+        /// Which signal.
+        sig: SigKind,
+    },
+    /// A signal was delayed by a laggy bus.
+    SignalDelayed {
+        /// Which signal.
+        sig: SigKind,
+    },
+    /// Memory was returned to the OS (`madvise(MADV_FREE)`-equivalent).
+    Madvise {
+        /// Bytes actually released.
+        bytes: u64,
+    },
+    /// One monitor poll completed (§5): the zone it classified, the
+    /// thresholds in force, and every pid it signalled or killed this poll.
+    MonitorPoll {
+        /// The zone the poll classified usage into.
+        zone: TraceZone,
+        /// Memory usage observed, bytes.
+        used: u64,
+        /// Low threshold after this poll's adjustment, bytes.
+        low: u64,
+        /// High threshold after this poll's adjustment, bytes.
+        high: u64,
+        /// True when the poll ran on stale/degraded meminfo.
+        degraded: bool,
+        /// Pids sent a low signal this poll, in send order.
+        low_signalled: Vec<u64>,
+        /// Pids sent a high signal this poll, in send order.
+        high_signalled: Vec<u64>,
+        /// Pids killed this poll, in kill order.
+        killed: Vec<u64>,
+    },
+    /// The monitor's zone changed between polls.
+    ZoneChange {
+        /// Previous zone.
+        from: TraceZone,
+        /// New zone.
+        to: TraceZone,
+    },
+    /// An adaptive threshold moved (§5.2).
+    ThresholdAdjust {
+        /// Which threshold moved.
+        side: ThresholdSide,
+        /// Value before, bytes.
+        old: u64,
+        /// Value after, bytes.
+        new: u64,
+    },
+    /// Algorithm 1 ran (§5.1).
+    Selection {
+        /// The sort order used.
+        order: String,
+        /// Reclamation target, bytes.
+        target: u64,
+        /// True for the above-top signal-everyone escalation.
+        all: bool,
+        /// The unsorted candidate set the algorithm saw.
+        candidates: Vec<CandidateInfo>,
+        /// The selected pids, in signalling order.
+        selected: Vec<u64>,
+    },
+    /// The watchdog suppressed a high signal during backoff cooldown (§6).
+    WatchdogSkip,
+    /// The watchdog escalated an unresponsive process into backoff.
+    WatchdogEscalate {
+        /// The new backoff length, polls.
+        backoff: u64,
+    },
+    /// The watchdog re-signalled after a full cooldown.
+    WatchdogResignal {
+        /// The backoff length that just elapsed, polls.
+        backoff: u64,
+    },
+    /// The monitor killed a process to get back under top (§6).
+    MonitorKill {
+        /// The victim's RSS at kill time, bytes.
+        rss: u64,
+    },
+    /// An application signal handler started.
+    HandlerStart {
+        /// Which signal it is handling.
+        sig: SigKind,
+    },
+    /// An application signal handler finished.
+    HandlerEnd {
+        /// Which signal it handled.
+        sig: SigKind,
+        /// Handler wall time (the §4.2 epoch length), ms.
+        duration_ms: u64,
+        /// Bytes the whole stack returned to the OS.
+        returned: u64,
+    },
+    /// A framework-layer block-cache eviction (Spark, Table 1).
+    EvictBlocks {
+        /// Cached blocks before eviction.
+        before: u64,
+        /// Blocks evicted.
+        evicted: u64,
+        /// Bytes freed (marked dead in the layer below).
+        bytes: u64,
+        /// Why the eviction ran.
+        reason: EvictReason,
+    },
+    /// A cache-layer slab eviction (Go-Cache/Memcached, Table 1).
+    EvictSlabs {
+        /// Resident slabs before eviction.
+        before: u64,
+        /// Slabs evicted.
+        evicted: u64,
+        /// Items evicted.
+        items: u64,
+        /// Bytes freed (marked dead in the layer below).
+        bytes: u64,
+        /// Why the eviction ran.
+        reason: EvictReason,
+    },
+    /// A runtime-layer collection ran.
+    Gc {
+        /// Which collection.
+        layer: GcLayer,
+        /// Bytes freed inside the heap.
+        reclaimed: u64,
+        /// Bytes returned to the OS by this collection.
+        returned: u64,
+        /// Stop-the-world pause charged to the mutator, ms.
+        pause_ms: u64,
+    },
+    /// One adaptive-allocation gate decision (§4.2, per-allocation form).
+    AllocGate {
+        /// True if this allocation was delayed (evict first).
+        delayed: bool,
+        /// The allow rate at decision time.
+        rate: f64,
+        /// Time since the last high signal, ms.
+        elapsed_ms: u64,
+        /// Epoch length (time handling the last high signal), ms.
+        epoch_ms: u64,
+        /// `NUM_epochs` of the protocol instance.
+        num_epochs: u32,
+        /// Recovery curve name (`"Linear"`, `"Exponential"`, `"Step"`).
+        curve: String,
+    },
+    /// One adaptive-allocation batched gate decision (§4.2, batched form).
+    AllocBatch {
+        /// Allocation attempts in the batch.
+        n: u64,
+        /// How many of them were delayed.
+        delayed: u64,
+        /// The allow rate at decision time.
+        rate: f64,
+        /// Time since the last high signal, ms.
+        elapsed_ms: u64,
+        /// Epoch length, ms.
+        epoch_ms: u64,
+        /// `NUM_epochs` of the protocol instance.
+        num_epochs: u32,
+        /// Recovery curve name.
+        curve: String,
+    },
+}
+
+impl TraceData {
+    /// The stable dotted kind string for this payload.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceData::ProcSpawn { .. } => "proc.spawn",
+            TraceData::ProcRespawn { .. } => "proc.respawn",
+            TraceData::ProcExit => "proc.exit",
+            TraceData::ProcKill => "proc.kill",
+            TraceData::OomKill => "oom.kill",
+            TraceData::SignalSent { sig } => match sig {
+                SigKind::Low => "signal.low",
+                SigKind::High => "signal.high",
+                SigKind::Kill => "signal.kill",
+            },
+            TraceData::SignalDropped { .. } => "signal.dropped",
+            TraceData::SignalDelayed { .. } => "signal.delayed",
+            TraceData::Madvise { .. } => "mem.madvise",
+            TraceData::MonitorPoll { .. } => "monitor.poll",
+            TraceData::ZoneChange { .. } => "monitor.zone",
+            TraceData::ThresholdAdjust { side, .. } => match side {
+                ThresholdSide::Low => "threshold.adjust.low",
+                ThresholdSide::High => "threshold.adjust.high",
+            },
+            TraceData::Selection { .. } => "monitor.select",
+            TraceData::WatchdogSkip => "watchdog.skip",
+            TraceData::WatchdogEscalate { .. } => "watchdog.escalate",
+            TraceData::WatchdogResignal { .. } => "watchdog.resignal",
+            TraceData::MonitorKill { .. } => "monitor.kill",
+            TraceData::HandlerStart { .. } => "handler.start",
+            TraceData::HandlerEnd { .. } => "handler.end",
+            TraceData::EvictBlocks { .. } => "evict.blocks",
+            TraceData::EvictSlabs { .. } => "evict.slabs",
+            TraceData::Gc { layer, .. } => match layer {
+                GcLayer::Young => "gc.young",
+                GcLayer::Mixed => "gc.mixed",
+                GcLayer::Full => "gc.full",
+                GcLayer::Go => "gc.go",
+            },
+            TraceData::AllocGate { delayed, .. } => {
+                if *delayed {
+                    "alloc.delay"
+                } else {
+                    "alloc.admit"
+                }
+            }
+            TraceData::AllocBatch { .. } => "alloc.batch",
+        }
+    }
+
+    /// The payload's named fields, in declaration order.
+    fn fields(&self) -> Vec<(String, Content)> {
+        fn f(name: &str, v: Content) -> (String, Content) {
+            (name.to_string(), v)
+        }
+        match self {
+            TraceData::ProcSpawn { name } | TraceData::ProcRespawn { name } => {
+                vec![f("name", name.serialize())]
+            }
+            TraceData::ProcExit
+            | TraceData::ProcKill
+            | TraceData::OomKill
+            | TraceData::WatchdogSkip => vec![],
+            TraceData::SignalSent { sig }
+            | TraceData::SignalDropped { sig }
+            | TraceData::SignalDelayed { sig }
+            | TraceData::HandlerStart { sig } => vec![f("sig", sig.serialize())],
+            TraceData::Madvise { bytes } => vec![f("bytes", bytes.serialize())],
+            TraceData::MonitorPoll {
+                zone,
+                used,
+                low,
+                high,
+                degraded,
+                low_signalled,
+                high_signalled,
+                killed,
+            } => vec![
+                f("zone", zone.serialize()),
+                f("used", used.serialize()),
+                f("low", low.serialize()),
+                f("high", high.serialize()),
+                f("degraded", degraded.serialize()),
+                f("low_signalled", low_signalled.serialize()),
+                f("high_signalled", high_signalled.serialize()),
+                f("killed", killed.serialize()),
+            ],
+            TraceData::ZoneChange { from, to } => {
+                vec![f("from", from.serialize()), f("to", to.serialize())]
+            }
+            TraceData::ThresholdAdjust { side, old, new } => vec![
+                f("side", side.serialize()),
+                f("old", old.serialize()),
+                f("new", new.serialize()),
+            ],
+            TraceData::Selection {
+                order,
+                target,
+                all,
+                candidates,
+                selected,
+            } => vec![
+                f("order", order.serialize()),
+                f("target", target.serialize()),
+                f("all", all.serialize()),
+                f("candidates", candidates.serialize()),
+                f("selected", selected.serialize()),
+            ],
+            TraceData::WatchdogEscalate { backoff } | TraceData::WatchdogResignal { backoff } => {
+                vec![f("backoff", backoff.serialize())]
+            }
+            TraceData::MonitorKill { rss } => vec![f("rss", rss.serialize())],
+            TraceData::HandlerEnd {
+                sig,
+                duration_ms,
+                returned,
+            } => vec![
+                f("sig", sig.serialize()),
+                f("duration_ms", duration_ms.serialize()),
+                f("returned", returned.serialize()),
+            ],
+            TraceData::EvictBlocks {
+                before,
+                evicted,
+                bytes,
+                reason,
+            } => vec![
+                f("before", before.serialize()),
+                f("evicted", evicted.serialize()),
+                f("bytes", bytes.serialize()),
+                f("reason", reason.serialize()),
+            ],
+            TraceData::EvictSlabs {
+                before,
+                evicted,
+                items,
+                bytes,
+                reason,
+            } => vec![
+                f("before", before.serialize()),
+                f("evicted", evicted.serialize()),
+                f("items", items.serialize()),
+                f("bytes", bytes.serialize()),
+                f("reason", reason.serialize()),
+            ],
+            TraceData::Gc {
+                layer,
+                reclaimed,
+                returned,
+                pause_ms,
+            } => vec![
+                f("layer", layer.serialize()),
+                f("reclaimed", reclaimed.serialize()),
+                f("returned", returned.serialize()),
+                f("pause_ms", pause_ms.serialize()),
+            ],
+            TraceData::AllocGate {
+                delayed,
+                rate,
+                elapsed_ms,
+                epoch_ms,
+                num_epochs,
+                curve,
+            } => vec![
+                f("delayed", delayed.serialize()),
+                f("rate", rate.serialize()),
+                f("elapsed_ms", elapsed_ms.serialize()),
+                f("epoch_ms", epoch_ms.serialize()),
+                f("num_epochs", num_epochs.serialize()),
+                f("curve", curve.serialize()),
+            ],
+            TraceData::AllocBatch {
+                n,
+                delayed,
+                rate,
+                elapsed_ms,
+                epoch_ms,
+                num_epochs,
+                curve,
+            } => vec![
+                f("n", n.serialize()),
+                f("delayed", delayed.serialize()),
+                f("rate", rate.serialize()),
+                f("elapsed_ms", elapsed_ms.serialize()),
+                f("epoch_ms", epoch_ms.serialize()),
+                f("num_epochs", num_epochs.serialize()),
+                f("curve", curve.serialize()),
+            ],
+        }
+    }
+}
+
+impl Serialize for TraceData {
+    fn serialize(&self) -> Content {
+        let mut m = vec![("kind".to_string(), Content::Str(self.kind().to_string()))];
+        m.extend(self.fields());
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for TraceData {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let kind: String = map_field(c, "kind")?;
+        let data = match kind.as_str() {
+            "proc.spawn" => TraceData::ProcSpawn {
+                name: map_field(c, "name")?,
+            },
+            "proc.respawn" => TraceData::ProcRespawn {
+                name: map_field(c, "name")?,
+            },
+            "proc.exit" => TraceData::ProcExit,
+            "proc.kill" => TraceData::ProcKill,
+            "oom.kill" => TraceData::OomKill,
+            "signal.low" | "signal.high" | "signal.kill" => TraceData::SignalSent {
+                sig: map_field(c, "sig")?,
+            },
+            "signal.dropped" => TraceData::SignalDropped {
+                sig: map_field(c, "sig")?,
+            },
+            "signal.delayed" => TraceData::SignalDelayed {
+                sig: map_field(c, "sig")?,
+            },
+            "mem.madvise" => TraceData::Madvise {
+                bytes: map_field(c, "bytes")?,
+            },
+            "monitor.poll" => TraceData::MonitorPoll {
+                zone: map_field(c, "zone")?,
+                used: map_field(c, "used")?,
+                low: map_field(c, "low")?,
+                high: map_field(c, "high")?,
+                degraded: map_field(c, "degraded")?,
+                low_signalled: map_field(c, "low_signalled")?,
+                high_signalled: map_field(c, "high_signalled")?,
+                killed: map_field(c, "killed")?,
+            },
+            "monitor.zone" => TraceData::ZoneChange {
+                from: map_field(c, "from")?,
+                to: map_field(c, "to")?,
+            },
+            "threshold.adjust.low" | "threshold.adjust.high" => TraceData::ThresholdAdjust {
+                side: map_field(c, "side")?,
+                old: map_field(c, "old")?,
+                new: map_field(c, "new")?,
+            },
+            "monitor.select" => TraceData::Selection {
+                order: map_field(c, "order")?,
+                target: map_field(c, "target")?,
+                all: map_field(c, "all")?,
+                candidates: map_field(c, "candidates")?,
+                selected: map_field(c, "selected")?,
+            },
+            "watchdog.skip" => TraceData::WatchdogSkip,
+            "watchdog.escalate" => TraceData::WatchdogEscalate {
+                backoff: map_field(c, "backoff")?,
+            },
+            "watchdog.resignal" => TraceData::WatchdogResignal {
+                backoff: map_field(c, "backoff")?,
+            },
+            "monitor.kill" => TraceData::MonitorKill {
+                rss: map_field(c, "rss")?,
+            },
+            "handler.start" => TraceData::HandlerStart {
+                sig: map_field(c, "sig")?,
+            },
+            "handler.end" => TraceData::HandlerEnd {
+                sig: map_field(c, "sig")?,
+                duration_ms: map_field(c, "duration_ms")?,
+                returned: map_field(c, "returned")?,
+            },
+            "evict.blocks" => TraceData::EvictBlocks {
+                before: map_field(c, "before")?,
+                evicted: map_field(c, "evicted")?,
+                bytes: map_field(c, "bytes")?,
+                reason: map_field(c, "reason")?,
+            },
+            "evict.slabs" => TraceData::EvictSlabs {
+                before: map_field(c, "before")?,
+                evicted: map_field(c, "evicted")?,
+                items: map_field(c, "items")?,
+                bytes: map_field(c, "bytes")?,
+                reason: map_field(c, "reason")?,
+            },
+            "gc.young" | "gc.mixed" | "gc.full" | "gc.go" => TraceData::Gc {
+                layer: map_field(c, "layer")?,
+                reclaimed: map_field(c, "reclaimed")?,
+                returned: map_field(c, "returned")?,
+                pause_ms: map_field(c, "pause_ms")?,
+            },
+            "alloc.delay" | "alloc.admit" => TraceData::AllocGate {
+                delayed: map_field(c, "delayed")?,
+                rate: map_field(c, "rate")?,
+                elapsed_ms: map_field(c, "elapsed_ms")?,
+                epoch_ms: map_field(c, "epoch_ms")?,
+                num_epochs: map_field(c, "num_epochs")?,
+                curve: map_field(c, "curve")?,
+            },
+            "alloc.batch" => TraceData::AllocBatch {
+                n: map_field(c, "n")?,
+                delayed: map_field(c, "delayed")?,
+                rate: map_field(c, "rate")?,
+                elapsed_ms: map_field(c, "elapsed_ms")?,
+                epoch_ms: map_field(c, "epoch_ms")?,
+                num_epochs: map_field(c, "num_epochs")?,
+                curve: map_field(c, "curve")?,
+            },
+            other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
+        };
+        Ok(data)
+    }
+}
 
 /// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub t: SimTime,
     /// The process the event concerns (0 for system-wide events).
     pub pid: u64,
-    /// Event kind, e.g. `"gc.young"`, `"signal.high"`, `"evict.blocks"`.
-    pub kind: String,
-    /// Free-form detail (bytes reclaimed, block count, ...).
-    pub detail: String,
+    /// The typed payload.
+    pub data: TraceData,
+}
+
+impl TraceEvent {
+    /// The event's stable dotted kind string.
+    pub fn kind(&self) -> &'static str {
+        self.data.kind()
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn serialize(&self) -> Content {
+        let mut m = vec![
+            ("t".to_string(), self.t.serialize()),
+            ("pid".to_string(), Content::U64(self.pid)),
+        ];
+        match self.data.serialize() {
+            Content::Map(fields) => m.extend(fields),
+            other => m.push(("data".to_string(), other)),
+        }
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        Ok(TraceEvent {
+            t: map_field(c, "t")?,
+            pid: map_field(c, "pid")?,
+            data: TraceData::deserialize(c)?,
+        })
+    }
 }
 
 /// An append-only in-memory event log.
@@ -38,6 +650,8 @@ impl TraceLog {
     }
 
     /// Creates a disabled log that drops all events (for benchmark runs).
+    /// Its backing `Vec` never allocates: [`TraceLog::record`] and
+    /// [`TraceLog::record_with`] return before touching it.
     pub fn disabled() -> Self {
         TraceLog {
             events: Vec::new(),
@@ -45,20 +659,26 @@ impl TraceLog {
         }
     }
 
+    /// True when events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Appends an event (no-op when disabled).
-    pub fn record(
-        &mut self,
-        t: SimTime,
-        pid: u64,
-        kind: impl Into<String>,
-        detail: impl Into<String>,
-    ) {
+    pub fn record(&mut self, t: SimTime, pid: u64, data: TraceData) {
+        if self.enabled {
+            self.events.push(TraceEvent { t, pid, data });
+        }
+    }
+
+    /// Appends an event built lazily: `make` runs only when the log is
+    /// enabled, so hot paths pay nothing for tracing when it is off.
+    pub fn record_with(&mut self, t: SimTime, pid: u64, make: impl FnOnce() -> TraceData) {
         if self.enabled {
             self.events.push(TraceEvent {
                 t,
                 pid,
-                kind: kind.into(),
-                detail: detail.into(),
+                data: make(),
             });
         }
     }
@@ -72,7 +692,7 @@ impl TraceLog {
     pub fn of_kind<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
         self.events
             .iter()
-            .filter(move |e| e.kind.starts_with(prefix))
+            .filter(move |e| e.kind().starts_with(prefix))
     }
 
     /// Number of events whose kind starts with `prefix`.
@@ -82,7 +702,7 @@ impl TraceLog {
 
     /// The first event of the given kind prefix, if any.
     pub fn first(&self, prefix: &str) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| e.kind.starts_with(prefix))
+        self.events.iter().find(|e| e.kind().starts_with(prefix))
     }
 
     /// The last event of the given kind prefix, if any.
@@ -90,15 +710,15 @@ impl TraceLog {
         self.events
             .iter()
             .rev()
-            .find(|e| e.kind.starts_with(prefix))
+            .find(|e| e.kind().starts_with(prefix))
     }
 
     /// True if an event with kind-prefix `a` occurs before one with `b`.
     ///
     /// Returns `false` if either never occurs.
     pub fn happened_before(&self, a: &str, b: &str) -> bool {
-        let ia = self.events.iter().position(|e| e.kind.starts_with(a));
-        let ib = self.events.iter().position(|e| e.kind.starts_with(b));
+        let ia = self.events.iter().position(|e| e.kind().starts_with(a));
+        let ib = self.events.iter().position(|e| e.kind().starts_with(b));
         matches!((ia, ib), (Some(x), Some(y)) if x < y)
     }
 
@@ -126,24 +746,46 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    fn gc(layer: GcLayer, reclaimed: u64) -> TraceData {
+        TraceData::Gc {
+            layer,
+            reclaimed,
+            returned: 0,
+            pause_ms: 1,
+        }
+    }
+
     #[test]
     fn records_and_queries() {
         let mut log = TraceLog::new();
-        log.record(t(1), 10, "gc.young", "freed=5");
-        log.record(t(2), 10, "gc.mixed", "freed=9");
-        log.record(t(3), 11, "signal.high", "");
+        log.record(t(1), 10, gc(GcLayer::Young, 5));
+        log.record(t(2), 10, gc(GcLayer::Mixed, 9));
+        log.record(t(3), 11, TraceData::SignalSent { sig: SigKind::High });
         assert_eq!(log.len(), 3);
         assert_eq!(log.count("gc"), 2);
         assert_eq!(log.count("gc.young"), 1);
-        assert_eq!(log.first("gc").unwrap().detail, "freed=5");
-        assert_eq!(log.last("gc").unwrap().kind, "gc.mixed");
+        assert!(matches!(
+            log.first("gc").unwrap().data,
+            TraceData::Gc { reclaimed: 5, .. }
+        ));
+        assert_eq!(log.last("gc").unwrap().kind(), "gc.mixed");
+        assert_eq!(log.count("signal.high"), 1);
     }
 
     #[test]
     fn ordering_queries() {
         let mut log = TraceLog::new();
-        log.record(t(1), 1, "evict.blocks", "");
-        log.record(t(2), 1, "gc.mixed", "");
+        log.record(
+            t(1),
+            1,
+            TraceData::EvictBlocks {
+                before: 8,
+                evicted: 1,
+                bytes: 100,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        log.record(t(2), 1, gc(GcLayer::Mixed, 50));
         assert!(log.happened_before("evict", "gc"));
         assert!(!log.happened_before("gc", "evict"));
         assert!(!log.happened_before("gc", "never"));
@@ -151,19 +793,132 @@ mod tests {
     }
 
     #[test]
-    fn disabled_log_drops_events() {
+    fn disabled_log_drops_events_without_allocating() {
         let mut log = TraceLog::disabled();
-        log.record(t(1), 1, "gc.young", "");
+        log.record(t(1), 1, gc(GcLayer::Young, 0));
+        log.record_with(t(2), 1, || unreachable!("closure must not run"));
         assert!(log.is_empty());
+        assert_eq!(log.events.capacity(), 0, "disabled log never allocates");
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn record_with_is_lazy_only_when_disabled() {
+        let mut log = TraceLog::new();
+        log.record_with(t(1), 1, || gc(GcLayer::Go, 7));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.first("gc.go").unwrap().pid, 1);
     }
 
     #[test]
     fn clear_resets() {
         let mut log = TraceLog::new();
-        log.record(t(1), 1, "x", "");
+        log.record(t(1), 1, TraceData::ProcExit);
         log.clear();
         assert!(log.is_empty());
-        log.record(t(2), 1, "y", "");
+        log.record(t(2), 1, TraceData::ProcKill);
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn kind_strings_are_stable() {
+        let cases: Vec<(TraceData, &str)> = vec![
+            (TraceData::ProcSpawn { name: "x".into() }, "proc.spawn"),
+            (TraceData::SignalSent { sig: SigKind::Low }, "signal.low"),
+            (TraceData::SignalSent { sig: SigKind::Kill }, "signal.kill"),
+            (TraceData::Madvise { bytes: 1 }, "mem.madvise"),
+            (
+                TraceData::ThresholdAdjust {
+                    side: ThresholdSide::High,
+                    old: 1,
+                    new: 2,
+                },
+                "threshold.adjust.high",
+            ),
+            (gc(GcLayer::Full, 0), "gc.full"),
+            (
+                TraceData::AllocGate {
+                    delayed: true,
+                    rate: 0.5,
+                    elapsed_ms: 1,
+                    epoch_ms: 2,
+                    num_epochs: 1,
+                    curve: "Linear".into(),
+                },
+                "alloc.delay",
+            ),
+        ];
+        for (data, kind) in cases {
+            assert_eq!(data.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::MonitorPoll {
+                zone: TraceZone::Red,
+                used: 100,
+                low: 50,
+                high: 80,
+                degraded: false,
+                low_signalled: vec![],
+                high_signalled: vec![3, 4],
+                killed: vec![],
+            },
+        );
+        log.record(
+            t(2),
+            0,
+            TraceData::Selection {
+                order: "NewestFirst".into(),
+                target: 20,
+                all: false,
+                candidates: vec![CandidateInfo {
+                    pid: 3,
+                    spawned_at_ms: 0,
+                    rss: 100,
+                    expected_reclaim: 25,
+                }],
+                selected: vec![3],
+            },
+        );
+        log.record(
+            t(3),
+            3,
+            TraceData::AllocBatch {
+                n: 10,
+                delayed: 4,
+                rate: 0.6,
+                elapsed_ms: 600,
+                epoch_ms: 1000,
+                num_epochs: 1,
+                curve: "Linear".into(),
+            },
+        );
+        let c = log.serialize();
+        let back = TraceLog::deserialize(&c).expect("round trip");
+        assert_eq!(back.len(), log.len());
+        for (a, b) in log.events().iter().zip(back.events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn serialized_event_is_flat_with_kind_first() {
+        let ev = TraceEvent {
+            t: t(5),
+            pid: 7,
+            data: TraceData::Madvise { bytes: 4096 },
+        };
+        let c = ev.serialize();
+        let serde::Content::Map(entries) = &c else {
+            panic!("expected map");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["t", "pid", "kind", "bytes"]);
     }
 }

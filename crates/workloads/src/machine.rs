@@ -11,10 +11,12 @@
 use std::sync::Arc;
 
 use m3_core::{Monitor, MonitorConfig, Registry, ThresholdSignal, Zone};
+use m3_oracle::{Oracle, Violation};
 use m3_os::cgroup::{Cgroup, CgroupSet};
 use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal};
 use m3_sim::clock::{SimDuration, SimTime};
 use m3_sim::metrics::Profile;
+use m3_sim::trace::{SigKind, TraceData, TraceLog};
 use m3_sim::units::{bytes_to_gib, GIB};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +58,11 @@ pub struct MachineConfig {
     /// way; the flag exists so the determinism test can compare both
     /// paths. Part of the memoization cache key.
     pub fast_path: bool,
+    /// Captures a typed end-to-end event trace and runs the conformance
+    /// oracle over it after the run (see [`RunResult::trace`] and
+    /// [`RunResult::violations`]). Off, the kernel's trace log is disabled
+    /// and records nothing. Part of the memoization cache key.
+    pub capture_trace: bool,
 }
 
 impl MachineConfig {
@@ -69,6 +76,7 @@ impl MachineConfig {
             max_time: SimDuration::from_secs(30_000),
             node_salt: 0,
             fast_path: true,
+            capture_trace: true,
         }
     }
 
@@ -155,6 +163,11 @@ pub struct RunResult {
     /// Fault-injection accounting and monitor degradation telemetry
     /// (all-zero for fault-free runs).
     pub degradation: DegradationReport,
+    /// The typed end-to-end event trace (empty when capture is disabled).
+    pub trace: TraceLog,
+    /// Conformance-oracle findings: divergences between the recorded trace
+    /// and the paper's invariants. Empty for a conformant (or untraced) run.
+    pub violations: Vec<Violation>,
 }
 
 impl RunResult {
@@ -252,6 +265,9 @@ impl Machine {
         faults: &FaultPlan,
     ) -> RunResult {
         let mut kernel = Kernel::new(KernelConfig::with_total(self.cfg.phys_total));
+        if !self.cfg.capture_trace {
+            kernel.trace = TraceLog::disabled();
+        }
         let disk = DiskModel::hdd_7200rpm();
         let mut monitor = self.cfg.monitor.map(Monitor::new);
         let mut queue: m3_sim::EventQueue<usize> = m3_sim::EventQueue::new();
@@ -516,6 +532,11 @@ impl Machine {
                             let Some(t) = ThresholdSignal::from_os_signal(other) else {
                                 continue;
                             };
+                            let sig_kind = match t {
+                                ThresholdSignal::Low => SigKind::Low,
+                                ThresholdSignal::High => SigKind::High,
+                            };
+                            kernel.record_trace(pid, TraceData::HandlerStart { sig: sig_kind });
                             let out = slot.app.handle_signal(t, &mut kernel, now);
                             slot.app.add_debt(out.duration);
                             // Injected non-cooperation: the handler ran and
@@ -530,6 +551,11 @@ impl Machine {
                                 }
                                 None => out.returned_to_os,
                             };
+                            kernel.record_trace_with(pid, || TraceData::HandlerEnd {
+                                sig: sig_kind,
+                                duration_ms: out.duration.as_millis(),
+                                returned,
+                            });
                             if t == ThresholdSignal::High {
                                 if let Some(m) = monitor.as_mut() {
                                     m.note_reclamation(pid, returned);
@@ -716,6 +742,15 @@ impl Machine {
                 SimDuration::from_millis(poll_period.as_millis() * m.stats.polls_above_top);
         }
 
+        // Every traced run is checked against the paper's invariants on the
+        // way out; callers find divergences in `violations`.
+        let trace = std::mem::take(&mut kernel.trace);
+        let violations = if trace.is_empty() {
+            Vec::new()
+        } else {
+            Oracle::paper(self.cfg.monitor).check(&trace)
+        };
+
         // Finalize GC/MM stats for apps killed mid-flight (already recorded
         // for finished apps).
         RunResult {
@@ -729,6 +764,8 @@ impl Machine {
                 0.0
             },
             degradation,
+            trace,
+            violations,
         }
     }
 }

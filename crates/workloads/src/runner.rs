@@ -130,10 +130,20 @@ pub fn run_scenario_with_faults(
             (app_name(kind.code(), i), start, bp)
         })
         .collect();
+    let run = machine.run_with_faults(schedule, faults);
+    if let Ok(path) = std::env::var("M3_TRACE") {
+        if !path.is_empty() {
+            if let Ok(json) = serde_json::to_string_pretty(&run.trace) {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("M3_TRACE: failed to write {path}: {e}");
+                }
+            }
+        }
+    }
     ScenarioOutcome {
         scenario: scenario.name.clone(),
         setting: setting.kind,
-        run: machine.run_with_faults(schedule, faults),
+        run,
     }
 }
 
@@ -218,6 +228,8 @@ mod tests {
                 end: SimTime::ZERO,
                 mean_rss: 0.0,
                 degradation: Default::default(),
+                trace: m3_sim::trace::TraceLog::disabled(),
+                violations: Vec::new(),
             },
         }
     }

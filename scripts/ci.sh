@@ -8,6 +8,10 @@ cargo build --release
 cargo test -q
 # Chaos suite: fault injection, watchdog escalation, degradation accounting.
 cargo test -q --test chaos
+# Trace-oracle conformance: zero invariant violations on real runs, golden
+# traces byte-identical, fast/slow world loops trace-equal. On failure the
+# offending trace JSON lands in target/conformance-artifacts/.
+cargo test -q --test conformance
 # Fixed-seed chaos drill; asserts its own replay is byte-identical.
 cargo run --release --example chaos_drill
 cargo clippy -- -D warnings

@@ -14,20 +14,21 @@ RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
 OUT = os.path.join(RESULTS, "plots")
 
 
-def load(name):
-    path = os.path.join(RESULTS, f"{name}.json")
+def load(fig):
+    """Loads a figure's series from its BENCH_<fig>.json sweep report."""
+    path = os.path.join(RESULTS, f"BENCH_{fig}.json")
     if not os.path.exists(path):
-        print(f"  (skipping {name}: run `cargo bench -p m3-bench` first)")
+        print(f"  (skipping {fig}: run `cargo bench -p m3-bench` first)")
         return None
     with open(path) as f:
-        return json.load(f)
+        return json.load(f)["results"]
 
 
 def fig1(plt):
-    for job in ("kmeans", "pagerank"):
-        data = load(f"fig1_{job}")
-        if data is None:
-            continue
+    series = load("fig1_elasticity")
+    if series is None:
+        return
+    for job, data in zip(("kmeans", "pagerank"), series):
         heaps = [p["heap_gib"] for p in data]
         mm = [p["spark_mm_s"] for p in data]
         gc = [p["gc_pause_s"] for p in data]

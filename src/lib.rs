@@ -28,11 +28,13 @@
 //! | [`framework`] | Spark-like jobs, block cache, HDFS/disk model |
 //! | [`cache`] | slab key-value caches (Go-Cache, Memcached) |
 //! | [`core`] | **the paper's contribution**: monitor, thresholds, Algorithm 1, adaptive allocation |
+//! | [`oracle`] | trace-replay conformance checker for the paper's invariants |
 //! | [`workloads`] | machine/world loop, the 16 evaluation workloads, settings, search |
 
 pub use m3_cache as cache;
 pub use m3_core as core;
 pub use m3_framework as framework;
+pub use m3_oracle as oracle;
 pub use m3_os as os;
 pub use m3_runtime as runtime;
 pub use m3_sim as sim;
@@ -44,6 +46,7 @@ pub mod prelude {
         AdaptiveAllocator, M3Participant, Monitor, MonitorConfig, SignalOutcome, SortOrder,
         ThresholdSignal, Zone,
     };
+    pub use m3_oracle::{Oracle, Violation};
     pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal, SignalFaultConfig};
     pub use m3_sim::clock::{SimDuration, SimTime};
     pub use m3_sim::units::{GIB, KIB, MIB};

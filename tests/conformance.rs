@@ -1,0 +1,273 @@
+//! Trace-oracle conformance suite.
+//!
+//! Every harness run records a typed end-to-end trace and replays it through
+//! the conformance oracle (`m3-oracle`), which checks the paper's protocol
+//! invariants: threshold adjustment steps and ordering (§4.1), Algorithm 1
+//! victim selection, allocation-rate gating (§5.2), Table 1 eviction
+//! magnitudes, and top-down reclamation ordering (§4.2). These tests assert
+//! that real runs are conformant, that golden traces stay byte-identical,
+//! that the fast and slow world loops trace identically, and that a
+//! deliberately broken policy is caught.
+//!
+//! Golden snapshots live in `tests/golden/`; regenerate with
+//! `M3_UPDATE_GOLDEN=1 cargo test --test conformance`. On a mismatch the
+//! offending trace is written under `target/conformance-artifacts/` so CI
+//! can upload it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use m3::prelude::*;
+use m3::sim::clock::SimDuration;
+use m3::sim::trace::TraceLog;
+use m3::workloads::apps::AppBlueprint;
+use m3::workloads::hibench;
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::m3_64gb();
+    cfg.max_time = SimDuration::from_secs(40_000);
+    cfg
+}
+
+/// Serializes a trace one compact JSON object per line, so golden files
+/// diff line-by-line in review.
+fn trace_jsonl(trace: &TraceLog) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        out.push_str(&serde_json::to_string(e).expect("trace event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("conformance-artifacts")
+}
+
+/// Compares `actual` against the golden snapshot `name`, writing the
+/// offending trace to `target/conformance-artifacts/` on divergence.
+/// `M3_UPDATE_GOLDEN=1` rewrites the snapshot instead.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("M3_UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(golden_dir()).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             M3_UPDATE_GOLDEN=1 cargo test --test conformance",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let dump = artifact_dir().join(name);
+        fs::create_dir_all(artifact_dir()).expect("create artifact dir");
+        fs::write(&dump, actual).expect("write artifact");
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || "lengths differ".to_string(),
+                |i| format!("first differing line {}", i + 1),
+            );
+        panic!(
+            "trace diverged from golden {name} ({first_diff}); \
+             offending trace written to {}",
+            dump.display()
+        );
+    }
+}
+
+/// Asserts a run produced a non-empty trace and zero oracle violations,
+/// dumping the trace as a CI artifact otherwise.
+fn assert_conformant(label: &str, run: &RunResult) {
+    assert!(
+        !run.trace.is_empty(),
+        "{label}: capture_trace is on, the trace must not be empty"
+    );
+    if !run.violations.is_empty() {
+        let dump = artifact_dir().join(format!("{label}.trace.jsonl"));
+        fs::create_dir_all(artifact_dir()).expect("create artifact dir");
+        fs::write(&dump, trace_jsonl(&run.trace)).expect("write artifact");
+        panic!(
+            "{label}: {} oracle violations (trace written to {}): {:#?}",
+            run.violations.len(),
+            dump.display(),
+            run.violations
+        );
+    }
+}
+
+#[test]
+fn m3_scenario_run_is_conformant() {
+    let scenario = Scenario::uniform("MMW", 180);
+    let out = run_scenario(&scenario, &Setting::m3(3), machine());
+    assert!(out.run.all_finished());
+    assert_conformant("MMW-180-m3", &out.run);
+    // The run must have exercised the monitor protocol, not vacuously passed.
+    assert!(out.run.trace.count("monitor.poll") > 100);
+    assert!(out.run.trace.count("threshold.adjust") > 0);
+}
+
+#[test]
+fn cache_scenario_run_is_conformant() {
+    // CCC exercises the slab caches: Table 1 eviction magnitudes and the
+    // allocation-rate gate are all on the hot path here.
+    let scenario = Scenario::uniform("CCC", 480);
+    let out = run_scenario(&scenario, &Setting::m3(3), machine());
+    assert!(out.run.all_finished());
+    assert_conformant("CCC-480-m3", &out.run);
+}
+
+#[test]
+fn stock_run_is_conformant() {
+    // No monitor: the oracle still checks the monitor-independent
+    // invariants (eviction magnitudes, reclamation ordering, gating).
+    let scenario = Scenario::uniform("MMW", 180);
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.max_time = SimDuration::from_secs(40_000);
+    let out = run_scenario(&scenario, &Setting::default_for(3), cfg);
+    assert_conformant("MMW-180-stock", &out.run);
+}
+
+#[test]
+fn disabled_capture_records_nothing() {
+    let scenario = Scenario::uniform("MMW", 180);
+    let mut cfg = machine();
+    cfg.capture_trace = false;
+    let out = run_scenario(&scenario, &Setting::m3(3), cfg);
+    assert!(out.run.trace.is_empty());
+    assert!(out.run.violations.is_empty());
+}
+
+#[test]
+fn golden_fig1_solo_kmeans_trace() {
+    // The Fig. 1 elasticity scenario, scaled down: one k-means on a stock
+    // node with memory never the constraint. The small heap forces Spark MM
+    // capacity evictions, so the golden covers block-cache events too.
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.phys_total = 192 * GIB;
+    cfg.sample_period = None;
+    let machine = Machine::new(cfg);
+    let res = machine.run(vec![(
+        "k-means".into(),
+        SimDuration::ZERO,
+        AppBlueprint::Spark {
+            jvm: m3::runtime::JvmConfig::stock(4 * GIB),
+            spark: m3::framework::SparkConfig::default(),
+            job: hibench::kmeans_small(),
+        },
+    )]);
+    assert!(res.all_finished());
+    assert_conformant("golden-fig1", &res);
+    assert_golden("fig1_solo_kmeans.trace.jsonl", &trace_jsonl(&res.trace));
+}
+
+#[test]
+fn golden_fig2_alternating_trace() {
+    // The Fig. 2 alternating-peaks scenario, scaled down: two M3 JVMs whose
+    // load peaks alternate, under the scaled monitor.
+    use m3::workloads::alternating::AlternatingProfile;
+    use m3::workloads::settings::M3_HEAP_CEILING;
+    let phase = SimDuration::from_secs(30);
+    let profile = |offset_phases: u64| AlternatingProfile {
+        baseline: 2 * GIB,
+        peak: 13 * GIB,
+        phase,
+        offset: phase * offset_phases,
+        churn_per_sec: 64 * 1024 * 1024,
+        lifetime: SimDuration::from_secs(150),
+    };
+    let mut cfg = MachineConfig::scaled(64 * GIB, true);
+    cfg.max_time = SimDuration::from_secs(300);
+    let jvm = m3::runtime::JvmConfig::m3(M3_HEAP_CEILING);
+    let machine = Machine::new(cfg);
+    let res = machine.run(vec![
+        (
+            "cassandra".into(),
+            SimDuration::ZERO,
+            AppBlueprint::Alternating {
+                jvm,
+                profile: profile(0),
+            },
+        ),
+        (
+            "elasticsearch".into(),
+            SimDuration::ZERO,
+            AppBlueprint::Alternating {
+                jvm,
+                profile: profile(1),
+            },
+        ),
+    ]);
+    assert_conformant("golden-fig2", &res);
+    assert_golden("fig2_alternating.trace.jsonl", &trace_jsonl(&res.trace));
+}
+
+#[test]
+fn fast_and_slow_world_loops_trace_identically() {
+    // The fast path may only jump the clock when it cannot change observable
+    // behaviour; a delayed start leaves an idle window where it engages.
+    let run = |fast: bool| {
+        let mut cfg = machine();
+        cfg.fast_path = fast;
+        let machine = Machine::new(cfg);
+        machine.run(vec![(
+            "k-means".into(),
+            SimDuration::from_secs(90),
+            AppBlueprint::Spark {
+                jvm: m3::runtime::JvmConfig::m3(m3::workloads::settings::M3_HEAP_CEILING),
+                spark: m3::framework::SparkConfig::m3(),
+                job: hibench::kmeans_small(),
+            },
+        )])
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert!(fast.all_finished() && slow.all_finished());
+    assert_conformant("fastpath", &fast);
+    let fast_trace = trace_jsonl(&fast.trace);
+    let slow_trace = trace_jsonl(&slow.trace);
+    assert!(
+        fast_trace == slow_trace,
+        "fast and slow world loops must produce byte-identical traces \
+         ({} vs {} events)",
+        fast.trace.len(),
+        slow.trace.len()
+    );
+}
+
+#[test]
+fn broken_threshold_policy_is_caught() {
+    // A monitor with 5% threshold steps violates the paper's 2%-of-top
+    // bound. Its own run is self-consistent (the machine checks the trace
+    // against its own config), but replaying the trace against the paper's
+    // configuration must flag the oversized moves.
+    let scenario = Scenario::uniform("MMW", 180);
+    let mut cfg = machine();
+    let mut mon = MonitorConfig::paper_64gb();
+    mon.step_fraction = 0.05;
+    cfg.monitor = Some(mon);
+    let out = run_scenario(&scenario, &Setting::m3(3), cfg);
+    assert!(
+        out.run.violations.is_empty(),
+        "the run is consistent with its own (non-paper) config"
+    );
+    assert!(out.run.trace.count("threshold.adjust") > 0);
+    let violations = Oracle::paper(Some(MonitorConfig::paper_64gb())).check(&out.run.trace);
+    assert!(
+        violations.iter().any(|v| v.invariant == "threshold.step"),
+        "a 5% step policy must be flagged against the paper's 2% bound, got {violations:#?}"
+    );
+}

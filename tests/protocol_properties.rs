@@ -3,9 +3,14 @@
 use m3::core::selection::{select_processes, sort_candidates, Candidate};
 use m3::core::thresholds::AdaptiveThresholds;
 use m3::core::{AdaptiveAllocator, MonitorConfig, SortOrder};
-use m3::os::{Kernel, KernelConfig};
-use m3::sim::clock::SimTime;
+use m3::os::{Kernel, KernelConfig, SignalFaultConfig};
+use m3::sim::clock::{SimDuration, SimTime};
 use m3::sim::units::{GIB, KIB, MIB};
+use m3::workloads::faults::{FaultEvent, FaultKind, FaultPlan};
+use m3::workloads::machine::MachineConfig;
+use m3::workloads::runner::{run_scenario, run_scenario_with_faults};
+use m3::workloads::scenario::Scenario;
+use m3::workloads::settings::Setting;
 use proptest::prelude::*;
 
 fn candidate_strategy() -> impl Strategy<Value = Candidate> {
@@ -216,5 +221,119 @@ proptest! {
             prop_assert_eq!(os.rss(pid), jvm.committed());
             prop_assert!(jvm.committed() <= jvm.config().max_heap);
         }
+    }
+}
+
+/// Strategy for a random small evaluation workload: 1–3 apps drawn from the
+/// paper's letters, with a uniform inter-job delay.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (proptest::collection::vec(0usize..4, 1..4), 0usize..4).prop_map(|(letters, delay_idx)| {
+        let codes: String = letters.iter().map(|&i| ['M', 'P', 'W', 'C'][i]).collect();
+        Scenario::uniform(&codes, [0u64, 60, 180, 300][delay_idx])
+    })
+}
+
+/// Strategy for a small arbitrary fault plan over a 2-app schedule: app
+/// events of every kind, an optional lossy/laggy signal bus, and an
+/// optional meminfo outage.
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let event = (0u64..200, 0usize..3, 0u8..3, 0u32..100).prop_map(|(at_s, target, kind, pct)| {
+        let at = SimDuration::from_secs(at_s);
+        let kind = match kind {
+            0 => FaultKind::Crash,
+            1 => FaultKind::Unresponsive {
+                reclaim_fraction: f64::from(pct) / 100.0,
+            },
+            _ => FaultKind::Leak {
+                bytes_per_sec: u64::from(pct) * MIB / 8,
+            },
+        };
+        FaultEvent { at, target, kind }
+    });
+    (
+        proptest::collection::vec(event, 0..4),
+        0u8..3,
+        0u32..100,
+        0u64..4,
+        (0u64..200, 0u64..30),
+    )
+        .prop_map(
+            |(events, bus_kind, bus_pct, seed, (outage_at, outage_len))| {
+                let mut plan = FaultPlan::none();
+                plan.events = events;
+                plan.signal_faults = match bus_kind {
+                    0 => None,
+                    1 => Some(SignalFaultConfig::lossy(seed, f64::from(bus_pct) / 200.0)),
+                    _ => Some(SignalFaultConfig::laggy(
+                        seed,
+                        f64::from(bus_pct) / 200.0,
+                        SimDuration::from_secs(2),
+                    )),
+                };
+                if outage_len > 0 {
+                    plan = plan.with_poll_outage(
+                        SimDuration::from_secs(outage_at),
+                        SimDuration::from_secs(outage_len),
+                    );
+                }
+                plan
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every random workload's trace replays through the conformance
+    /// oracle with zero violations, under M3 and under a stock system.
+    #[test]
+    fn random_scenarios_are_conformant(
+        scenario in scenario_strategy(),
+        m3_mode in proptest::bool::ANY,
+    ) {
+        let mut cfg = MachineConfig::m3_64gb();
+        cfg.max_time = SimDuration::from_secs(40_000);
+        let setting = if m3_mode {
+            Setting::m3(scenario.len())
+        } else {
+            Setting::default_for(scenario.len())
+        };
+        let out = run_scenario(&scenario, &setting, cfg);
+        prop_assert!(!out.run.trace.is_empty(), "trace capture is on by default");
+        prop_assert!(
+            out.run.violations.is_empty(),
+            "conformance violations in {} ({:?} mode): {:#?}",
+            scenario.name, setting.kind, out.run.violations
+        );
+    }
+
+    /// Fault-injected runs may only violate paper invariants with fault
+    /// provenance: when the degradation report shows the plan touched
+    /// nothing (no applied faults, no bus loss/lag, no degraded polls),
+    /// the trace must replay violation-free.
+    #[test]
+    fn fault_plans_only_violate_with_provenance(plan in fault_plan_strategy()) {
+        let scenario = Scenario::uniform("MM", 60);
+        let setting = Setting::m3(scenario.len());
+        let mut cfg = MachineConfig::m3_64gb();
+        cfg.max_time = SimDuration::from_secs(40_000);
+        let out = run_scenario_with_faults(&scenario, &setting, cfg, &plan);
+        let d = &out.run.degradation;
+        let untouched = d.faults_applied == 0
+            && d.signals_dropped == 0
+            && d.signals_delayed == 0
+            && d.degraded_polls == 0;
+        if untouched {
+            prop_assert!(
+                out.run.violations.is_empty(),
+                "violations without any applied fault (plan {plan:?}): {:#?}",
+                out.run.violations
+            );
+        }
+        // Whatever the plan did, the oracle is deterministic: re-checking
+        // the same trace yields the same verdict.
+        let recheck = m3::oracle::Oracle::paper(cfg.with_setting(&setting).monitor)
+            .check(&out.run.trace);
+        prop_assert_eq!(&recheck, &out.run.violations);
     }
 }
