@@ -1,0 +1,124 @@
+//! Fleet-scale experiment: the pressure-aware scheduler vs replicated runs.
+//!
+//! Runs the canonical fleet workload (`MMWMCM 120`) through the
+//! pressure-aware scheduler at growing fleet sizes and, for contrast,
+//! through the scheduler-less passthrough mode (every node runs the whole
+//! schedule — the paper's replicated-worker setup). Reports the
+//! [`ClusterMean`] aggregation: mean runtime over the completed apps with
+//! the failed-app count alongside, plus the scheduler's deferral and
+//! migration activity and its memoization hit rate.
+
+use m3_bench::{fmt_runtime, render_table, BenchTimer};
+use m3_sim::clock::SimDuration;
+use m3_sim::units::GIB;
+use m3_workloads::cluster::ClusterMean;
+use m3_workloads::fleet::{fleet_cache_stats, run_fleet_cached, FleetConfig};
+use m3_workloads::machine::MachineConfig;
+use m3_workloads::scenario::fleet_canonical;
+use m3_workloads::settings::Setting;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FleetRow {
+    nodes: usize,
+    scheduler: bool,
+    mean_runtime_s: Option<f64>,
+    completed_apps: usize,
+    failed_apps: usize,
+    deferrals: u64,
+    migrations: u64,
+    gave_up: usize,
+    violations: usize,
+}
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.sample_period = None;
+    cfg.max_time = SimDuration::from_secs(40_000);
+    cfg
+}
+
+fn row(nodes: usize, scheduler: bool) -> FleetRow {
+    let scenario = fleet_canonical();
+    let setting = Setting::m3(scenario.len());
+    let fleet = if scheduler {
+        FleetConfig::homogeneous(nodes, 64 * GIB)
+    } else {
+        FleetConfig::passthrough(nodes)
+    };
+    let res = run_fleet_cached(&scenario, &setting, machine(), &fleet);
+    let ClusterMean {
+        mean_secs,
+        completed_apps,
+        failed_apps,
+    } = res.cluster.mean_runtime_secs();
+    FleetRow {
+        nodes,
+        scheduler,
+        mean_runtime_s: mean_secs,
+        completed_apps,
+        failed_apps,
+        deferrals: res.jobs.iter().map(|j| j.deferrals as u64).sum(),
+        migrations: res.jobs.iter().map(|j| j.migrations as u64).sum(),
+        gave_up: res.jobs.iter().filter(|j| j.gave_up).count(),
+        violations: res.violations.len(),
+    }
+}
+
+fn main() {
+    let bench = BenchTimer::start("fleet_scale");
+    let scenario = fleet_canonical();
+    println!("Fleet scheduler scaling — {}\n", scenario.name);
+
+    let mut rows = Vec::new();
+    for nodes in [2, 4, 8] {
+        rows.push(row(nodes, true));
+    }
+    rows.push(row(8, false));
+    // Re-running the largest fleet must be a pure cache hit.
+    let before = fleet_cache_stats();
+    rows.push(row(8, true));
+    let delta = fleet_cache_stats().since(&before);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                if r.scheduler { "fleet" } else { "replicated" }.into(),
+                fmt_runtime(r.mean_runtime_s),
+                format!("{}/{}", r.completed_apps, r.completed_apps + r.failed_apps),
+                r.deferrals.to_string(),
+                r.migrations.to_string(),
+                r.gave_up.to_string(),
+                r.violations.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "mode",
+                "mean runtime (s)",
+                "completed",
+                "deferrals",
+                "migrations",
+                "gave up",
+                "violations",
+            ],
+            &table
+        )
+    );
+    println!(
+        "fleet memoization on repeat: {} hit(s), {} miss(es)",
+        delta.hits, delta.misses
+    );
+    assert_eq!(delta.misses, 0, "repeated fleet run must be memoized");
+    assert!(
+        rows.iter().all(|r| r.violations == 0),
+        "conformant fleet runs must pass the cluster oracle"
+    );
+    bench.finish(&rows);
+}

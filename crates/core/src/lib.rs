@@ -43,7 +43,7 @@ pub mod thresholds;
 pub use alloc::{AdaptiveAllocator, GateSnapshot, RateCurve};
 pub use config::MonitorConfig;
 pub use layer::{M3Participant, SignalOutcome, ThresholdSignal};
-pub use monitor::{Monitor, PollReport, Zone, MONITOR_PID};
+pub use monitor::{Monitor, PollReport, PressureSummary, Zone, MONITOR_PID};
 pub use registry::{PidFile, Registry};
 pub use selection::SortOrder;
 pub use thresholds::{AdaptiveThresholds, ThresholdUpdate};

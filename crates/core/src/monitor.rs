@@ -91,6 +91,33 @@ pub struct MonitorStats {
     pub watchdog_resignals: u64,
 }
 
+/// A point-in-time snapshot of a node's memory pressure, exported for
+/// cluster-level schedulers. Pure data: everything a fleet placer needs to
+/// rank nodes without reaching into the monitor's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PressureSummary {
+    /// The zone `used` falls in against the current thresholds.
+    pub zone: Zone,
+    /// Committed memory the summary was taken at.
+    pub used: u64,
+    /// The current low threshold.
+    pub low: u64,
+    /// The current high threshold.
+    pub high: u64,
+    /// The fixed top of memory.
+    pub top: u64,
+    /// Bytes of headroom before `used` crosses the high threshold
+    /// (zero when already red or above top).
+    pub headroom_to_high: u64,
+    /// Bytes of headroom before `used` crosses the top of memory
+    /// (zero when already above top).
+    pub headroom_to_top: u64,
+    /// Participants escalated by the reclamation watchdog so far.
+    pub watchdog_escalations: u64,
+    /// Polls that observed usage above the top of memory so far.
+    pub polls_above_top: u64,
+}
+
 /// Per-participant reclamation-watchdog state.
 #[derive(Debug, Clone, Copy, Default)]
 struct WatchdogEntry {
@@ -199,6 +226,23 @@ impl Monitor {
     /// Classifies a usage level against the current thresholds.
     pub fn zone_of(&self, used: u64) -> Zone {
         self.zone_with_margin(used, 0)
+    }
+
+    /// Snapshots the node's pressure state at usage `used` — the export a
+    /// cluster scheduler ranks nodes by.
+    pub fn pressure_summary(&self, used: u64) -> PressureSummary {
+        let (low, high) = self.thresholds();
+        PressureSummary {
+            zone: self.zone_of(used),
+            used,
+            low,
+            high,
+            top: self.cfg.top,
+            headroom_to_high: high.saturating_sub(used),
+            headroom_to_top: self.cfg.top.saturating_sub(used),
+            watchdog_escalations: self.stats.watchdog_escalations,
+            polls_above_top: self.stats.polls_above_top,
+        }
     }
 
     /// [`Monitor::zone_of`] with the thresholds (not top) pulled down by a
@@ -491,6 +535,54 @@ mod tests {
         assert!(r.low_signalled.is_empty());
         assert!(r.high_signalled.is_empty());
         assert!(os.take_signals(p).is_empty());
+    }
+
+    #[test]
+    fn pressure_summary_reports_zone_and_headroom() {
+        let (_os, mon) = setup();
+        let (low, high) = mon.thresholds();
+        let top = mon.config().top;
+
+        let s = mon.pressure_summary(low / 2);
+        assert_eq!(s.zone, Zone::Green);
+        assert_eq!(s.used, low / 2);
+        assert_eq!(s.low, low);
+        assert_eq!(s.high, high);
+        assert_eq!(s.top, top);
+        assert_eq!(s.headroom_to_high, high - low / 2);
+        assert_eq!(s.headroom_to_top, top - low / 2);
+        assert_eq!(s.watchdog_escalations, 0);
+        assert_eq!(s.polls_above_top, 0);
+
+        let s = mon.pressure_summary(high + GIB);
+        assert_eq!(s.zone, Zone::Red);
+        assert_eq!(s.headroom_to_high, 0, "red zone has no high headroom");
+        assert_eq!(s.headroom_to_top, top - high - GIB);
+    }
+
+    #[test]
+    fn pressure_summary_saturates_above_top() {
+        let (_os, mon) = setup();
+        let top = mon.config().top;
+        let s = mon.pressure_summary(top + GIB);
+        assert_eq!(s.zone, Zone::AboveTop);
+        assert_eq!(s.headroom_to_high, 0);
+        assert_eq!(s.headroom_to_top, 0);
+    }
+
+    #[test]
+    fn pressure_summary_tracks_watchdog_escalations() {
+        let (mut os, mut mon) = setup();
+        let p = os.spawn("hoarder");
+        mon.register(p);
+        os.grow(p, 58 * GIB).unwrap(); // red: high-signalled, never reclaims
+        let polls = mon.config().watchdog_polls + 1;
+        for i in 0..polls as u64 {
+            mon.poll(&mut os, t(i));
+        }
+        assert!(mon.stats.watchdog_escalations > 0);
+        let s = mon.pressure_summary(58 * GIB);
+        assert_eq!(s.watchdog_escalations, mon.stats.watchdog_escalations);
     }
 
     #[test]

@@ -81,6 +81,123 @@ impl Oracle {
     }
 }
 
+/// Cluster-level conformance oracle for fleet placement logs.
+///
+/// Walks the scheduler's trace (`fleet.*` events) and checks the three
+/// placement invariants:
+///
+/// - **`fleet.place.red`** — a job is never placed onto a node whose latest
+///   pressure snapshot is red or above top (and never without a snapshot).
+/// - **`fleet.migrate.grace`** — a migration off a node only happens after
+///   that node's pressure snapshots have been contiguously red for at least
+///   the grace window.
+/// - **`fleet.defer.progress`** — every deferred job is eventually placed
+///   or explicitly given up on; no job is silently dropped.
+#[derive(Debug, Clone)]
+pub struct FleetOracle {
+    /// Grace window a node must stay red before migration is allowed, ms.
+    pub grace_ms: u64,
+}
+
+impl FleetOracle {
+    /// An oracle for a scheduler configured with the given grace window.
+    pub fn new(grace_ms: u64) -> Self {
+        FleetOracle { grace_ms }
+    }
+
+    /// Replays the fleet events in `trace` and returns every divergence
+    /// found (empty = conformant). Non-fleet events are ignored, so the
+    /// scheduler's full log can be passed as-is.
+    pub fn check(&self, trace: &TraceLog) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // Latest pressure snapshot per node: (zone, since when the node has
+        // been contiguously red — `None` while green/yellow).
+        let mut latest: BTreeMap<u64, TraceZone> = BTreeMap::new();
+        let mut red_since: BTreeMap<u64, u64> = BTreeMap::new();
+        // Jobs with a defer not yet resolved by a place or a give-up.
+        let mut pending_defer: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in trace.events() {
+            let at = e.t.as_millis();
+            match &e.data {
+                TraceData::FleetPressure { node, zone, .. } => {
+                    latest.insert(*node, *zone);
+                    match zone {
+                        TraceZone::Red | TraceZone::AboveTop => {
+                            red_since.entry(*node).or_insert(at);
+                        }
+                        _ => {
+                            red_since.remove(node);
+                        }
+                    }
+                }
+                TraceData::FleetPlace { job, node, .. } => {
+                    match latest.get(node) {
+                        None => out.push(Violation {
+                            invariant: "fleet.place.red".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} placed on node {node} without a pressure probe"
+                            ),
+                        }),
+                        Some(z @ (TraceZone::Red | TraceZone::AboveTop)) => out.push(Violation {
+                            invariant: "fleet.place.red".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} placed on node {node} whose latest \
+                                     pressure snapshot is {z:?}"
+                            ),
+                        }),
+                        Some(_) => {}
+                    }
+                    pending_defer.remove(job);
+                }
+                TraceData::FleetDefer { job, .. } => {
+                    pending_defer.entry(*job).or_insert(at);
+                }
+                TraceData::FleetMigrate { job, from, .. } => {
+                    let streak = red_since.get(from).map(|since| at.saturating_sub(*since));
+                    match streak {
+                        None => out.push(Violation {
+                            invariant: "fleet.migrate.grace".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!("job {job} migrated off node {from} that is not red"),
+                        }),
+                        Some(ms) if ms < self.grace_ms => out.push(Violation {
+                            invariant: "fleet.migrate.grace".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} migrated off node {from} after only {ms} ms \
+                                 red (grace window is {} ms)",
+                                self.grace_ms
+                            ),
+                        }),
+                        Some(_) => {}
+                    }
+                }
+                TraceData::FleetGiveUp { job, .. } => {
+                    pending_defer.remove(job);
+                }
+                _ => {}
+            }
+        }
+        for (job, since) in pending_defer {
+            out.push(Violation {
+                invariant: "fleet.defer.progress".into(),
+                at_ms: since,
+                pid: job,
+                message: format!(
+                    "job {job} was deferred at {since} ms and never placed or given up on"
+                ),
+            });
+        }
+        out
+    }
+}
+
 /// Per-pid replay of the §4.2 allocation gate.
 #[derive(Default)]
 struct AllocReplay {
@@ -292,6 +409,14 @@ impl<'a> Checker<'a> {
                 TraceData::ZoneChange { .. }
                 | TraceData::WatchdogEscalate { .. }
                 | TraceData::WatchdogResignal { .. } => {}
+                // Fleet events are cluster-level: they appear in the
+                // scheduler's placement log, never in a node trace, and are
+                // checked by [`FleetOracle`] instead.
+                TraceData::FleetPressure { .. }
+                | TraceData::FleetPlace { .. }
+                | TraceData::FleetDefer { .. }
+                | TraceData::FleetMigrate { .. }
+                | TraceData::FleetGiveUp { .. } => {}
             }
         }
         self.out
@@ -1324,5 +1449,230 @@ mod tests {
         let c = v.serialize();
         let back = Violation::deserialize(&c).expect("round trip");
         assert_eq!(v, back);
+    }
+
+    // ---- FleetOracle --------------------------------------------------
+
+    const GRACE_MS: u64 = 10_000;
+
+    fn fleet_oracle() -> FleetOracle {
+        FleetOracle::new(GRACE_MS)
+    }
+
+    fn pressure(node: u64, zone: TraceZone) -> TraceData {
+        TraceData::FleetPressure {
+            node,
+            zone,
+            used: 0,
+            high: 0,
+            top: 0,
+            escalations: 0,
+        }
+    }
+
+    fn place(job: u64, node: u64) -> TraceData {
+        TraceData::FleetPlace {
+            job,
+            node,
+            used: 0,
+            demand: 0,
+            top: 0,
+        }
+    }
+
+    #[test]
+    fn fleet_place_on_green_node_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(t(1), 0, pressure(1, TraceZone::Yellow));
+        log.record(t(1), 0, place(0, 0));
+        log.record(t(2), 1, place(1, 1));
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_place_on_red_node_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(2, TraceZone::Red));
+        log.record(t(1), 0, place(0, 2));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.place.red");
+    }
+
+    #[test]
+    fn fleet_place_above_top_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::AboveTop));
+        log.record(t(1), 0, place(3, 0));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.place.red");
+    }
+
+    #[test]
+    fn fleet_place_without_probe_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, place(0, 5));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.place.red");
+        assert!(v[0].message.contains("without a pressure probe"));
+    }
+
+    #[test]
+    fn fleet_place_uses_latest_snapshot_not_an_old_one() {
+        // Node recovers: red then green — placement after the recovery is fine.
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Red));
+        log.record(t(5), 0, pressure(0, TraceZone::Green));
+        log.record(t(5), 0, place(0, 0));
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_migrate_after_grace_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Red));
+        log.record(t(6), 0, pressure(0, TraceZone::Red));
+        log.record(
+            t(11),
+            0,
+            TraceData::FleetMigrate {
+                job: 0,
+                from: 0,
+                to: 1,
+                red_for_ms: 10_000,
+            },
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_migrate_before_grace_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Red));
+        log.record(
+            t(3),
+            0,
+            TraceData::FleetMigrate {
+                job: 0,
+                from: 0,
+                to: 1,
+                red_for_ms: 2_000,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.migrate.grace");
+    }
+
+    #[test]
+    fn fleet_migrate_off_non_red_node_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Yellow));
+        log.record(
+            t(20),
+            0,
+            TraceData::FleetMigrate {
+                job: 0,
+                from: 0,
+                to: 1,
+                red_for_ms: 0,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.migrate.grace");
+        assert!(v[0].message.contains("not red"));
+    }
+
+    #[test]
+    fn fleet_red_streak_resets_on_recovery() {
+        // Red for ages, recovers, goes red again briefly: the streak restarts
+        // at the second red onset, so an early migration is still caught.
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Red));
+        log.record(t(30), 0, pressure(0, TraceZone::Green));
+        log.record(t(31), 0, pressure(0, TraceZone::Red));
+        log.record(
+            t(33),
+            0,
+            TraceData::FleetMigrate {
+                job: 0,
+                from: 0,
+                to: 1,
+                red_for_ms: 2_000,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.migrate.grace");
+    }
+
+    #[test]
+    fn fleet_defer_then_place_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetDefer {
+                job: 0,
+                attempt: 1,
+                retry_at_ms: 5_000,
+            },
+        );
+        log.record(t(5), 0, place(0, 0));
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_defer_then_giveup_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetDefer {
+                job: 2,
+                attempt: 1,
+                retry_at_ms: 5_000,
+            },
+        );
+        log.record(
+            t(5),
+            0,
+            TraceData::FleetGiveUp {
+                job: 2,
+                attempts: 1,
+            },
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_defer_never_resolved_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetDefer {
+                job: 7,
+                attempt: 1,
+                retry_at_ms: 5_000,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.defer.progress");
+        assert_eq!(v[0].pid, 7);
+    }
+
+    #[test]
+    fn fleet_oracle_ignores_node_level_events() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 1, TraceData::Madvise { bytes: GIB });
+        log.record(t(1), 0, TraceData::ProcExit);
+        assert!(fleet_oracle().check(&log).is_empty());
     }
 }

@@ -279,6 +279,64 @@ pub enum TraceData {
         /// Recovery curve name.
         curve: String,
     },
+    /// The fleet scheduler probed one node's live pressure summary (the
+    /// event's `pid` is the node index).
+    FleetPressure {
+        /// The probed node.
+        node: u64,
+        /// The node's zone at probe time.
+        zone: TraceZone,
+        /// Committed bytes observed on the node.
+        used: u64,
+        /// The node's high threshold at probe time.
+        high: u64,
+        /// The node's top of memory.
+        top: u64,
+        /// Watchdog escalations accumulated on the node so far.
+        escalations: u64,
+    },
+    /// The fleet scheduler admitted a job and placed it onto a node (the
+    /// event's `pid` is the job index).
+    FleetPlace {
+        /// The placed job (scenario schedule index).
+        job: u64,
+        /// The target node.
+        node: u64,
+        /// The node's committed bytes at admission time.
+        used: u64,
+        /// The job's estimated peak demand, bytes.
+        demand: u64,
+        /// The target node's top of memory.
+        top: u64,
+    },
+    /// Admission control found no feasible node and deferred the job.
+    FleetDefer {
+        /// The deferred job.
+        job: u64,
+        /// How many admission attempts the job has made so far.
+        attempt: u64,
+        /// When the job will retry, ms.
+        retry_at_ms: u64,
+    },
+    /// Red-zone rebalancing migrated a job off a node armed beyond the
+    /// grace window.
+    FleetMigrate {
+        /// The migrated job.
+        job: u64,
+        /// The armed source node.
+        from: u64,
+        /// The target node.
+        to: u64,
+        /// How long the source had been observed red, ms.
+        red_for_ms: u64,
+    },
+    /// A job exhausted its deferral budget and was reported unplaceable.
+    FleetGiveUp {
+        /// The rejected job.
+        job: u64,
+        /// Admission attempts made before giving up.
+        attempts: u64,
+    },
 }
 
 impl TraceData {
@@ -327,6 +385,11 @@ impl TraceData {
                 }
             }
             TraceData::AllocBatch { .. } => "alloc.batch",
+            TraceData::FleetPressure { .. } => "fleet.pressure",
+            TraceData::FleetPlace { .. } => "fleet.place",
+            TraceData::FleetDefer { .. } => "fleet.defer",
+            TraceData::FleetMigrate { .. } => "fleet.migrate",
+            TraceData::FleetGiveUp { .. } => "fleet.giveup",
         }
     }
 
@@ -468,6 +531,58 @@ impl TraceData {
                 f("num_epochs", num_epochs.serialize()),
                 f("curve", curve.serialize()),
             ],
+            TraceData::FleetPressure {
+                node,
+                zone,
+                used,
+                high,
+                top,
+                escalations,
+            } => vec![
+                f("node", node.serialize()),
+                f("zone", zone.serialize()),
+                f("used", used.serialize()),
+                f("high", high.serialize()),
+                f("top", top.serialize()),
+                f("escalations", escalations.serialize()),
+            ],
+            TraceData::FleetPlace {
+                job,
+                node,
+                used,
+                demand,
+                top,
+            } => vec![
+                f("job", job.serialize()),
+                f("node", node.serialize()),
+                f("used", used.serialize()),
+                f("demand", demand.serialize()),
+                f("top", top.serialize()),
+            ],
+            TraceData::FleetDefer {
+                job,
+                attempt,
+                retry_at_ms,
+            } => vec![
+                f("job", job.serialize()),
+                f("attempt", attempt.serialize()),
+                f("retry_at_ms", retry_at_ms.serialize()),
+            ],
+            TraceData::FleetMigrate {
+                job,
+                from,
+                to,
+                red_for_ms,
+            } => vec![
+                f("job", job.serialize()),
+                f("from", from.serialize()),
+                f("to", to.serialize()),
+                f("red_for_ms", red_for_ms.serialize()),
+            ],
+            TraceData::FleetGiveUp { job, attempts } => vec![
+                f("job", job.serialize()),
+                f("attempts", attempts.serialize()),
+            ],
         }
     }
 }
@@ -584,6 +699,36 @@ impl Deserialize for TraceData {
                 epoch_ms: map_field(c, "epoch_ms")?,
                 num_epochs: map_field(c, "num_epochs")?,
                 curve: map_field(c, "curve")?,
+            },
+            "fleet.pressure" => TraceData::FleetPressure {
+                node: map_field(c, "node")?,
+                zone: map_field(c, "zone")?,
+                used: map_field(c, "used")?,
+                high: map_field(c, "high")?,
+                top: map_field(c, "top")?,
+                escalations: map_field(c, "escalations")?,
+            },
+            "fleet.place" => TraceData::FleetPlace {
+                job: map_field(c, "job")?,
+                node: map_field(c, "node")?,
+                used: map_field(c, "used")?,
+                demand: map_field(c, "demand")?,
+                top: map_field(c, "top")?,
+            },
+            "fleet.defer" => TraceData::FleetDefer {
+                job: map_field(c, "job")?,
+                attempt: map_field(c, "attempt")?,
+                retry_at_ms: map_field(c, "retry_at_ms")?,
+            },
+            "fleet.migrate" => TraceData::FleetMigrate {
+                job: map_field(c, "job")?,
+                from: map_field(c, "from")?,
+                to: map_field(c, "to")?,
+                red_for_ms: map_field(c, "red_for_ms")?,
+            },
+            "fleet.giveup" => TraceData::FleetGiveUp {
+                job: map_field(c, "job")?,
+                attempts: map_field(c, "attempts")?,
             },
             other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
         };
@@ -847,6 +992,51 @@ mod tests {
                 },
                 "alloc.delay",
             ),
+            (
+                TraceData::FleetPressure {
+                    node: 0,
+                    zone: TraceZone::Green,
+                    used: 1,
+                    high: 2,
+                    top: 3,
+                    escalations: 0,
+                },
+                "fleet.pressure",
+            ),
+            (
+                TraceData::FleetPlace {
+                    job: 0,
+                    node: 1,
+                    used: 2,
+                    demand: 3,
+                    top: 4,
+                },
+                "fleet.place",
+            ),
+            (
+                TraceData::FleetDefer {
+                    job: 0,
+                    attempt: 1,
+                    retry_at_ms: 2,
+                },
+                "fleet.defer",
+            ),
+            (
+                TraceData::FleetMigrate {
+                    job: 0,
+                    from: 1,
+                    to: 2,
+                    red_for_ms: 3,
+                },
+                "fleet.migrate",
+            ),
+            (
+                TraceData::FleetGiveUp {
+                    job: 0,
+                    attempts: 3,
+                },
+                "fleet.giveup",
+            ),
         ];
         for (data, kind) in cases {
             assert_eq!(data.kind(), kind);
@@ -897,6 +1087,39 @@ mod tests {
                 epoch_ms: 1000,
                 num_epochs: 1,
                 curve: "Linear".into(),
+            },
+        );
+        log.record(
+            t(4),
+            0,
+            TraceData::FleetPressure {
+                node: 2,
+                zone: TraceZone::Yellow,
+                used: 10,
+                high: 20,
+                top: 30,
+                escalations: 1,
+            },
+        );
+        log.record(
+            t(5),
+            0,
+            TraceData::FleetPlace {
+                job: 1,
+                node: 2,
+                used: 10,
+                demand: 5,
+                top: 30,
+            },
+        );
+        log.record(
+            t(6),
+            0,
+            TraceData::FleetMigrate {
+                job: 1,
+                from: 2,
+                to: 0,
+                red_for_ms: 9000,
             },
         );
         let c = log.serialize();

@@ -29,13 +29,41 @@ pub struct ClusterResult {
     pub spread_s: Vec<f64>,
 }
 
+/// Mean cluster runtime, with failures accounted rather than collapsing
+/// the whole cluster to "no answer": one killed app should not hide how the
+/// other N−1 fared.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterMean {
+    /// Mean runtime over the *completed* apps, seconds — `None` only when
+    /// no app completed at all.
+    pub mean_secs: Option<f64>,
+    /// Apps that completed on every node.
+    pub completed_apps: usize,
+    /// Apps that failed or were killed on at least one node.
+    pub failed_apps: usize,
+}
+
+impl ClusterMean {
+    /// True if every app completed.
+    pub fn all_completed(&self) -> bool {
+        self.failed_apps == 0 && self.completed_apps > 0
+    }
+}
+
 impl ClusterResult {
-    /// Mean of the per-app cluster runtimes, or `None` if any app failed.
-    pub fn mean_runtime_secs(&self) -> Option<f64> {
-        if self.app_runtimes_s.iter().any(Option::is_none) || self.app_runtimes_s.is_empty() {
-            return None;
+    /// Mean of the per-app cluster runtimes over the apps that completed,
+    /// alongside a failed-app count.
+    pub fn mean_runtime_secs(&self) -> ClusterMean {
+        let completed: Vec<f64> = self.app_runtimes_s.iter().flatten().copied().collect();
+        ClusterMean {
+            mean_secs: if completed.is_empty() {
+                None
+            } else {
+                Some(completed.iter().sum::<f64>() / completed.len() as f64)
+            },
+            completed_apps: completed.len(),
+            failed_apps: self.app_runtimes_s.len() - completed.len(),
         }
-        Some(self.app_runtimes_s.iter().flatten().sum::<f64>() / self.app_runtimes_s.len() as f64)
     }
 }
 
@@ -60,8 +88,6 @@ pub fn run_cluster(
     machine_cfg: MachineConfig,
     nodes: usize,
 ) -> ClusterResult {
-    assert!(nodes > 0, "need at least one node");
-    let napps = scenario.len();
     // Nodes are independent simulations (only the salt differs), so they
     // fan out on the worker pool; results come back in node order.
     let node_cfgs: Vec<MachineConfig> = (0..nodes)
@@ -71,6 +97,20 @@ pub fn run_cluster(
             cfg
         })
         .collect();
+    run_cluster_nodes(scenario, setting, node_cfgs)
+}
+
+/// [`run_cluster`] over an explicit per-node configuration list (the fleet
+/// layer's passthrough path: heterogeneous node sizes, pre-salted configs).
+/// Aggregation is identical — per-app slowest node wins.
+pub fn run_cluster_nodes(
+    scenario: &Scenario,
+    setting: &Setting,
+    node_cfgs: Vec<MachineConfig>,
+) -> ClusterResult {
+    assert!(!node_cfgs.is_empty(), "need at least one node");
+    let nodes = node_cfgs.len();
+    let napps = scenario.len();
     let outs = crate::parallel::parallel_map(node_cfgs, worker_threads(), |cfg| {
         run_scenario_cached(scenario, setting, cfg)
     });
@@ -148,7 +188,11 @@ mod tests {
             .cloned()
             .fold(f64::MIN, f64::max);
         assert_eq!(res.app_runtimes_s[0], Some(max));
-        assert!(res.mean_runtime_secs().is_some());
+        let mean = res.mean_runtime_secs();
+        assert_eq!(mean.mean_secs, Some(max));
+        assert_eq!(mean.completed_apps, 1);
+        assert_eq!(mean.failed_apps, 0);
+        assert!(mean.all_completed());
     }
 
     #[test]
@@ -177,8 +221,50 @@ mod tests {
         };
         let res = run_cluster(&scenario, &setting, quick_cfg(), 2);
         assert_eq!(res.app_runtimes_s[0], None);
-        assert_eq!(res.mean_runtime_secs(), None);
+        let mean = res.mean_runtime_secs();
+        assert_eq!(mean.mean_secs, None, "nothing completed");
+        assert_eq!(mean.completed_apps, 0);
+        assert_eq!(mean.failed_apps, 1);
+        assert!(!mean.all_completed());
         let _ = 64 * GIB;
+    }
+
+    #[test]
+    fn one_failed_app_does_not_hide_the_others() {
+        // M completes under the stock default heap, n-weight does not: the
+        // mean must survive as the mean over the completed apps, with the
+        // failure reported alongside.
+        let scenario = Scenario::uniform("MW", 0);
+        let setting = Setting {
+            kind: SettingKind::Default,
+            per_app: vec![crate::settings::AppConfig::stock_default(); 2],
+        };
+        let res = run_cluster(&scenario, &setting, quick_cfg(), 2);
+        assert!(res.app_runtimes_s[0].is_some(), "M completes");
+        assert_eq!(res.app_runtimes_s[1], None, "n-weight fails");
+        let mean = res.mean_runtime_secs();
+        assert_eq!(mean.mean_secs, res.app_runtimes_s[0]);
+        assert_eq!(mean.completed_apps, 1);
+        assert_eq!(mean.failed_apps, 1);
+        assert!(!mean.all_completed());
+    }
+
+    #[test]
+    fn run_cluster_nodes_matches_run_cluster_with_salted_cfgs() {
+        let scenario = Scenario::uniform("M", 0);
+        let setting = Setting::m3(1);
+        let via_cluster = run_cluster(&scenario, &setting, quick_cfg(), 2);
+        let cfgs: Vec<MachineConfig> = (0..2)
+            .map(|node| {
+                let mut cfg = quick_cfg();
+                cfg.node_salt = node as u64 + 1;
+                cfg
+            })
+            .collect();
+        let via_nodes = run_cluster_nodes(&scenario, &setting, cfgs);
+        assert_eq!(via_cluster.app_runtimes_s, via_nodes.app_runtimes_s);
+        assert_eq!(via_cluster.per_node_s, via_nodes.per_node_s);
+        assert_eq!(via_cluster.spread_s, via_nodes.spread_s);
     }
 
     #[test]

@@ -1,0 +1,962 @@
+//! `m3-fleet`: a pressure-aware cluster scheduler on top of the node
+//! simulator.
+//!
+//! The paper's cluster (§7.1) is N independent workers all running the same
+//! schedule; every placement decision is implicit. This module lifts M3's
+//! node-local pressure signals to the cluster layer: incoming elastic jobs
+//! are *placed* onto the least-pressured feasible node, *deferred* when no
+//! node can take them without being pushed above its top of memory, and
+//! *migrated* off a node whose monitor stays in the red zone beyond a grace
+//! window (the direction MURS/SARA argue service stacks must go).
+//!
+//! # Determinism
+//!
+//! The scheduler is a pure function of `(scenario, setting, machine_cfg,
+//! fleet_cfg)`. There is no randomness and no wall clock anywhere:
+//!
+//! - Scheduler events live in a `BTreeMap` keyed `(time_ms, class, index)`,
+//!   so they pop in a total order.
+//! - A node's pressure at time `t` is read by *re-simulating* that node up
+//!   to `t` — the node simulator is deterministic, and every probe goes
+//!   through the content-addressed run cache ([`crate::parallel`]), so
+//!   repeated probes of an unchanged node are answered without
+//!   re-simulating.
+//! - Ties in the placement order are broken by node index; admission is an
+//!   exact integer comparison (no float ordering).
+//!
+//! Migration is modelled as a crash fault on the source node (the elastic
+//! job restarts from scratch on the target, as §7.1's restartable jobs do).
+//! The crash instant always equals the scheduler's current time, so probes
+//! cached for earlier times stay valid.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use m3_core::config::MonitorConfig;
+use m3_core::monitor::{Monitor, PressureSummary, Zone};
+use m3_oracle::{FleetOracle, Violation};
+use m3_sim::clock::{SimDuration, SimTime};
+use m3_sim::trace::{TraceData, TraceLog, TraceZone};
+use m3_sim::units::GIB;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{run_cluster_nodes, ClusterResult};
+use crate::faults::FaultPlan;
+use crate::hibench;
+use crate::machine::MachineConfig;
+use crate::parallel::{run_scenario_cached_faulted, CacheStats};
+use crate::runner::ScenarioOutcome;
+use crate::scenario::{AppKind, Scenario};
+use crate::settings::Setting;
+
+/// One worker node of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Physical memory of the node.
+    pub phys_total: u64,
+}
+
+impl NodeSpec {
+    /// The paper's 64-GB worker.
+    pub fn paper() -> Self {
+        NodeSpec {
+            phys_total: 64 * GIB,
+        }
+    }
+}
+
+/// Which feasible node the placer prefers. The two non-default variants
+/// are deliberately broken — they exist so the invariant tests can catch a
+/// misbehaving policy end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Place on the feasible node with the lowest `used / top` ratio
+    /// (ties broken by lower node index).
+    LeastPressured,
+    /// Place on the *highest* `used / top` node, feasible or not — a
+    /// broken policy that skips admission control (used by the
+    /// rebalancing tests to force co-location).
+    MostPressured,
+    /// Place every job on node 0 without probing anything — a broken
+    /// policy the oracle catches as a placement without a pressure
+    /// snapshot.
+    Blind,
+}
+
+/// Fleet scheduler configuration. Part of the fleet-level memoization key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// The worker nodes (heterogeneous sizes allowed).
+    pub nodes: Vec<NodeSpec>,
+    /// `false` runs every node through the legacy [`run_cluster_nodes`]
+    /// path (each node runs the whole schedule; no placement decisions) —
+    /// the backward-compat mode the figure benches rely on.
+    pub scheduler: bool,
+    /// How long a node must stay red before the rebalancer may migrate a
+    /// job off it.
+    pub grace: SimDuration,
+    /// How long a deferred job waits before retrying admission.
+    pub defer_interval: SimDuration,
+    /// Admission retries before the scheduler gives up on a job.
+    pub max_defers: u32,
+    /// Migrations allowed per job (a migration restarts the job).
+    pub max_migrations: u32,
+    /// Cadence of the red-zone rebalance checks.
+    pub rebalance_period: SimDuration,
+    /// Number of rebalance checks scheduled (bounds the event horizon).
+    pub rebalance_checks: u32,
+    /// Placement preference among feasible nodes.
+    pub policy: PlacementPolicy,
+}
+
+impl FleetConfig {
+    /// A scheduling fleet of `n` homogeneous nodes of `phys_total` bytes.
+    pub fn homogeneous(n: usize, phys_total: u64) -> Self {
+        FleetConfig {
+            nodes: vec![NodeSpec { phys_total }; n],
+            scheduler: true,
+            grace: SimDuration::from_secs(60),
+            defer_interval: SimDuration::from_secs(120),
+            max_defers: 30,
+            max_migrations: 1,
+            rebalance_period: SimDuration::from_secs(60),
+            rebalance_checks: 40,
+            policy: PlacementPolicy::LeastPressured,
+        }
+    }
+
+    /// The paper's eight 64-GB workers, scheduler on.
+    pub fn paper() -> Self {
+        FleetConfig::homogeneous(crate::cluster::PAPER_NODES, 64 * GIB)
+    }
+
+    /// `n` 64-GB nodes with the scheduler disabled: every node runs the full
+    /// schedule, exactly like [`crate::cluster::run_cluster`].
+    pub fn passthrough(n: usize) -> Self {
+        FleetConfig {
+            scheduler: false,
+            ..FleetConfig::homogeneous(n, 64 * GIB)
+        }
+    }
+}
+
+/// What happened to one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job's index in the scenario.
+    pub job: usize,
+    /// The node the job finally ran on (`None` if the scheduler gave up,
+    /// or in passthrough mode where every node runs every job).
+    pub node: Option<usize>,
+    /// Admission deferrals before placement (or before giving up).
+    pub deferrals: u32,
+    /// Times the rebalancer migrated the job.
+    pub migrations: u32,
+    /// True if the job exhausted its admission retries.
+    pub gave_up: bool,
+    /// Completion time minus the job's *arrival* (not its last restart),
+    /// seconds; `None` if the job failed, was killed, or was given up on.
+    pub runtime_s: Option<f64>,
+}
+
+/// Outcome of one fleet run. Serializable end to end: the golden snapshot
+/// and determinism tests compare runs by their serialized bytes, and the
+/// fleet memoization cache hands out shared results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// Cluster-level aggregation (slowest-node semantics in passthrough
+    /// mode; final-node runtimes under the scheduler).
+    pub cluster: ClusterResult,
+    /// Per-job scheduler outcomes (empty in passthrough mode).
+    pub jobs: Vec<JobOutcome>,
+    /// The scheduler's placement log (`fleet.*` events; empty in
+    /// passthrough mode).
+    pub trace: TraceLog,
+    /// Cluster-invariant violations from [`FleetOracle`] plus any node-level
+    /// conformance violations from the final node runs. Empty = conformant.
+    pub violations: Vec<Violation>,
+}
+
+/// Peak-memory estimate used for admission control: what placing a job of
+/// this kind may eventually commit on the node.
+pub fn demand_estimate(kind: AppKind) -> u64 {
+    match kind {
+        AppKind::KMeans | AppKind::PageRank | AppKind::NWeight => {
+            let job = hibench::job_by_code(kind.code());
+            job.working_set + job.exec_demand
+        }
+        AppKind::GoCache => hibench::gocache_workload().full_bytes(),
+        AppKind::Memcached => hibench::memtier_workload().full_bytes(),
+    }
+}
+
+/// The per-node machine configuration: the base config with this node's
+/// salt and size. A node whose size differs from the base keeps no stale
+/// monitor — [`MachineConfig::with_setting`] re-scales one to the node.
+fn node_machine_cfg(base: MachineConfig, node: usize, phys_total: u64) -> MachineConfig {
+    let mut cfg = base;
+    cfg.node_salt = node as u64 + 1;
+    if cfg.phys_total != phys_total {
+        cfg.phys_total = phys_total;
+        cfg.monitor = None;
+    }
+    cfg
+}
+
+/// Scheduler event classes, ordered within one instant: placement attempts
+/// (arrivals and retries) run before rebalance checks.
+const CLASS_PLACE: u8 = 0;
+const CLASS_REBALANCE: u8 = 1;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Try to admit job `job` (arrival or deferred retry), attempt number
+    /// `attempt` (0 = the arrival itself).
+    Place { job: usize, attempt: u32 },
+    /// Probe every node and migrate off nodes red beyond the grace window.
+    Rebalance,
+}
+
+/// One node's scheduling state.
+struct NodeState {
+    phys_total: u64,
+    /// Jobs assigned to this node, in assignment order: `(job, kind,
+    /// start offset)`. Only ever appended to, so fault targets (indices
+    /// into this list) stay stable.
+    apps: Vec<(usize, AppKind, SimDuration)>,
+    /// Accumulated migration crashes on this node.
+    faults: FaultPlan,
+    /// When the node's probes turned contiguously red, ms.
+    red_since: Option<u64>,
+}
+
+/// One node's state as seen by a scheduling decision at some instant.
+#[derive(Debug, Clone, Copy)]
+struct NodeView {
+    node: usize,
+    summary: PressureSummary,
+    /// Summed demand estimates of this node's assigned, unfinished jobs.
+    reserved: u64,
+}
+
+impl NodeView {
+    /// The load the placer ranks and admits against: committed memory or
+    /// outstanding reservations, whichever is larger (reservations cover
+    /// placed jobs that have not grown into their demand yet; `used` covers
+    /// jobs that outgrew their estimate).
+    fn effective(&self) -> u64 {
+        self.summary.used.max(self.reserved)
+    }
+}
+
+struct Fleet<'a> {
+    scenario: &'a Scenario,
+    base_cfg: MachineConfig,
+    fleet: &'a FleetConfig,
+    nodes: Vec<NodeState>,
+    trace: TraceLog,
+    /// Final `(node, slot in that node's app list)` per job.
+    assignment: Vec<Option<(usize, usize)>>,
+    deferrals: Vec<u32>,
+    migrations: Vec<u32>,
+    gave_up: Vec<bool>,
+}
+
+impl<'a> Fleet<'a> {
+    /// The sub-scenario a node's assigned jobs form. The name is salted
+    /// with the node index so node-local caches and traces stay
+    /// distinguishable; determinism only needs it to be a pure function of
+    /// the inputs.
+    fn node_scenario(&self, node: usize) -> Scenario {
+        let st = &self.nodes[node];
+        Scenario {
+            name: format!("{}::node{}", self.scenario.name, node),
+            apps: st
+                .apps
+                .iter()
+                .map(|&(_, kind, start)| (kind, start))
+                .collect(),
+        }
+    }
+
+    fn node_cfg(&self, node: usize) -> MachineConfig {
+        node_machine_cfg(self.base_cfg, node, self.nodes[node].phys_total)
+    }
+
+    /// Simulates node `node` up to `horizon` (cached) and returns the
+    /// outcome. `capture` keeps the node trace and profile (the final full
+    /// runs); probes run stripped for speed.
+    fn simulate(&self, node: usize, horizon: SimDuration, capture: bool) -> Arc<ScenarioOutcome> {
+        let scenario = self.node_scenario(node);
+        let setting = Setting::m3(scenario.len());
+        let mut cfg = self.node_cfg(node);
+        if !capture {
+            cfg.max_time = horizon.min(cfg.max_time);
+            cfg.sample_period = None;
+            cfg.capture_trace = false;
+        }
+        run_scenario_cached_faulted(&scenario, &setting, cfg, &self.nodes[node].faults)
+    }
+
+    /// Reads node `node`'s pressure at time `t`, records the
+    /// `fleet.pressure` event, and advances the node's red-streak clock.
+    ///
+    /// Besides the monitor's summary, the view carries the node's *reserved*
+    /// demand: the summed demand estimates of jobs assigned to it that have
+    /// not finished by `t`. A freshly placed job has committed nothing yet,
+    /// so admission must rank against `max(used, reserved)` or simultaneous
+    /// arrivals would all pile onto the same empty node.
+    fn probe(&mut self, node: usize, t: SimTime) -> NodeView {
+        let (summary, reserved) = if self.nodes[node].apps.is_empty() {
+            // Nothing scheduled: the node is idle at its initial thresholds.
+            let cfg = self.node_cfg(node).with_setting(&Setting::m3(0));
+            let monitor = cfg
+                .monitor
+                .unwrap_or_else(|| MonitorConfig::scaled(cfg.phys_total));
+            (Monitor::new(monitor).pressure_summary(0), 0)
+        } else {
+            let out = self.simulate(node, t.saturating_since(SimTime::ZERO), false);
+            let mut reserved = 0u64;
+            for (slot, &(job, kind, _)) in self.nodes[node].apps.iter().enumerate() {
+                let here = self.assignment[job] == Some((node, slot));
+                let alive = out
+                    .run
+                    .apps
+                    .get(slot)
+                    .is_none_or(|a| !a.killed && !a.failed && a.finished.is_none());
+                if here && alive {
+                    reserved = reserved.saturating_add(demand_estimate(kind));
+                }
+            }
+            let summary = out
+                .run
+                .pressure
+                .expect("m3 node runs always have a monitor");
+            (summary, reserved)
+        };
+        let zone: TraceZone = summary.zone.into();
+        self.trace.record(
+            t,
+            node as u64,
+            TraceData::FleetPressure {
+                node: node as u64,
+                zone,
+                used: summary.used,
+                high: summary.high,
+                top: summary.top,
+                escalations: summary.watchdog_escalations,
+            },
+        );
+        match summary.zone {
+            Zone::Red | Zone::AboveTop => {
+                self.nodes[node].red_since.get_or_insert(t.as_millis());
+            }
+            _ => self.nodes[node].red_since = None,
+        }
+        NodeView {
+            node,
+            summary,
+            reserved,
+        }
+    }
+
+    /// True if `demand` more bytes fit on this node without crossing its
+    /// top of memory (and the node is not already red).
+    fn admits(view: &NodeView, demand: u64) -> bool {
+        matches!(view.summary.zone, Zone::Green | Zone::Yellow)
+            && view.effective().saturating_add(demand) <= view.summary.top
+    }
+
+    /// Picks the preferred node among `candidates` by the configured
+    /// policy: exact integer comparison of `effective/top` ratios
+    /// (`eff_a * top_b` vs `eff_b * top_a`), ties to the lower node index.
+    fn pick(&self, candidates: &[NodeView]) -> Option<usize> {
+        let prefer_least = matches!(self.fleet.policy, PlacementPolicy::LeastPressured);
+        let mut best: Option<&NodeView> = None;
+        for v in candidates {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let lhs = v.effective() as u128 * b.summary.top as u128;
+                    let rhs = b.effective() as u128 * v.summary.top as u128;
+                    if prefer_least {
+                        lhs < rhs
+                    } else {
+                        lhs > rhs
+                    }
+                }
+            };
+            if better {
+                best = Some(v);
+            }
+        }
+        best.map(|v| v.node)
+    }
+
+    /// Assigns job `job` to `node` starting at `t` and records the
+    /// bookkeeping shared by placement and migration.
+    fn assign(&mut self, job: usize, kind: AppKind, node: usize, t: SimTime) {
+        let slot = self.nodes[node].apps.len();
+        self.nodes[node]
+            .apps
+            .push((job, kind, t.saturating_since(SimTime::ZERO)));
+        self.assignment[job] = Some((node, slot));
+    }
+
+    fn on_place(&mut self, job: usize, attempt: u32, t: SimTime, queue: &mut EventQueue) {
+        let kind = self.scenario.apps[job].0;
+        let demand = demand_estimate(kind);
+        if matches!(self.fleet.policy, PlacementPolicy::Blind) {
+            // The blind policy never probes: the missing pressure snapshot
+            // is itself the conformance violation the oracle reports.
+            let cfg = self.node_cfg(0).with_setting(&Setting::m3(0));
+            let top = cfg
+                .monitor
+                .unwrap_or_else(|| MonitorConfig::scaled(cfg.phys_total))
+                .top;
+            self.trace.record(
+                t,
+                job as u64,
+                TraceData::FleetPlace {
+                    job: job as u64,
+                    node: 0,
+                    used: 0,
+                    demand,
+                    top,
+                },
+            );
+            self.deferrals[job] = attempt;
+            self.assign(job, kind, 0, t);
+            return;
+        }
+        let views: Vec<NodeView> = (0..self.nodes.len()).map(|n| self.probe(n, t)).collect();
+        let candidates: Vec<NodeView> = match self.fleet.policy {
+            // The broken test policy skips admission control entirely.
+            PlacementPolicy::MostPressured => views.clone(),
+            PlacementPolicy::LeastPressured => views
+                .iter()
+                .copied()
+                .filter(|v| Self::admits(v, demand))
+                .collect(),
+            PlacementPolicy::Blind => unreachable!("handled above"),
+        };
+        match self.pick(&candidates) {
+            Some(node) => {
+                let summary = views[node].summary;
+                self.trace.record(
+                    t,
+                    job as u64,
+                    TraceData::FleetPlace {
+                        job: job as u64,
+                        node: node as u64,
+                        used: summary.used,
+                        demand,
+                        top: summary.top,
+                    },
+                );
+                self.deferrals[job] = attempt;
+                self.assign(job, kind, node, t);
+            }
+            None if attempt >= self.fleet.max_defers => {
+                self.deferrals[job] = attempt;
+                self.gave_up[job] = true;
+                self.trace.record(
+                    t,
+                    job as u64,
+                    TraceData::FleetGiveUp {
+                        job: job as u64,
+                        attempts: attempt as u64 + 1,
+                    },
+                );
+            }
+            None => {
+                let retry =
+                    SimTime::from_millis(t.as_millis() + self.fleet.defer_interval.as_millis());
+                self.trace.record(
+                    t,
+                    job as u64,
+                    TraceData::FleetDefer {
+                        job: job as u64,
+                        attempt: attempt as u64 + 1,
+                        retry_at_ms: retry.as_millis(),
+                    },
+                );
+                queue.insert(
+                    (retry.as_millis(), CLASS_PLACE, job as u64),
+                    Event::Place {
+                        job,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_rebalance(&mut self, t: SimTime) {
+        let views: Vec<NodeView> = (0..self.nodes.len()).map(|n| self.probe(n, t)).collect();
+        let grace = self.fleet.grace.as_millis();
+        for node in 0..self.nodes.len() {
+            let Some(since) = self.nodes[node].red_since else {
+                continue;
+            };
+            let red_for = t.as_millis().saturating_sub(since);
+            if red_for < grace {
+                continue;
+            }
+            // Victim: the lowest-priority (latest-arriving) unfinished job
+            // still on this node that has migration budget left.
+            let out = self.simulate(node, t.saturating_since(SimTime::ZERO), false);
+            let victim = self.nodes[node]
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|&(slot, &(job, _, _))| {
+                    self.assignment[job] == Some((node, slot))
+                        && self.migrations[job] < self.fleet.max_migrations
+                        && out
+                            .run
+                            .apps
+                            .get(slot)
+                            .is_some_and(|a| !a.killed && !a.failed && a.finished.is_none())
+                })
+                .max_by_key(|&(_, &(job, _, _))| job)
+                .map(|(slot, &(job, kind, _))| (slot, job, kind));
+            let Some((slot, job, kind)) = victim else {
+                continue;
+            };
+            // Target: least-pressured feasible node other than the source.
+            let demand = demand_estimate(kind);
+            let candidates: Vec<NodeView> = views
+                .iter()
+                .copied()
+                .filter(|v| v.node != node && Self::admits(v, demand))
+                .collect();
+            let Some(target) = self.pick(&candidates) else {
+                continue; // nowhere better to go: migrating would not help
+            };
+            self.nodes[node].faults = std::mem::take(&mut self.nodes[node].faults)
+                .with_crash(t.saturating_since(SimTime::ZERO), slot);
+            self.migrations[job] += 1;
+            self.trace.record(
+                t,
+                job as u64,
+                TraceData::FleetMigrate {
+                    job: job as u64,
+                    from: node as u64,
+                    to: target as u64,
+                    red_for_ms: red_for,
+                },
+            );
+            self.assign(job, kind, target, t);
+        }
+    }
+}
+
+type EventQueue = BTreeMap<(u64, u8, u64), Event>;
+
+/// Runs `scenario` on the fleet described by `fleet`.
+///
+/// With `fleet.scheduler == false` this is exactly
+/// [`crate::cluster::run_cluster`] over the fleet's node sizes: every node
+/// runs the full schedule and per-app completion is the slowest node.
+///
+/// With the scheduler on (requires an M3 `setting` — placement reacts to
+/// monitor pressure), each job is admitted onto one node, and the returned
+/// [`ClusterResult`] holds final-node runtimes measured from each job's
+/// *arrival*.
+pub fn run_fleet(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+) -> FleetResult {
+    assert!(!fleet.nodes.is_empty(), "need at least one node");
+    if !fleet.scheduler {
+        let node_cfgs = fleet
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| node_machine_cfg(machine_cfg, i, n.phys_total))
+            .collect();
+        let cluster = run_cluster_nodes(scenario, setting, node_cfgs);
+        return FleetResult {
+            cluster,
+            jobs: Vec::new(),
+            trace: TraceLog::new(),
+            violations: Vec::new(),
+        };
+    }
+    assert!(
+        setting.is_m3(),
+        "the fleet scheduler places by monitor pressure; run static \
+         baselines with `scheduler: false`"
+    );
+    let njobs = scenario.len();
+    let mut state = Fleet {
+        scenario,
+        base_cfg: machine_cfg,
+        fleet,
+        nodes: fleet
+            .nodes
+            .iter()
+            .map(|n| NodeState {
+                phys_total: n.phys_total,
+                apps: Vec::new(),
+                faults: FaultPlan::none(),
+                red_since: None,
+            })
+            .collect(),
+        trace: TraceLog::new(),
+        assignment: vec![None; njobs],
+        deferrals: vec![0; njobs],
+        migrations: vec![0; njobs],
+        gave_up: vec![false; njobs],
+    };
+
+    let mut queue: EventQueue = BTreeMap::new();
+    for (job, &(_, start)) in scenario.apps.iter().enumerate() {
+        queue.insert(
+            (start.as_millis(), CLASS_PLACE, job as u64),
+            Event::Place { job, attempt: 0 },
+        );
+    }
+    for k in 1..=fleet.rebalance_checks {
+        queue.insert(
+            (
+                fleet.rebalance_period.as_millis() * k as u64,
+                CLASS_REBALANCE,
+                k as u64,
+            ),
+            Event::Rebalance,
+        );
+    }
+    while let Some((&key, _)) = queue.iter().next() {
+        let event = queue.remove(&key).expect("key just observed");
+        let t = SimTime::from_millis(key.0);
+        match event {
+            Event::Place { job, attempt } => state.on_place(job, attempt, t, &mut queue),
+            Event::Rebalance => state.on_rebalance(t),
+        }
+    }
+
+    // Final full-length run per non-empty node, in parallel via the node
+    // cache; then fold per-job outcomes out of each job's final node.
+    let finals: Vec<Option<Arc<ScenarioOutcome>>> = crate::parallel::parallel_map(
+        (0..state.nodes.len()).collect(),
+        crate::parallel::worker_threads(),
+        |node| {
+            (!state.nodes[node].apps.is_empty())
+                .then(|| state.simulate(node, machine_cfg.max_time, true))
+        },
+    );
+
+    let mut jobs = Vec::with_capacity(njobs);
+    let mut app_runtimes_s = Vec::with_capacity(njobs);
+    let mut per_node_s = Vec::with_capacity(njobs);
+    for job in 0..njobs {
+        let arrival = SimTime::ZERO + scenario.apps[job].1;
+        let (node, runtime_s) = match state.assignment[job] {
+            Some((node, slot)) => {
+                let app = &finals[node].as_ref().expect("assigned node ran").run.apps[slot];
+                let rt = (!app.killed && !app.failed)
+                    .then_some(app.finished)
+                    .flatten()
+                    .map(|f| f.saturating_since(arrival).as_secs_f64());
+                (Some(node), rt)
+            }
+            None => (None, None),
+        };
+        jobs.push(JobOutcome {
+            job,
+            node,
+            deferrals: state.deferrals[job],
+            migrations: state.migrations[job],
+            gave_up: state.gave_up[job],
+            runtime_s,
+        });
+        app_runtimes_s.push(runtime_s);
+        per_node_s.push(
+            (0..state.nodes.len())
+                .map(|n| if Some(n) == node { runtime_s } else { None })
+                .collect(),
+        );
+    }
+    let cluster = ClusterResult {
+        app_runtimes_s,
+        per_node_s,
+        spread_s: vec![0.0; njobs],
+    };
+
+    let mut violations = FleetOracle::new(fleet.grace.as_millis()).check(&state.trace);
+    for out in finals.iter().flatten() {
+        violations.extend(out.run.violations.iter().cloned());
+    }
+    FleetResult {
+        cluster,
+        jobs,
+        trace: state.trace,
+        violations,
+    }
+}
+
+static FLEET_CACHE: OnceLock<Mutex<HashMap<String, Arc<FleetResult>>>> = OnceLock::new();
+static FLEET_HITS: AtomicU64 = AtomicU64::new(0);
+static FLEET_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn fleet_cache() -> &'static Mutex<HashMap<String, Arc<FleetResult>>> {
+    FLEET_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Current totals of the fleet-level memoization cache (the node runs a
+/// fleet performs are additionally memoized by the node cache,
+/// [`crate::parallel::cache_stats`]).
+pub fn fleet_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: FLEET_HITS.load(Ordering::Relaxed),
+        misses: FLEET_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Content-addressed [`run_fleet`]: the serialized `(scenario, setting,
+/// machine_cfg, fleet_cfg)` quadruple keys a process-wide cache, and an
+/// identical earlier fleet run is returned as a shared [`Arc`] without
+/// re-running the scheduler. The machine config is normalized through
+/// [`MachineConfig::with_setting`] before keying, like the node cache.
+pub fn run_fleet_cached(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+) -> Arc<FleetResult> {
+    let cfg = machine_cfg.with_setting(setting);
+    let key = serde_json::to_string(&(scenario, setting, &cfg, fleet))
+        .expect("fleet cache key serialization cannot fail");
+    if let Some(hit) = fleet_cache()
+        .lock()
+        .expect("fleet cache poisoned")
+        .get(&key)
+    {
+        FLEET_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    FLEET_MISSES.fetch_add(1, Ordering::Relaxed);
+    let result = Arc::new(run_fleet(scenario, setting, machine_cfg, fleet));
+    Arc::clone(
+        fleet_cache()
+            .lock()
+            .expect("fleet cache poisoned")
+            .entry(key)
+            .or_insert(result),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::fleet_canonical;
+
+    fn quick_cfg() -> MachineConfig {
+        let mut cfg = MachineConfig::stock_64gb();
+        cfg.sample_period = None;
+        cfg.max_time = SimDuration::from_secs(40_000);
+        cfg
+    }
+
+    fn small_fleet() -> FleetConfig {
+        let mut f = FleetConfig::homogeneous(3, 64 * GIB);
+        f.rebalance_checks = 10;
+        f
+    }
+
+    #[test]
+    fn demand_estimates_follow_the_job_specs() {
+        assert_eq!(
+            demand_estimate(AppKind::KMeans),
+            hibench::kmeans().working_set + hibench::kmeans().exec_demand
+        );
+        assert_eq!(
+            demand_estimate(AppKind::GoCache),
+            hibench::gocache_workload().full_bytes()
+        );
+        assert!(demand_estimate(AppKind::NWeight) > demand_estimate(AppKind::KMeans));
+    }
+
+    #[test]
+    fn arrivals_spread_across_empty_nodes() {
+        // Three staggered k-means jobs on three empty nodes: each placement
+        // reserves its demand on the chosen node, so the next arrival
+        // prefers a still-empty node and the jobs spread out 0, 1, 2.
+        let scenario = Scenario::uniform("MMM", 120);
+        let res = run_fleet(&scenario, &Setting::m3(3), quick_cfg(), &small_fleet());
+        let nodes: Vec<Option<usize>> = res.jobs.iter().map(|j| j.node).collect();
+        assert_eq!(nodes, vec![Some(0), Some(1), Some(2)]);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert!(res.cluster.mean_runtime_secs().all_completed());
+    }
+
+    #[test]
+    fn admission_defers_when_no_node_fits() {
+        // Two n-weight jobs (47 GiB demand) on ONE 64-GiB node: the second
+        // must defer until the first finishes, then run.
+        let scenario = Scenario::uniform("WW", 0);
+        let mut fleet = FleetConfig::homogeneous(1, 64 * GIB);
+        fleet.rebalance_checks = 0;
+        fleet.max_defers = 200; // keep retrying until the first W finishes
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert_eq!(res.jobs[0].deferrals, 0);
+        assert!(res.jobs[1].deferrals > 0, "second W must wait");
+        assert!(!res.jobs[1].gave_up);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn give_up_is_reported_not_silent() {
+        // One node, zero retries allowed: the second W is given up on and
+        // says so, and the first still completes.
+        let scenario = Scenario::uniform("WW", 0);
+        let mut fleet = FleetConfig::homogeneous(1, 64 * GIB);
+        fleet.max_defers = 0;
+        fleet.rebalance_checks = 0;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert!(res.jobs[1].gave_up);
+        assert_eq!(res.jobs[1].node, None);
+        assert_eq!(res.cluster.app_runtimes_s[1], None);
+        let mean = res.cluster.mean_runtime_secs();
+        assert_eq!(mean.completed_apps, 1);
+        assert_eq!(mean.failed_apps, 1);
+        assert!(
+            res.trace
+                .events()
+                .iter()
+                .any(|e| matches!(e.data, TraceData::FleetGiveUp { job: 1, .. })),
+            "give-up must be in the placement log"
+        );
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn heterogeneous_nodes_respect_their_own_tops() {
+        // A small and a big node: n-weight (47 GiB) cannot fit on the 32-GiB
+        // node (top ≈ 31 GiB), so it must land on the big one even though
+        // both are empty and the small one has the lower index.
+        let scenario = Scenario::uniform("W", 0);
+        let mut fleet = FleetConfig::homogeneous(2, 32 * GIB);
+        fleet.nodes[1] = NodeSpec {
+            phys_total: 64 * GIB,
+        };
+        fleet.rebalance_checks = 0;
+        let res = run_fleet(&scenario, &Setting::m3(1), quick_cfg(), &fleet);
+        assert_eq!(res.jobs[0].node, Some(1));
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn passthrough_mode_emits_no_fleet_events() {
+        let scenario = Scenario::uniform("M", 0);
+        let res = run_fleet(
+            &scenario,
+            &Setting::m3(1),
+            quick_cfg(),
+            &FleetConfig::passthrough(2),
+        );
+        assert!(res.trace.is_empty());
+        assert!(res.jobs.is_empty());
+        assert_eq!(res.cluster.per_node_s[0].len(), 2);
+    }
+
+    #[test]
+    fn fleet_cache_returns_shared_result() {
+        let scenario = fleet_canonical();
+        let cfg = quick_cfg();
+        let fleet = small_fleet();
+        let setting = Setting::m3(scenario.len());
+        let before = fleet_cache_stats();
+        let a = run_fleet_cached(&scenario, &setting, cfg, &fleet);
+        let b = run_fleet_cached(&scenario, &setting, cfg, &fleet);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        let delta = fleet_cache_stats().since(&before);
+        assert!(delta.hits >= 1);
+        assert!(delta.misses >= 1);
+    }
+
+    #[test]
+    fn fleet_config_is_part_of_the_cache_key() {
+        let scenario = Scenario::uniform("M", 0);
+        let cfg = quick_cfg();
+        let setting = Setting::m3(1);
+        let a = run_fleet_cached(&scenario, &setting, cfg, &small_fleet());
+        let mut other = small_fleet();
+        other.defer_interval = SimDuration::from_secs(99);
+        let b = run_fleet_cached(&scenario, &setting, cfg, &other);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different fleet configs must not share a cache entry"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler: false")]
+    fn scheduler_mode_rejects_static_settings() {
+        let scenario = Scenario::uniform("M", 0);
+        run_fleet(
+            &scenario,
+            &Setting::default_for(1),
+            quick_cfg(),
+            &small_fleet(),
+        );
+    }
+
+    #[test]
+    fn broken_policy_is_caught_by_the_oracle() {
+        // The blind policy places without ever probing node pressure; the
+        // cluster oracle must flag every such placement.
+        let scenario = Scenario::uniform("MM", 120);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.policy = PlacementPolicy::Blind;
+        fleet.rebalance_checks = 0;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert!(res.jobs.iter().all(|j| j.node == Some(0)), "blind → node 0");
+        let flagged = res
+            .violations
+            .iter()
+            .filter(|v| v.invariant == "fleet.place.red")
+            .count();
+        assert_eq!(
+            flagged, 2,
+            "every probe-less placement must be flagged, got {:?}",
+            res.violations
+        );
+    }
+
+    #[test]
+    fn red_node_triggers_migration_onto_the_idle_one() {
+        // MostPressured co-locates both n-weight jobs on node 0, which
+        // pushes it into the red zone; with an eager grace window the
+        // rebalancer must migrate the newest job to the idle node. (The
+        // adaptive thresholds chase usage within seconds, so red streaks
+        // are transient — a zero grace window is what makes the check
+        // deterministic; grace *enforcement* is covered by the oracle's
+        // unit tests.)
+        let scenario = Scenario::uniform("WW", 60);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.policy = PlacementPolicy::MostPressured;
+        fleet.grace = SimDuration::ZERO;
+        fleet.rebalance_period = SimDuration::from_secs(1);
+        fleet.rebalance_checks = 150;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert_eq!(res.jobs[1].migrations, 1, "newest job is the victim");
+        assert_eq!(res.jobs[1].node, Some(1), "it restarts on the idle node");
+        assert_eq!(res.jobs[0].migrations, 0, "the older job stays put");
+        assert!(res
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.data, TraceData::FleetMigrate { .. })));
+        assert!(
+            res.violations.is_empty(),
+            "an eager-grace migration is still conformant: {:?}",
+            res.violations
+        );
+    }
+}

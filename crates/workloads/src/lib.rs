@@ -21,6 +21,9 @@
 //!   content-addressed run memoization cache;
 //! - [`cluster`] — aggregates N independent worker nodes, job completion =
 //!   slowest node (the paper's 8-worker setup);
+//! - [`fleet`] — the pressure-aware cluster scheduler: admission control,
+//!   least-pressured placement, and red-zone rebalancing over the nodes'
+//!   exported pressure summaries;
 //! - [`search`] — the bounded grid search standing in for the paper's
 //!   four-month, 3400-test configuration hunt;
 //! - [`alternating`] — the Cassandra/Elasticsearch-style alternating-load
@@ -30,6 +33,7 @@ pub mod alternating;
 pub mod apps;
 pub mod cluster;
 pub mod faults;
+pub mod fleet;
 pub mod hibench;
 pub mod machine;
 pub mod parallel;
@@ -42,6 +46,10 @@ pub use apps::{AnyApp, AppBlueprint};
 pub use faults::{
     ChurnEvent, DegradationReport, FaultEvent, FaultKind, FaultPlan, FaultRecovery, OutageWindow,
     UnappliedFault, UnappliedReason,
+};
+pub use fleet::{
+    demand_estimate, fleet_cache_stats, run_fleet, run_fleet_cached, FleetConfig, FleetResult,
+    JobOutcome, NodeSpec, PlacementPolicy,
 };
 pub use machine::{AppResult, Machine, MachineConfig, RunResult, ScheduleEntry};
 pub use parallel::{

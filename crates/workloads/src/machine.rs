@@ -155,6 +155,9 @@ pub struct RunResult {
     pub profile: Profile,
     /// Monitor statistics, when a monitor ran.
     pub monitor_stats: Option<m3_core::monitor::MonitorStats>,
+    /// The node's pressure state at the end of the run, when a monitor ran
+    /// (what a fleet scheduler ranks this node by).
+    pub pressure: Option<m3_core::monitor::PressureSummary>,
     /// When the last application terminated (or the cap was hit).
     pub end: SimTime,
     /// Time-weighted mean of total committed bytes (§7.3's effective
@@ -753,10 +756,14 @@ impl Machine {
 
         // Finalize GC/MM stats for apps killed mid-flight (already recorded
         // for finished apps).
+        let pressure = monitor
+            .as_ref()
+            .map(|m| m.pressure_summary(kernel.committed()));
         RunResult {
             apps: results,
             profile,
             monitor_stats: monitor.map(|m| m.stats),
+            pressure,
             end: now,
             mean_rss: if ticks > 0 {
                 rss_area as f64 / ticks as f64

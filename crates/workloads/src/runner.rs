@@ -225,6 +225,7 @@ mod tests {
                 apps,
                 profile: Profile::new(),
                 monitor_stats: None,
+                pressure: None,
                 end: SimTime::ZERO,
                 mean_rss: 0.0,
                 degradation: Default::default(),

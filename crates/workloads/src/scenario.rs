@@ -137,6 +137,24 @@ pub fn all_scenarios() -> Vec<Scenario> {
     v
 }
 
+/// The canonical fleet workload: six mixed jobs arriving two minutes apart
+/// — enough jobs to exercise placement, reservation-based admission and
+/// deferral on a small fleet, pinned by the golden snapshot test.
+pub fn fleet_canonical() -> Scenario {
+    Scenario::uniform("MMWMCM", 120)
+}
+
+/// The fleet evaluation workloads: the canonical mix, a simultaneous-
+/// arrival burst (admission control under a thundering herd), and a
+/// memory-heavy sequence that forces deferrals.
+pub fn fleet_scenarios() -> Vec<Scenario> {
+    vec![
+        fleet_canonical(),
+        Scenario::uniform("MMMM", 0),
+        Scenario::uniform("WWCC", 300),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +189,19 @@ mod tests {
     fn figure8_are_all_worst_cases() {
         assert!(figure8_scenarios().iter().all(Scenario::is_worst_case));
         assert!(!figure5_scenarios().iter().any(Scenario::is_worst_case));
+    }
+
+    #[test]
+    fn fleet_scenarios_are_well_formed() {
+        let all = fleet_scenarios();
+        assert_eq!(all[0].name, fleet_canonical().name);
+        for s in &all {
+            assert!(s.len() >= 4, "fleet workloads keep several nodes busy");
+        }
+        assert!(
+            all.iter().any(|s| s.apps.iter().all(|(_, d)| d.is_zero())),
+            "one burst workload with simultaneous arrivals"
+        );
     }
 
     #[test]

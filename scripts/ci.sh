@@ -12,6 +12,10 @@ cargo test -q --test chaos
 # traces byte-identical, fast/slow world loops trace-equal. On failure the
 # offending trace JSON lands in target/conformance-artifacts/.
 cargo test -q --test conformance
+# Fleet suite: scheduler-vs-cluster differential, golden placement log,
+# cluster-oracle invariants, and the fleet placement properties.
+cargo test -q --test fleet
+cargo test -q --test fleet_properties
 # Fixed-seed chaos drill; asserts its own replay is byte-identical.
 cargo run --release --example chaos_drill
 cargo clippy -- -D warnings

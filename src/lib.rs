@@ -29,7 +29,7 @@
 //! | [`cache`] | slab key-value caches (Go-Cache, Memcached) |
 //! | [`core`] | **the paper's contribution**: monitor, thresholds, Algorithm 1, adaptive allocation |
 //! | [`oracle`] | trace-replay conformance checker for the paper's invariants |
-//! | [`workloads`] | machine/world loop, the 16 evaluation workloads, settings, search |
+//! | [`workloads`] | machine/world loop, the 16 evaluation workloads, settings, search, cluster + fleet scheduler |
 
 pub use m3_cache as cache;
 pub use m3_core as core;
@@ -43,18 +43,23 @@ pub use m3_workloads as workloads;
 /// The most common imports for driving experiments.
 pub mod prelude {
     pub use m3_core::{
-        AdaptiveAllocator, M3Participant, Monitor, MonitorConfig, SignalOutcome, SortOrder,
-        ThresholdSignal, Zone,
+        AdaptiveAllocator, M3Participant, Monitor, MonitorConfig, PressureSummary, SignalOutcome,
+        SortOrder, ThresholdSignal, Zone,
     };
-    pub use m3_oracle::{Oracle, Violation};
+    pub use m3_oracle::{FleetOracle, Oracle, Violation};
     pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal, SignalFaultConfig};
     pub use m3_sim::clock::{SimDuration, SimTime};
     pub use m3_sim::units::{GIB, KIB, MIB};
+    pub use m3_workloads::cluster::{run_cluster, ClusterMean, ClusterResult, PAPER_NODES};
     pub use m3_workloads::faults::{DegradationReport, FaultKind, FaultPlan};
+    pub use m3_workloads::fleet::{
+        run_fleet, run_fleet_cached, FleetConfig, FleetResult, JobOutcome, NodeSpec,
+        PlacementPolicy,
+    };
     pub use m3_workloads::machine::{Machine, MachineConfig, RunResult};
     pub use m3_workloads::runner::{
         compare_m3_vs, run_scenario, run_scenario_with_faults, speedup_report,
     };
-    pub use m3_workloads::scenario::{AppKind, Scenario};
+    pub use m3_workloads::scenario::{fleet_canonical, AppKind, Scenario};
     pub use m3_workloads::settings::{AppConfig, Setting, SettingKind};
 }

@@ -1,0 +1,140 @@
+//! Property-based tests of the fleet scheduler's placement invariants.
+//!
+//! Over randomly generated workloads and fleet shapes (heterogeneous node
+//! sizes included): every job is placed exactly once or explicitly
+//! resolved, admitted placements never exceed the target node's top of
+//! memory, and identical inputs produce bit-identical placement logs.
+
+use m3::prelude::*;
+use m3::sim::trace::TraceData;
+use m3::workloads::fleet::demand_estimate;
+use proptest::prelude::*;
+
+fn machine() -> MachineConfig {
+    let mut cfg = MachineConfig::stock_64gb();
+    cfg.sample_period = None;
+    cfg.max_time = SimDuration::from_secs(40_000);
+    cfg
+}
+
+/// Two to four jobs drawn from k-means / PageRank / Go-Cache, arriving at a
+/// uniform delay. (n-weight is left to the integration suite: its long
+/// runtimes add minutes per case without exercising different code paths.)
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (proptest::collection::vec(0usize..3, 2..5), 0usize..4).prop_map(|(kinds, delay_idx)| {
+        let codes: String = kinds.iter().map(|&k| ['M', 'P', 'C'][k]).collect();
+        Scenario::uniform(&codes, [0u64, 60, 180, 300][delay_idx])
+    })
+}
+
+/// Two to four nodes, each either a paper-sized 64-GB worker or a cramped
+/// 32-GB one that cannot admit the larger jobs — so deferral and give-up
+/// paths are reached, not just the happy path.
+fn fleet_strategy() -> impl Strategy<Value = FleetConfig> {
+    (
+        proptest::collection::vec(proptest::bool::ANY, 2..5),
+        0u32..3,
+        0u32..4,
+    )
+        .prop_map(|(small, max_defers, checks)| {
+            let mut fleet = FleetConfig::homogeneous(small.len(), 64 * GIB);
+            for (spec, small) in fleet.nodes.iter_mut().zip(&small) {
+                if *small {
+                    spec.phys_total = 32 * GIB;
+                }
+            }
+            // At least one node a job of any kind fits on.
+            fleet.nodes[0].phys_total = 64 * GIB;
+            fleet.max_defers = max_defers;
+            fleet.defer_interval = SimDuration::from_secs(60);
+            fleet.rebalance_checks = checks;
+            fleet
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every submitted job is placed exactly once, or carries exactly one
+    /// explicit give-up record — never both, never silently dropped.
+    #[test]
+    fn every_job_is_placed_once_or_explicitly_resolved(
+        scenario in scenario_strategy(),
+        fleet in fleet_strategy(),
+    ) {
+        let setting = Setting::m3(scenario.len());
+        let res = run_fleet(&scenario, &setting, machine(), &fleet);
+        prop_assert_eq!(res.jobs.len(), scenario.len());
+        let mut places = vec![0u32; scenario.len()];
+        let mut giveups = vec![0u32; scenario.len()];
+        for e in res.trace.events() {
+            match e.data {
+                TraceData::FleetPlace { job, .. } => places[job as usize] += 1,
+                TraceData::FleetGiveUp { job, .. } => giveups[job as usize] += 1,
+                _ => {}
+            }
+        }
+        for j in &res.jobs {
+            if j.gave_up {
+                prop_assert_eq!(places[j.job], 0, "job {} placed and given up", j.job);
+                prop_assert_eq!(giveups[j.job], 1, "job {} lacks its give-up record", j.job);
+                prop_assert!(j.node.is_none());
+            } else {
+                prop_assert_eq!(places[j.job], 1, "job {} not placed exactly once", j.job);
+                prop_assert_eq!(giveups[j.job], 0);
+                prop_assert!(j.node.is_some());
+            }
+        }
+    }
+
+    /// Under the default policy, no admitted placement pushes its target
+    /// node past the top of memory: `used + demand <= top` at admission,
+    /// straight from the recorded placement events.
+    #[test]
+    fn admitted_placements_fit_under_the_nodes_top(
+        scenario in scenario_strategy(),
+        fleet in fleet_strategy(),
+    ) {
+        let setting = Setting::m3(scenario.len());
+        let res = run_fleet(&scenario, &setting, machine(), &fleet);
+        for e in res.trace.events() {
+            if let TraceData::FleetPlace { job, node, used, demand, top } = e.data {
+                prop_assert!(
+                    used.saturating_add(demand) <= top,
+                    "job {job} on node {node}: used {used} + demand {demand} > top {top}"
+                );
+                let kind = scenario.apps[job as usize].0;
+                prop_assert_eq!(demand, demand_estimate(kind));
+            }
+        }
+        // The red-zone and grace invariants hold on every generated run.
+        prop_assert!(res.violations.is_empty(), "violations: {:#?}", res.violations);
+    }
+
+    /// Determinism: the same scenario, setting, machine and fleet config
+    /// produce bit-identical placement logs and job outcomes.
+    #[test]
+    fn identical_inputs_give_identical_placement_logs(
+        scenario in scenario_strategy(),
+        fleet in fleet_strategy(),
+    ) {
+        let setting = Setting::m3(scenario.len());
+        let a = run_fleet(&scenario, &setting, machine(), &fleet);
+        let b = run_fleet(&scenario, &setting, machine(), &fleet);
+        prop_assert_eq!(
+            serde_json::to_string(&a.trace).unwrap(),
+            serde_json::to_string(&b.trace).unwrap(),
+            "placement logs diverged"
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a.jobs).unwrap(),
+            serde_json::to_string(&b.jobs).unwrap(),
+            "job outcomes diverged"
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&a.cluster).unwrap(),
+            serde_json::to_string(&b.cluster).unwrap(),
+            "cluster aggregation diverged"
+        );
+    }
+}
