@@ -83,7 +83,7 @@ impl Oracle {
 
 /// Cluster-level conformance oracle for fleet placement logs.
 ///
-/// Walks the scheduler's trace (`fleet.*` events) and checks the three
+/// Walks the scheduler's trace (`fleet.*` events) and checks the
 /// placement invariants:
 ///
 /// - **`fleet.place.red`** — a job is never placed onto a node whose latest
@@ -93,16 +93,72 @@ impl Oracle {
 ///   the grace window.
 /// - **`fleet.defer.progress`** — every deferred job is eventually placed
 ///   or explicitly given up on; no job is silently dropped.
+/// - **`fleet.defer.latency`** — a deferred job's next admission attempt
+///   happens no later than the retry time the defer announced, and (when
+///   the oracle knows the scheduler's defer interval) the announced retry
+///   is no further out than that interval.
+/// - **`fleet.giveup.starvation`** — a job is never given up on while some
+///   node's latest snapshot is green/yellow with room for the job's demand
+///   (`max(used, reserved) + demand <= top`): bounded placement scans must
+///   degrade to exhaustive ones before abandoning work.
 #[derive(Debug, Clone)]
 pub struct FleetOracle {
     /// Grace window a node must stay red before migration is allowed, ms.
     pub grace_ms: u64,
+    /// The scheduler's defer interval, ms, when known: bounds how far out
+    /// a defer may announce its retry. `None` skips that half of the
+    /// latency check (independent replays of a bare trace).
+    pub defer_interval_ms: Option<u64>,
+}
+
+/// A node's latest pressure snapshot as the fleet oracle replays it.
+#[derive(Debug, Clone, Copy)]
+struct NodeSnap {
+    zone: TraceZone,
+    used: u64,
+    reserved: u64,
+    top: u64,
 }
 
 impl FleetOracle {
     /// An oracle for a scheduler configured with the given grace window.
     pub fn new(grace_ms: u64) -> Self {
-        FleetOracle { grace_ms }
+        FleetOracle {
+            grace_ms,
+            defer_interval_ms: None,
+        }
+    }
+
+    /// Also checks announced retry times against the scheduler's
+    /// configured defer interval.
+    pub fn with_defer_interval(mut self, defer_interval_ms: u64) -> Self {
+        self.defer_interval_ms = Some(defer_interval_ms);
+        self
+    }
+
+    /// `fleet.defer.latency`: resolving event for `job` at `at` ms against
+    /// the retry time its pending defer announced (if any).
+    fn check_defer_latency(
+        out: &mut Vec<Violation>,
+        pending: Option<(u64, u64)>,
+        job: u64,
+        at: u64,
+        pid: u64,
+    ) {
+        let Some((_, retry_at)) = pending else {
+            return;
+        };
+        if at > retry_at {
+            out.push(Violation {
+                invariant: "fleet.defer.latency".into(),
+                at_ms: at,
+                pid,
+                message: format!(
+                    "job {job} deferred with retry announced at {retry_at} ms \
+                     was next attempted only at {at} ms"
+                ),
+            });
+        }
     }
 
     /// Replays the fleet events in `trace` and returns every divergence
@@ -110,17 +166,33 @@ impl FleetOracle {
     /// scheduler's full log can be passed as-is.
     pub fn check(&self, trace: &TraceLog) -> Vec<Violation> {
         let mut out = Vec::new();
-        // Latest pressure snapshot per node: (zone, since when the node has
-        // been contiguously red — `None` while green/yellow).
-        let mut latest: BTreeMap<u64, TraceZone> = BTreeMap::new();
+        // Latest pressure snapshot per node, plus since when each node has
+        // been contiguously red (absent while green/yellow).
+        let mut latest: BTreeMap<u64, NodeSnap> = BTreeMap::new();
         let mut red_since: BTreeMap<u64, u64> = BTreeMap::new();
-        // Jobs with a defer not yet resolved by a place or a give-up.
-        let mut pending_defer: BTreeMap<u64, u64> = BTreeMap::new();
+        // Jobs with a defer not yet resolved by a place or a give-up:
+        // job -> (deferred at, announced retry time).
+        let mut pending_defer: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
         for e in trace.events() {
             let at = e.t.as_millis();
             match &e.data {
-                TraceData::FleetPressure { node, zone, .. } => {
-                    latest.insert(*node, *zone);
+                TraceData::FleetPressure {
+                    node,
+                    zone,
+                    used,
+                    reserved,
+                    top,
+                    ..
+                } => {
+                    latest.insert(
+                        *node,
+                        NodeSnap {
+                            zone: *zone,
+                            used: *used,
+                            reserved: *reserved,
+                            top: *top,
+                        },
+                    );
                     match zone {
                         TraceZone::Red | TraceZone::AboveTop => {
                             red_since.entry(*node).or_insert(at);
@@ -131,7 +203,7 @@ impl FleetOracle {
                     }
                 }
                 TraceData::FleetPlace { job, node, .. } => {
-                    match latest.get(node) {
+                    match latest.get(node).map(|s| s.zone) {
                         None => out.push(Violation {
                             invariant: "fleet.place.red".into(),
                             at_ms: at,
@@ -151,10 +223,28 @@ impl FleetOracle {
                         }),
                         Some(_) => {}
                     }
-                    pending_defer.remove(job);
+                    Self::check_defer_latency(&mut out, pending_defer.remove(job), *job, at, e.pid);
                 }
-                TraceData::FleetDefer { job, .. } => {
-                    pending_defer.entry(*job).or_insert(at);
+                TraceData::FleetDefer {
+                    job, retry_at_ms, ..
+                } => {
+                    // A retry that itself defers resolves the previous
+                    // pending defer (and must itself be on time).
+                    Self::check_defer_latency(&mut out, pending_defer.remove(job), *job, at, e.pid);
+                    if let Some(interval) = self.defer_interval_ms {
+                        if retry_at_ms.saturating_sub(at) > interval {
+                            out.push(Violation {
+                                invariant: "fleet.defer.latency".into(),
+                                at_ms: at,
+                                pid: e.pid,
+                                message: format!(
+                                    "job {job} deferred at {at} ms announced retry at \
+                                     {retry_at_ms} ms, beyond the {interval} ms defer interval"
+                                ),
+                            });
+                        }
+                    }
+                    pending_defer.insert(*job, (at, *retry_at_ms));
                 }
                 TraceData::FleetMigrate { job, from, .. } => {
                     let streak = red_since.get(from).map(|since| at.saturating_sub(*since));
@@ -178,13 +268,33 @@ impl FleetOracle {
                         Some(_) => {}
                     }
                 }
-                TraceData::FleetGiveUp { job, .. } => {
-                    pending_defer.remove(job);
+                TraceData::FleetGiveUp { job, demand, .. } => {
+                    Self::check_defer_latency(&mut out, pending_defer.remove(job), *job, at, e.pid);
+                    // Giving up while some node visibly admits the job is
+                    // starvation: the final attempt must have seen it.
+                    let fits = latest.iter().find(|(_, s)| {
+                        matches!(s.zone, TraceZone::Green | TraceZone::Yellow)
+                            && s.used.max(s.reserved).saturating_add(*demand) <= s.top
+                    });
+                    if let Some((node, s)) = fits {
+                        out.push(Violation {
+                            invariant: "fleet.giveup.starvation".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} (demand {demand}) given up on while node {node} \
+                                 is {:?} with effective load {} of top {}",
+                                s.zone,
+                                s.used.max(s.reserved),
+                                s.top
+                            ),
+                        });
+                    }
                 }
                 _ => {}
             }
         }
-        for (job, since) in pending_defer {
+        for (job, (since, _)) in pending_defer {
             out.push(Violation {
                 invariant: "fleet.defer.progress".into(),
                 at_ms: since,
@@ -1464,6 +1574,7 @@ mod tests {
             node,
             zone,
             used: 0,
+            reserved: 0,
             high: 0,
             top: 0,
             escalations: 0,
@@ -1645,9 +1756,115 @@ mod tests {
             TraceData::FleetGiveUp {
                 job: 2,
                 attempts: 1,
+                demand: 0,
             },
         );
         assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_giveup_while_a_node_admits_is_caught() {
+        // Node 1's latest snapshot is green with room for the job's demand:
+        // abandoning the job is starvation.
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetPressure {
+                node: 1,
+                zone: TraceZone::Green,
+                used: 10,
+                reserved: 20,
+                high: 80,
+                top: 100,
+                escalations: 0,
+            },
+        );
+        log.record(
+            t(2),
+            0,
+            TraceData::FleetGiveUp {
+                job: 3,
+                attempts: 5,
+                demand: 50,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.giveup.starvation");
+    }
+
+    #[test]
+    fn fleet_giveup_with_no_room_anywhere_is_conformant() {
+        // Reserved demand (not just used) blocks the only green node, so
+        // the give-up is legitimate.
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetPressure {
+                node: 0,
+                zone: TraceZone::Green,
+                used: 10,
+                reserved: 60,
+                high: 80,
+                top: 100,
+                escalations: 0,
+            },
+        );
+        log.record(
+            t(2),
+            0,
+            TraceData::FleetGiveUp {
+                job: 3,
+                attempts: 5,
+                demand: 50,
+            },
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_late_retry_is_caught() {
+        // The defer announced a retry at 5 s but the next attempt for the
+        // job only happened at 6 s.
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetDefer {
+                job: 0,
+                attempt: 1,
+                retry_at_ms: 5_000,
+            },
+        );
+        log.record(t(6), 0, place(0, 0));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "fleet.defer.latency");
+    }
+
+    #[test]
+    fn fleet_defer_beyond_the_interval_is_caught() {
+        // With the scheduler's defer interval known (3 s), a defer that
+        // announces its retry 4 s out is flagged at the defer itself.
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetDefer {
+                job: 0,
+                attempt: 1,
+                retry_at_ms: 5_000,
+            },
+        );
+        log.record(t(5), 0, pressure(0, TraceZone::Green));
+        log.record(t(5), 0, place(0, 0));
+        let v = fleet_oracle().with_defer_interval(3_000).check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "fleet.defer.latency");
+        assert!(v[0].message.contains("defer interval"));
     }
 
     #[test]

@@ -288,6 +288,9 @@ pub enum TraceData {
         zone: TraceZone,
         /// Committed bytes observed on the node.
         used: u64,
+        /// Summed demand estimates of the node's assigned unfinished jobs
+        /// (what admission ranks against when it exceeds `used`).
+        reserved: u64,
         /// The node's high threshold at probe time.
         high: u64,
         /// The node's top of memory.
@@ -336,6 +339,9 @@ pub enum TraceData {
         job: u64,
         /// Admission attempts made before giving up.
         attempts: u64,
+        /// The job's estimated peak demand, bytes (lets the oracle check no
+        /// probed node could in fact have admitted the job).
+        demand: u64,
     },
 }
 
@@ -535,6 +541,7 @@ impl TraceData {
                 node,
                 zone,
                 used,
+                reserved,
                 high,
                 top,
                 escalations,
@@ -542,6 +549,7 @@ impl TraceData {
                 f("node", node.serialize()),
                 f("zone", zone.serialize()),
                 f("used", used.serialize()),
+                f("reserved", reserved.serialize()),
                 f("high", high.serialize()),
                 f("top", top.serialize()),
                 f("escalations", escalations.serialize()),
@@ -579,9 +587,14 @@ impl TraceData {
                 f("to", to.serialize()),
                 f("red_for_ms", red_for_ms.serialize()),
             ],
-            TraceData::FleetGiveUp { job, attempts } => vec![
+            TraceData::FleetGiveUp {
+                job,
+                attempts,
+                demand,
+            } => vec![
                 f("job", job.serialize()),
                 f("attempts", attempts.serialize()),
+                f("demand", demand.serialize()),
             ],
         }
     }
@@ -704,6 +717,7 @@ impl Deserialize for TraceData {
                 node: map_field(c, "node")?,
                 zone: map_field(c, "zone")?,
                 used: map_field(c, "used")?,
+                reserved: map_field(c, "reserved")?,
                 high: map_field(c, "high")?,
                 top: map_field(c, "top")?,
                 escalations: map_field(c, "escalations")?,
@@ -729,6 +743,7 @@ impl Deserialize for TraceData {
             "fleet.giveup" => TraceData::FleetGiveUp {
                 job: map_field(c, "job")?,
                 attempts: map_field(c, "attempts")?,
+                demand: map_field(c, "demand")?,
             },
             other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
         };
@@ -997,6 +1012,7 @@ mod tests {
                     node: 0,
                     zone: TraceZone::Green,
                     used: 1,
+                    reserved: 4,
                     high: 2,
                     top: 3,
                     escalations: 0,
@@ -1034,6 +1050,7 @@ mod tests {
                 TraceData::FleetGiveUp {
                     job: 0,
                     attempts: 3,
+                    demand: 5,
                 },
                 "fleet.giveup",
             ),
@@ -1096,6 +1113,7 @@ mod tests {
                 node: 2,
                 zone: TraceZone::Yellow,
                 used: 10,
+                reserved: 15,
                 high: 20,
                 top: 30,
                 escalations: 1,

@@ -9,6 +9,42 @@
 //! *migrated* off a node whose monitor stays in the red zone beyond a grace
 //! window (the direction MURS/SARA argue service stacks must go).
 //!
+//! # Scaling model (DESIGN.md §13)
+//!
+//! The scheduler targets O(10k) nodes and O(100k) jobs on one machine, so
+//! every per-decision cost must be bounded and every node simulation must
+//! be shared when it can be:
+//!
+//! - **Incremental probes.** A node's probe simulation runs once over the
+//!   full horizon with a pressure timeline sampled at every monitor poll,
+//!   and is cached on the node ([`NodeState::probe`]) until the node's
+//!   assignment set or fault plan changes (the *dirty* rule: any mutation
+//!   clears the cache). Reading the node's state at time `t` is then a
+//!   timeline lookup, not a re-simulation. Idle nodes never simulate at
+//!   all: a per-size summary precomputed at fleet construction answers
+//!   their probes.
+//! - **Content-addressed node runs.** In scheduler mode the per-node
+//!   machine config carries no node salt and the sub-scenario name carries
+//!   no node index, so two nodes with identical (size, schedule, faults)
+//!   share one entry in the process-wide run cache. Wave-shaped arrivals
+//!   over homogeneous nodes collapse thousands of node simulations into a
+//!   handful of distinct ones.
+//! - **Sharded placement.** Nodes are partitioned into shards of
+//!   [`FleetConfig::shard_size`]; each shard keeps a `BTreeSet` candidate
+//!   index ordered by an *advisory* effective-load key. Placement k-way
+//!   merges the shard indexes into the globally least-estimated
+//!   [`FleetConfig::probe_budget`] nodes and probes those (stopping early
+//!   once [`FleetConfig::place_candidates`] feasible candidates are in
+//!   hand) instead of probing all N. The index only orders the scan — admission is
+//!   always decided by authoritative probes — and a job's *final* admission
+//!   attempt scans every node, so a job is never given up on while a
+//!   feasible node exists anywhere in the fleet.
+//! - **Batched pressure refresh.** Each rebalance check refreshes
+//!   [`FleetConfig::refresh_shards`] shards round-robin rather than the
+//!   whole fleet, and pre-warms the dirty nodes' simulations on the
+//!   worker pool ([`crate::parallel::parallel_map`]) before reading them
+//!   serially in node order.
+//!
 //! # Determinism
 //!
 //! The scheduler is a pure function of `(scenario, setting, machine_cfg,
@@ -16,11 +52,12 @@
 //!
 //! - Scheduler events live in a `BTreeMap` keyed `(time_ms, class, index)`,
 //!   so they pop in a total order.
-//! - A node's pressure at time `t` is read by *re-simulating* that node up
-//!   to `t` — the node simulator is deterministic, and every probe goes
-//!   through the content-addressed run cache ([`crate::parallel`]), so
-//!   repeated probes of an unchanged node are answered without
-//!   re-simulating.
+//! - A node's pressure at time `t` is a pure function of its assignment
+//!   set and fault plan: the cached probe simulation is deterministic, and
+//!   the timeline read picks the last sample at or before `t`.
+//! - Parallel pre-warm only *populates* caches with values that are pure
+//!   functions of their keys; every decision reads them in index order, so
+//!   the result is bit-identical for any worker count (`M3_JOBS`).
 //! - Ties in the placement order are broken by node index; admission is an
 //!   exact integer comparison (no float ordering).
 //!
@@ -29,9 +66,9 @@
 //! The crash instant always equals the scheduler's current time, so probes
 //! cached for earlier times stay valid.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use m3_core::config::MonitorConfig;
 use m3_core::monitor::{Monitor, PressureSummary, Zone};
@@ -45,7 +82,7 @@ use crate::cluster::{run_cluster_nodes, ClusterResult};
 use crate::faults::FaultPlan;
 use crate::hibench;
 use crate::machine::MachineConfig;
-use crate::parallel::{run_scenario_cached_faulted, CacheStats};
+use crate::parallel::{run_scenario_cached_faulted, CacheStats, MemoCache};
 use crate::runner::ScenarioOutcome;
 use crate::scenario::{AppKind, Scenario};
 use crate::settings::Setting;
@@ -108,6 +145,20 @@ pub struct FleetConfig {
     pub rebalance_checks: u32,
     /// Placement preference among feasible nodes.
     pub policy: PlacementPolicy,
+    /// Nodes per placement shard. Each shard keeps a pressure-ordered
+    /// candidate index; fleets of at most one shard behave exactly like
+    /// the exhaustive scheduler.
+    pub shard_size: usize,
+    /// Feasible candidates a bounded placement scan collects before
+    /// picking (the scan's early-stop).
+    pub place_candidates: usize,
+    /// Upper bound on authoritative probes per bounded placement scan:
+    /// the scan order is the globally least-estimated `probe_budget`
+    /// nodes by the shard indexes.
+    pub probe_budget: usize,
+    /// Shards whose nodes get a fresh pressure probe per rebalance check
+    /// (round-robin across checks).
+    pub refresh_shards: usize,
 }
 
 impl FleetConfig {
@@ -123,6 +174,10 @@ impl FleetConfig {
             rebalance_period: SimDuration::from_secs(60),
             rebalance_checks: 40,
             policy: PlacementPolicy::LeastPressured,
+            shard_size: 64,
+            place_candidates: 4,
+            probe_budget: 16,
+            refresh_shards: 1,
         }
     }
 
@@ -166,7 +221,9 @@ pub struct JobOutcome {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetResult {
     /// Cluster-level aggregation (slowest-node semantics in passthrough
-    /// mode; final-node runtimes under the scheduler).
+    /// mode; final-node runtimes under the scheduler, where the quadratic
+    /// `per_node_s`/`spread_s` tables stay empty — at 10k nodes × 100k
+    /// jobs they would dwarf everything else).
     pub cluster: ClusterResult,
     /// Per-job scheduler outcomes (empty in passthrough mode).
     pub jobs: Vec<JobOutcome>,
@@ -191,12 +248,29 @@ pub fn demand_estimate(kind: AppKind) -> u64 {
     }
 }
 
-/// The per-node machine configuration: the base config with this node's
-/// salt and size. A node whose size differs from the base keeps no stale
-/// monitor — [`MachineConfig::with_setting`] re-scales one to the node.
+/// The per-node machine configuration of the *passthrough* path: the base
+/// config with this node's salt and size. A node whose size differs from
+/// the base keeps no stale monitor — [`MachineConfig::with_setting`]
+/// re-scales one to the node.
 fn node_machine_cfg(base: MachineConfig, node: usize, phys_total: u64) -> MachineConfig {
     let mut cfg = base;
     cfg.node_salt = node as u64 + 1;
+    if cfg.phys_total != phys_total {
+        cfg.phys_total = phys_total;
+        cfg.monitor = None;
+    }
+    cfg
+}
+
+/// The per-node machine configuration of the *scheduler* path. No node
+/// salt: two nodes of the same size running the same schedule under the
+/// same faults are byte-identical simulations, so dropping the salt lets
+/// them share one content-addressed run-cache entry — the reason a 10k-node
+/// fleet only simulates its few hundred distinct nodes. The scheduler's own
+/// placement provides the per-node heterogeneity a salt used to fake.
+fn sched_node_cfg(base: MachineConfig, phys_total: u64) -> MachineConfig {
+    let mut cfg = base;
+    cfg.node_salt = 0;
     if cfg.phys_total != phys_total {
         cfg.phys_total = phys_total;
         cfg.monitor = None;
@@ -214,8 +288,9 @@ enum Event {
     /// Try to admit job `job` (arrival or deferred retry), attempt number
     /// `attempt` (0 = the arrival itself).
     Place { job: usize, attempt: u32 },
-    /// Probe every node and migrate off nodes red beyond the grace window.
-    Rebalance,
+    /// Rebalance check number `check` (1-based): refresh the due shards
+    /// and migrate off nodes red beyond the grace window.
+    Rebalance { check: u32 },
 }
 
 /// One node's scheduling state.
@@ -229,10 +304,21 @@ struct NodeState {
     faults: FaultPlan,
     /// When the node's probes turned contiguously red, ms.
     red_since: Option<u64>,
+    /// Memoized full-horizon probe simulation; `None` = dirty (the
+    /// assignment set or fault plan changed since it was computed). Every
+    /// mutation of `apps` or `faults` must clear this.
+    probe: Option<Arc<ScenarioOutcome>>,
+    /// The node's top of memory (from its scaled monitor config).
+    top: u64,
+    /// Advisory effective-load estimate backing the shard index; healed to
+    /// the authoritative value on every probe.
+    index_effective: u64,
+    /// The node's current key in its shard's candidate index.
+    index_key: u64,
 }
 
 /// One node's state as seen by a scheduling decision at some instant.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct NodeView {
     node: usize,
     summary: PressureSummary,
@@ -250,6 +336,13 @@ impl NodeView {
     }
 }
 
+/// The shard-index key for a node at estimated load `effective`: the
+/// `effective / top` ratio in 2^20 fixed point. Advisory ordering only —
+/// admission never reads it.
+fn index_key(effective: u64, top: u64) -> u64 {
+    ((effective as u128 * (1u128 << 20)) / top.max(1) as u128).min(u64::MAX as u128) as u64
+}
+
 struct Fleet<'a> {
     scenario: &'a Scenario,
     base_cfg: MachineConfig,
@@ -261,17 +354,78 @@ struct Fleet<'a> {
     deferrals: Vec<u32>,
     migrations: Vec<u32>,
     gave_up: Vec<bool>,
+    /// Per-shard candidate index: `(index_key, node)`, ascending = least
+    /// estimated pressure first, ties to the lower node index.
+    shards: Vec<BTreeSet<(u64, u32)>>,
+    /// Precomputed idle summary per distinct node size: what a probe of a
+    /// node with nothing assigned answers, without ever simulating.
+    idle: HashMap<u64, PressureSummary>,
+    /// The placement time the candidate index was last bulk-refreshed at
+    /// (the index decays as simulated time passes — see [`Fleet::refresh`]).
+    index_fresh_ms: Option<u64>,
+    /// Worker threads for pre-warming and final runs.
+    workers: usize,
 }
 
 impl<'a> Fleet<'a> {
-    /// The sub-scenario a node's assigned jobs form. The name is salted
-    /// with the node index so node-local caches and traces stay
-    /// distinguishable; determinism only needs it to be a pure function of
-    /// the inputs.
+    fn new(
+        scenario: &'a Scenario,
+        base_cfg: MachineConfig,
+        fleet: &'a FleetConfig,
+        workers: usize,
+    ) -> Fleet<'a> {
+        let njobs = scenario.len();
+        let mut idle: HashMap<u64, PressureSummary> = HashMap::new();
+        let mut nodes = Vec::with_capacity(fleet.nodes.len());
+        for spec in &fleet.nodes {
+            let summary = *idle.entry(spec.phys_total).or_insert_with(|| {
+                let cfg = sched_node_cfg(base_cfg, spec.phys_total).with_setting(&Setting::m3(0));
+                let monitor = cfg
+                    .monitor
+                    .unwrap_or_else(|| MonitorConfig::scaled(cfg.phys_total));
+                Monitor::new(monitor).pressure_summary(0)
+            });
+            nodes.push(NodeState {
+                phys_total: spec.phys_total,
+                apps: Vec::new(),
+                faults: FaultPlan::none(),
+                red_since: None,
+                probe: None,
+                top: summary.top,
+                index_effective: 0,
+                index_key: 0,
+            });
+        }
+        let shard_size = fleet.shard_size.max(1);
+        let nshards = nodes.len().div_ceil(shard_size).max(1);
+        let mut shards = vec![BTreeSet::new(); nshards];
+        for n in 0..nodes.len() {
+            shards[n / shard_size].insert((0u64, n as u32));
+        }
+        Fleet {
+            scenario,
+            base_cfg,
+            fleet,
+            nodes,
+            trace: TraceLog::new(),
+            assignment: vec![None; njobs],
+            deferrals: vec![0; njobs],
+            migrations: vec![0; njobs],
+            gave_up: vec![false; njobs],
+            shards,
+            idle,
+            index_fresh_ms: None,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The sub-scenario a node's assigned jobs form. Deliberately *not*
+    /// salted with the node index: the name is part of the run-cache key,
+    /// and nodes with identical schedules must share one entry.
     fn node_scenario(&self, node: usize) -> Scenario {
         let st = &self.nodes[node];
         Scenario {
-            name: format!("{}::node{}", self.scenario.name, node),
+            name: format!("{}::sched", self.scenario.name),
             apps: st
                 .apps
                 .iter()
@@ -281,60 +435,83 @@ impl<'a> Fleet<'a> {
     }
 
     fn node_cfg(&self, node: usize) -> MachineConfig {
-        node_machine_cfg(self.base_cfg, node, self.nodes[node].phys_total)
+        sched_node_cfg(self.base_cfg, self.nodes[node].phys_total)
     }
 
-    /// Simulates node `node` up to `horizon` (cached) and returns the
-    /// outcome. `capture` keeps the node trace and profile (the final full
-    /// runs); probes run stripped for speed.
-    fn simulate(&self, node: usize, horizon: SimDuration, capture: bool) -> Arc<ScenarioOutcome> {
+    /// Simulates node `node` over the full horizon (content-addressed
+    /// cache) and returns the outcome. `capture` keeps the node trace and
+    /// profile (the final full runs); probes instead run stripped with a
+    /// pressure timeline sampled at every monitor poll, so one simulation
+    /// answers probes at *every* time.
+    fn simulate(&self, node: usize, capture: bool) -> Arc<ScenarioOutcome> {
         let scenario = self.node_scenario(node);
         let setting = Setting::m3(scenario.len());
         let mut cfg = self.node_cfg(node);
         if !capture {
-            cfg.max_time = horizon.min(cfg.max_time);
             cfg.sample_period = None;
             cfg.capture_trace = false;
+            cfg.pressure_timeline_polls = Some(1);
         }
         run_scenario_cached_faulted(&scenario, &setting, cfg, &self.nodes[node].faults)
     }
 
-    /// Reads node `node`'s pressure at time `t`, records the
-    /// `fleet.pressure` event, and advances the node's red-streak clock.
+    /// The node's probe simulation, computed only if the node is dirty.
+    fn probe_outcome(&mut self, node: usize) -> Arc<ScenarioOutcome> {
+        if let Some(out) = &self.nodes[node].probe {
+            return Arc::clone(out);
+        }
+        let out = self.simulate(node, false);
+        self.nodes[node].probe = Some(Arc::clone(&out));
+        out
+    }
+
+    /// Reads node `node`'s state at time `t` — the incremental-probe read.
+    /// Idle nodes answer from the precomputed per-size summary; loaded
+    /// nodes answer from the cached probe simulation's pressure timeline
+    /// (last sample at or before `t`).
     ///
     /// Besides the monitor's summary, the view carries the node's *reserved*
-    /// demand: the summed demand estimates of jobs assigned to it that have
-    /// not finished by `t`. A freshly placed job has committed nothing yet,
-    /// so admission must rank against `max(used, reserved)` or simultaneous
+    /// demand: the summed demand estimates of jobs assigned to it that are
+    /// alive at `t`. A freshly placed job has committed nothing yet, so
+    /// admission must rank against `max(used, reserved)` or simultaneous
     /// arrivals would all pile onto the same empty node.
-    fn probe(&mut self, node: usize, t: SimTime) -> NodeView {
+    fn view(&mut self, node: usize, t: SimTime) -> NodeView {
         let (summary, reserved) = if self.nodes[node].apps.is_empty() {
-            // Nothing scheduled: the node is idle at its initial thresholds.
-            let cfg = self.node_cfg(node).with_setting(&Setting::m3(0));
-            let monitor = cfg
-                .monitor
-                .unwrap_or_else(|| MonitorConfig::scaled(cfg.phys_total));
-            (Monitor::new(monitor).pressure_summary(0), 0)
+            (self.idle[&self.nodes[node].phys_total], 0)
         } else {
-            let out = self.simulate(node, t.saturating_since(SimTime::ZERO), false);
+            let t_ms = t.as_millis();
+            let out = self.probe_outcome(node);
+            let timeline = &out.run.pressure_timeline;
+            let summary = match timeline.partition_point(|&(at, _)| at <= t_ms) {
+                0 => self.idle[&self.nodes[node].phys_total],
+                i => timeline[i - 1].1,
+            };
             let mut reserved = 0u64;
             for (slot, &(job, kind, _)) in self.nodes[node].apps.iter().enumerate() {
                 let here = self.assignment[job] == Some((node, slot));
-                let alive = out
-                    .run
-                    .apps
-                    .get(slot)
-                    .is_none_or(|a| !a.killed && !a.failed && a.finished.is_none());
+                let alive = out.run.apps.get(slot).is_none_or(|a| {
+                    a.started.as_millis() <= t_ms && a.ended.is_none_or(|e| e.as_millis() > t_ms)
+                });
                 if here && alive {
                     reserved = reserved.saturating_add(demand_estimate(kind));
                 }
             }
-            let summary = out
-                .run
-                .pressure
-                .expect("m3 node runs always have a monitor");
             (summary, reserved)
         };
+        NodeView {
+            node,
+            summary,
+            reserved,
+        }
+    }
+
+    /// Reads node `node`'s pressure at time `t`, records the
+    /// `fleet.pressure` event, heals the shard index with the
+    /// authoritative load, and advances the node's red-streak clock.
+    fn probe(&mut self, node: usize, t: SimTime) -> NodeView {
+        let view = self.view(node, t);
+        self.update_index(node, view.effective());
+        let summary = view.summary;
         let zone: TraceZone = summary.zone.into();
         self.trace.record(
             t,
@@ -343,6 +520,7 @@ impl<'a> Fleet<'a> {
                 node: node as u64,
                 zone,
                 used: summary.used,
+                reserved: view.reserved,
                 high: summary.high,
                 top: summary.top,
                 escalations: summary.watchdog_escalations,
@@ -354,11 +532,73 @@ impl<'a> Fleet<'a> {
             }
             _ => self.nodes[node].red_since = None,
         }
-        NodeView {
-            node,
-            summary,
-            reserved,
+        view
+    }
+
+    fn shard_size(&self) -> usize {
+        self.fleet.shard_size.max(1)
+    }
+
+    /// Moves `node` to its new position in the shard index.
+    fn update_index(&mut self, node: usize, effective: u64) {
+        let key = index_key(effective, self.nodes[node].top);
+        let old = self.nodes[node].index_key;
+        if key != old {
+            let shard = node / self.shard_size();
+            self.shards[shard].remove(&(old, node as u32));
+            self.shards[shard].insert((key, node as u32));
+            self.nodes[node].index_key = key;
         }
+        self.nodes[node].index_effective = effective;
+    }
+
+    /// The bounded placement scan order: the globally least-estimated
+    /// [`FleetConfig::probe_budget`] nodes, k-way-merged from the sorted
+    /// per-shard indexes (`O(shards + budget * log(shards))` per scan —
+    /// never a walk over all N nodes).
+    fn candidate_order(&self) -> Vec<usize> {
+        let budget = self
+            .fleet
+            .probe_budget
+            .max(self.fleet.place_candidates.max(1));
+        let mut iters: Vec<_> = self.shards.iter().map(|s| s.iter().copied()).collect();
+        let mut heap: BinaryHeap<Reverse<((u64, u32), usize)>> =
+            BinaryHeap::with_capacity(iters.len());
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some(e) = it.next() {
+                heap.push(Reverse((e, i)));
+            }
+        }
+        let mut out = Vec::with_capacity(budget);
+        while out.len() < budget {
+            let Some(Reverse((entry, shard))) = heap.pop() else {
+                break;
+            };
+            out.push(entry.1 as usize);
+            if let Some(e) = iters[shard].next() {
+                heap.push(Reverse((e, shard)));
+            }
+        }
+        out
+    }
+
+    /// Heals the whole candidate index with silent cached view reads at
+    /// time `t` (no trace events; clean nodes answer from their cached
+    /// probe timeline, idle nodes from the per-size summary). Returns the
+    /// views that would admit `demand` more bytes — so the defer fallback
+    /// gets its feasible set from the same sweep. Records the refresh
+    /// instant so at most one sweep runs per placement time.
+    fn refresh(&mut self, t: SimTime, demand: u64) -> Vec<NodeView> {
+        self.index_fresh_ms = Some(t.as_millis());
+        let mut feasible: Vec<NodeView> = Vec::new();
+        for node in 0..self.nodes.len() {
+            let v = self.view(node, t);
+            self.update_index(node, v.effective());
+            if Self::admits(&v, demand) {
+                feasible.push(v);
+            }
+        }
+        feasible
     }
 
     /// True if `demand` more bytes fit on this node without crossing its
@@ -395,13 +635,20 @@ impl<'a> Fleet<'a> {
     }
 
     /// Assigns job `job` to `node` starting at `t` and records the
-    /// bookkeeping shared by placement and migration.
+    /// bookkeeping shared by placement and migration. The node's probe
+    /// cache is invalidated (its schedule changed) and its advisory index
+    /// estimate grows by the job's demand.
     fn assign(&mut self, job: usize, kind: AppKind, node: usize, t: SimTime) {
         let slot = self.nodes[node].apps.len();
         self.nodes[node]
             .apps
             .push((job, kind, t.saturating_since(SimTime::ZERO)));
         self.assignment[job] = Some((node, slot));
+        self.nodes[node].probe = None;
+        let est = self.nodes[node]
+            .index_effective
+            .saturating_add(demand_estimate(kind));
+        self.update_index(node, est);
     }
 
     fn on_place(&mut self, job: usize, attempt: u32, t: SimTime, queue: &mut EventQueue) {
@@ -410,11 +657,6 @@ impl<'a> Fleet<'a> {
         if matches!(self.fleet.policy, PlacementPolicy::Blind) {
             // The blind policy never probes: the missing pressure snapshot
             // is itself the conformance violation the oracle reports.
-            let cfg = self.node_cfg(0).with_setting(&Setting::m3(0));
-            let top = cfg
-                .monitor
-                .unwrap_or_else(|| MonitorConfig::scaled(cfg.phys_total))
-                .top;
             self.trace.record(
                 t,
                 job as u64,
@@ -423,27 +665,75 @@ impl<'a> Fleet<'a> {
                     node: 0,
                     used: 0,
                     demand,
-                    top,
+                    top: self.nodes[0].top,
                 },
             );
             self.deferrals[job] = attempt;
             self.assign(job, kind, 0, t);
             return;
         }
-        let views: Vec<NodeView> = (0..self.nodes.len()).map(|n| self.probe(n, t)).collect();
-        let candidates: Vec<NodeView> = match self.fleet.policy {
-            // The broken test policy skips admission control entirely.
-            PlacementPolicy::MostPressured => views.clone(),
-            PlacementPolicy::LeastPressured => views
-                .iter()
-                .copied()
-                .filter(|v| Self::admits(v, demand))
-                .collect(),
-            PlacementPolicy::Blind => unreachable!("handled above"),
+        // A bounded scan is only sound for the default policy, and a job's
+        // final attempt must see every node (the no-starvation guarantee:
+        // give-up implies nothing anywhere admits the job).
+        let exhaustive = !matches!(self.fleet.policy, PlacementPolicy::LeastPressured)
+            || attempt >= self.fleet.max_defers;
+        // Index keys go stale as simulated time passes (a node that drained
+        // since its last probe keeps its old high key until something reads
+        // it again), so the first placement at each new instant bulk-heals
+        // the index with silent cached view reads — no trace events, no new
+        // simulations for clean nodes. Freshly healed, ties in the key
+        // order break by node index, which keeps placement patterns — and
+        // with them the set of distinct node schedules the content-
+        // addressed run cache must actually simulate — regular across
+        // arrival bursts of any size.
+        if !exhaustive && self.index_fresh_ms != Some(t.as_millis()) {
+            self.refresh(t, 0);
+        }
+        let order: Vec<usize> = if exhaustive {
+            (0..self.nodes.len()).collect()
+        } else {
+            self.candidate_order()
         };
-        match self.pick(&candidates) {
+        let want = self.fleet.place_candidates.max(1);
+        let budget = self.fleet.probe_budget.max(want);
+        let mut probed: Vec<NodeView> = Vec::new();
+        let mut candidates: Vec<NodeView> = Vec::new();
+        for node in order {
+            let v = self.probe(node, t);
+            probed.push(v);
+            let feasible = match self.fleet.policy {
+                // The broken test policy skips admission control entirely.
+                PlacementPolicy::MostPressured => true,
+                _ => Self::admits(&v, demand),
+            };
+            if feasible {
+                candidates.push(v);
+            }
+            if !exhaustive && (candidates.len() >= want || probed.len() >= budget) {
+                break;
+            }
+        }
+        // The index is advisory and decays: before deferring, heal it with
+        // a full silent sweep and retry the pick. Only a genuinely full
+        // fleet defers, and the next scan's index is fresh.
+        let mut choice = self.pick(&candidates);
+        if choice.is_none() && !exhaustive {
+            let feasible = self.refresh(t, demand);
+            if let Some(node) = self.pick(&feasible) {
+                // Re-read through `probe` so the placement is backed by a
+                // traced pressure snapshot like every other admission.
+                let v = self.probe(node, t);
+                probed.push(v);
+                choice = Some(node);
+            }
+        }
+        match choice {
             Some(node) => {
-                let summary = views[node].summary;
+                let summary = probed
+                    .iter()
+                    .find(|v| v.node == node)
+                    .expect("picked node was probed")
+                    .summary;
                 self.trace.record(
                     t,
                     job as u64,
@@ -467,6 +757,7 @@ impl<'a> Fleet<'a> {
                     TraceData::FleetGiveUp {
                         job: job as u64,
                         attempts: attempt as u64 + 1,
+                        demand,
                     },
                 );
             }
@@ -493,20 +784,60 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    fn on_rebalance(&mut self, t: SimTime) {
-        let views: Vec<NodeView> = (0..self.nodes.len()).map(|n| self.probe(n, t)).collect();
+    fn on_rebalance(&mut self, check: u32, t: SimTime) {
+        let nshards = self.shards.len();
+        if nshards == 0 {
+            return;
+        }
+        // Round-robin refresh: check k covers `refresh_shards` shards
+        // starting where check k-1 left off.
+        let refresh = self.fleet.refresh_shards.clamp(1, nshards);
+        let start = (check as usize - 1).wrapping_mul(refresh) % nshards;
+        let shard_size = self.shard_size();
+        let mut due_nodes: Vec<usize> = Vec::new();
+        for i in 0..refresh {
+            let shard = (start + i) % nshards;
+            let lo = shard * shard_size;
+            due_nodes.extend(lo..(lo + shard_size).min(self.nodes.len()));
+        }
+        due_nodes.sort_unstable();
+        due_nodes.dedup();
+        // Pre-warm the dirty nodes' probe simulations on the worker pool.
+        // Sound under any worker count: each outcome is a pure function of
+        // that node's own state, and everything below reads the warmed
+        // caches serially in node order.
+        let dirty: Vec<usize> = due_nodes
+            .iter()
+            .copied()
+            .filter(|&n| !self.nodes[n].apps.is_empty() && self.nodes[n].probe.is_none())
+            .collect();
+        if self.workers > 1 && dirty.len() > 1 {
+            let this: &Fleet = self;
+            let outs = crate::parallel::parallel_map(dirty.clone(), self.workers, |n| {
+                this.simulate(n, false)
+            });
+            for (&n, out) in dirty.iter().zip(outs) {
+                self.nodes[n].probe = Some(out);
+            }
+        }
+        let mut views: HashMap<usize, NodeView> = HashMap::new();
+        for &node in &due_nodes {
+            let v = self.probe(node, t);
+            views.insert(node, v);
+        }
         let grace = self.fleet.grace.as_millis();
-        for node in 0..self.nodes.len() {
+        let t_ms = t.as_millis();
+        for &node in &due_nodes {
             let Some(since) = self.nodes[node].red_since else {
                 continue;
             };
-            let red_for = t.as_millis().saturating_sub(since);
-            if red_for < grace {
+            if t_ms.saturating_sub(since) < grace || self.nodes[node].apps.is_empty() {
                 continue;
             }
-            // Victim: the lowest-priority (latest-arriving) unfinished job
-            // still on this node that has migration budget left.
-            let out = self.simulate(node, t.saturating_since(SimTime::ZERO), false);
+            let red_for = t_ms.saturating_sub(since);
+            // Victim: the lowest-priority (latest-arriving) job alive on
+            // this node at `t` that has migration budget left.
+            let out = self.probe_outcome(node);
             let victim = self.nodes[node]
                 .apps
                 .iter()
@@ -514,29 +845,53 @@ impl<'a> Fleet<'a> {
                 .filter(|&(slot, &(job, _, _))| {
                     self.assignment[job] == Some((node, slot))
                         && self.migrations[job] < self.fleet.max_migrations
-                        && out
-                            .run
-                            .apps
-                            .get(slot)
-                            .is_some_and(|a| !a.killed && !a.failed && a.finished.is_none())
+                        && out.run.apps.get(slot).is_some_and(|a| {
+                            a.started.as_millis() <= t_ms
+                                && a.ended.is_none_or(|e| e.as_millis() > t_ms)
+                        })
                 })
                 .max_by_key(|&(_, &(job, _, _))| job)
                 .map(|(slot, &(job, kind, _))| (slot, job, kind));
             let Some((slot, job, kind)) = victim else {
                 continue;
             };
-            // Target: least-pressured feasible node other than the source.
+            drop(out);
+            // Target: least-pressured feasible node other than the source,
+            // found by the same bounded scan placement uses (views probed
+            // this check are reused, not re-recorded).
             let demand = demand_estimate(kind);
-            let candidates: Vec<NodeView> = views
-                .iter()
-                .copied()
-                .filter(|v| v.node != node && Self::admits(v, demand))
-                .collect();
+            let want = self.fleet.place_candidates.max(1);
+            let budget = self.fleet.probe_budget.max(want);
+            let mut candidates: Vec<NodeView> = Vec::new();
+            let mut scanned = 0usize;
+            for cand in self.candidate_order() {
+                if cand == node {
+                    continue;
+                }
+                let v = match views.get(&cand) {
+                    Some(v) => *v,
+                    None => {
+                        let v = self.probe(cand, t);
+                        views.insert(cand, v);
+                        v
+                    }
+                };
+                scanned += 1;
+                if Self::admits(&v, demand) {
+                    candidates.push(v);
+                }
+                if candidates.len() >= want || scanned >= budget {
+                    break;
+                }
+            }
             let Some(target) = self.pick(&candidates) else {
                 continue; // nowhere better to go: migrating would not help
             };
             self.nodes[node].faults = std::mem::take(&mut self.nodes[node].faults)
                 .with_crash(t.saturating_since(SimTime::ZERO), slot);
+            self.nodes[node].probe = None;
+            let est = self.nodes[node].index_effective.saturating_sub(demand);
+            self.update_index(node, est);
             self.migrations[job] += 1;
             self.trace.record(
                 t,
@@ -549,6 +904,35 @@ impl<'a> Fleet<'a> {
                 },
             );
             self.assign(job, kind, target, t);
+        }
+    }
+
+    /// Builds the event queue (arrivals + rebalance checks) and drains it.
+    fn run_events(&mut self) {
+        let mut queue: EventQueue = BTreeMap::new();
+        for (job, &(_, start)) in self.scenario.apps.iter().enumerate() {
+            queue.insert(
+                (start.as_millis(), CLASS_PLACE, job as u64),
+                Event::Place { job, attempt: 0 },
+            );
+        }
+        for k in 1..=self.fleet.rebalance_checks {
+            queue.insert(
+                (
+                    self.fleet.rebalance_period.as_millis() * k as u64,
+                    CLASS_REBALANCE,
+                    k as u64,
+                ),
+                Event::Rebalance { check: k },
+            );
+        }
+        while let Some((&key, _)) = queue.iter().next() {
+            let event = queue.remove(&key).expect("key just observed");
+            let t = SimTime::from_millis(key.0);
+            match event {
+                Event::Place { job, attempt } => self.on_place(job, attempt, t, &mut queue),
+                Event::Rebalance { check } => self.on_rebalance(check, t),
+            }
         }
     }
 }
@@ -570,6 +954,26 @@ pub fn run_fleet(
     setting: &Setting,
     machine_cfg: MachineConfig,
     fleet: &FleetConfig,
+) -> FleetResult {
+    run_fleet_with_workers(
+        scenario,
+        setting,
+        machine_cfg,
+        fleet,
+        crate::parallel::worker_threads(),
+    )
+}
+
+/// [`run_fleet`] with an explicit worker count. The result is bit-identical
+/// for every `workers` value (the worker-count proptest pins this down);
+/// the count only decides how many threads pre-warm node simulations and
+/// run the final full-length node runs.
+pub fn run_fleet_with_workers(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+    workers: usize,
 ) -> FleetResult {
     assert!(!fleet.nodes.is_empty(), "need at least one node");
     if !fleet.scheduler {
@@ -593,67 +997,18 @@ pub fn run_fleet(
          baselines with `scheduler: false`"
     );
     let njobs = scenario.len();
-    let mut state = Fleet {
-        scenario,
-        base_cfg: machine_cfg,
-        fleet,
-        nodes: fleet
-            .nodes
-            .iter()
-            .map(|n| NodeState {
-                phys_total: n.phys_total,
-                apps: Vec::new(),
-                faults: FaultPlan::none(),
-                red_since: None,
-            })
-            .collect(),
-        trace: TraceLog::new(),
-        assignment: vec![None; njobs],
-        deferrals: vec![0; njobs],
-        migrations: vec![0; njobs],
-        gave_up: vec![false; njobs],
-    };
-
-    let mut queue: EventQueue = BTreeMap::new();
-    for (job, &(_, start)) in scenario.apps.iter().enumerate() {
-        queue.insert(
-            (start.as_millis(), CLASS_PLACE, job as u64),
-            Event::Place { job, attempt: 0 },
-        );
-    }
-    for k in 1..=fleet.rebalance_checks {
-        queue.insert(
-            (
-                fleet.rebalance_period.as_millis() * k as u64,
-                CLASS_REBALANCE,
-                k as u64,
-            ),
-            Event::Rebalance,
-        );
-    }
-    while let Some((&key, _)) = queue.iter().next() {
-        let event = queue.remove(&key).expect("key just observed");
-        let t = SimTime::from_millis(key.0);
-        match event {
-            Event::Place { job, attempt } => state.on_place(job, attempt, t, &mut queue),
-            Event::Rebalance => state.on_rebalance(t),
-        }
-    }
+    let mut state = Fleet::new(scenario, machine_cfg, fleet, workers);
+    state.run_events();
 
     // Final full-length run per non-empty node, in parallel via the node
     // cache; then fold per-job outcomes out of each job's final node.
-    let finals: Vec<Option<Arc<ScenarioOutcome>>> = crate::parallel::parallel_map(
-        (0..state.nodes.len()).collect(),
-        crate::parallel::worker_threads(),
-        |node| {
-            (!state.nodes[node].apps.is_empty())
-                .then(|| state.simulate(node, machine_cfg.max_time, true))
-        },
-    );
+    let finals: Vec<Option<Arc<ScenarioOutcome>>> =
+        crate::parallel::parallel_map((0..state.nodes.len()).collect(), state.workers, |node| {
+            (!state.nodes[node].apps.is_empty()).then(|| state.simulate(node, true))
+        });
 
     let mut jobs = Vec::with_capacity(njobs);
     let mut app_runtimes_s = Vec::with_capacity(njobs);
-    let mut per_node_s = Vec::with_capacity(njobs);
     for job in 0..njobs {
         let arrival = SimTime::ZERO + scenario.apps[job].1;
         let (node, runtime_s) = match state.assignment[job] {
@@ -676,19 +1031,18 @@ pub fn run_fleet(
             runtime_s,
         });
         app_runtimes_s.push(runtime_s);
-        per_node_s.push(
-            (0..state.nodes.len())
-                .map(|n| if Some(n) == node { runtime_s } else { None })
-                .collect(),
-        );
     }
+    // No per-node runtime matrix in scheduler mode: it is O(jobs × nodes)
+    // and the per-job outcomes above carry the same information.
     let cluster = ClusterResult {
         app_runtimes_s,
-        per_node_s,
-        spread_s: vec![0.0; njobs],
+        per_node_s: Vec::new(),
+        spread_s: Vec::new(),
     };
 
-    let mut violations = FleetOracle::new(fleet.grace.as_millis()).check(&state.trace);
+    let mut violations = FleetOracle::new(fleet.grace.as_millis())
+        .with_defer_interval(fleet.defer_interval.as_millis())
+        .check(&state.trace);
     for out in finals.iter().flatten() {
         violations.extend(out.run.violations.iter().cloned());
     }
@@ -700,22 +1054,13 @@ pub fn run_fleet(
     }
 }
 
-static FLEET_CACHE: OnceLock<Mutex<HashMap<String, Arc<FleetResult>>>> = OnceLock::new();
-static FLEET_HITS: AtomicU64 = AtomicU64::new(0);
-static FLEET_MISSES: AtomicU64 = AtomicU64::new(0);
-
-fn fleet_cache() -> &'static Mutex<HashMap<String, Arc<FleetResult>>> {
-    FLEET_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
+static FLEET_CACHE: MemoCache<FleetResult> = MemoCache::new();
 
 /// Current totals of the fleet-level memoization cache (the node runs a
 /// fleet performs are additionally memoized by the node cache,
 /// [`crate::parallel::cache_stats`]).
 pub fn fleet_cache_stats() -> CacheStats {
-    CacheStats {
-        hits: FLEET_HITS.load(Ordering::Relaxed),
-        misses: FLEET_MISSES.load(Ordering::Relaxed),
-    }
+    FLEET_CACHE.stats()
 }
 
 /// Content-addressed [`run_fleet`]: the serialized `(scenario, setting,
@@ -730,25 +1075,9 @@ pub fn run_fleet_cached(
     fleet: &FleetConfig,
 ) -> Arc<FleetResult> {
     let cfg = machine_cfg.with_setting(setting);
-    let key = serde_json::to_string(&(scenario, setting, &cfg, fleet))
-        .expect("fleet cache key serialization cannot fail");
-    if let Some(hit) = fleet_cache()
-        .lock()
-        .expect("fleet cache poisoned")
-        .get(&key)
-    {
-        FLEET_HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(hit);
-    }
-    FLEET_MISSES.fetch_add(1, Ordering::Relaxed);
-    let result = Arc::new(run_fleet(scenario, setting, machine_cfg, fleet));
-    Arc::clone(
-        fleet_cache()
-            .lock()
-            .expect("fleet cache poisoned")
-            .entry(key)
-            .or_insert(result),
-    )
+    FLEET_CACHE.get_or_compute(&(scenario, setting, &cfg, fleet), || {
+        run_fleet(scenario, setting, machine_cfg, fleet)
+    })
 }
 
 #[cfg(test)]
@@ -866,6 +1195,55 @@ mod tests {
     }
 
     #[test]
+    fn idle_node_probes_never_simulate() {
+        // An idle node's probe answers from the precomputed per-size
+        // summary: no probe simulation is cached (or run) for it, and the
+        // view is the idle state with nothing reserved.
+        let scenario = Scenario::uniform("MM", 0);
+        let fleet = small_fleet();
+        let cfg = quick_cfg();
+        let mut state = Fleet::new(&scenario, cfg, &fleet, 1);
+        let v = state.probe(2, SimTime::from_millis(1_000));
+        assert!(
+            state.nodes[2].probe.is_none(),
+            "idle probe must not allocate a scenario run"
+        );
+        assert_eq!(v.summary, state.idle[&(64 * GIB)]);
+        assert_eq!(v.reserved, 0);
+        assert_eq!(v.summary.used, 0);
+        assert!(matches!(v.summary.zone, Zone::Green));
+    }
+
+    #[test]
+    fn incremental_probes_match_whole_fleet_reprobing() {
+        // Fleet `a` keeps whatever probe caches the scheduler run left
+        // behind; fleet `b` ran identically but is then forced to
+        // re-simulate every node from scratch. If dirty tracking ever
+        // missed an invalidation, a cached view in `a` would diverge from
+        // `b`'s fresh one.
+        let scenario = fleet_canonical();
+        let fleet = small_fleet();
+        let cfg = quick_cfg();
+        let mut a = Fleet::new(&scenario, cfg, &fleet, 1);
+        a.run_events();
+        let mut b = Fleet::new(&scenario, cfg, &fleet, 1);
+        b.run_events();
+        for node in 0..b.nodes.len() {
+            b.nodes[node].probe = None; // whole-fleet re-probe
+        }
+        for node in 0..a.nodes.len() {
+            for t_s in [0u64, 60, 600, 3_600, 20_000] {
+                let t = SimTime::from_millis(t_s * 1000);
+                assert_eq!(
+                    a.view(node, t),
+                    b.view(node, t),
+                    "node {node} at {t_s}s: incremental view must equal re-probed view"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fleet_cache_returns_shared_result() {
         let scenario = fleet_canonical();
         let cfg = quick_cfg();
@@ -957,6 +1335,21 @@ mod tests {
             res.violations.is_empty(),
             "an eager-grace migration is still conformant: {:?}",
             res.violations
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let scenario = fleet_canonical();
+        let fleet = small_fleet();
+        let cfg = quick_cfg();
+        let setting = Setting::m3(scenario.len());
+        let a = run_fleet_with_workers(&scenario, &setting, cfg, &fleet, 1);
+        let b = run_fleet_with_workers(&scenario, &setting, cfg, &fleet, 4);
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+            "fleet results must be bit-identical for any worker count"
         );
     }
 }

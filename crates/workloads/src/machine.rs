@@ -63,6 +63,12 @@ pub struct MachineConfig {
     /// [`RunResult::violations`]). Off, the kernel's trace log is disabled
     /// and records nothing. Part of the memoization cache key.
     pub capture_trace: bool,
+    /// Records the monitor's pressure summary every `n` polls into
+    /// [`RunResult::pressure_timeline`] (`None` disables capture). The fleet
+    /// scheduler sets this on its probe runs so one full-horizon simulation
+    /// answers pressure queries at every instant. Part of the memoization
+    /// cache key.
+    pub pressure_timeline_polls: Option<u64>,
 }
 
 impl MachineConfig {
@@ -77,6 +83,7 @@ impl MachineConfig {
             node_salt: 0,
             fast_path: true,
             capture_trace: true,
+            pressure_timeline_polls: None,
         }
     }
 
@@ -123,6 +130,11 @@ pub struct AppResult {
     pub started: SimTime,
     /// Completion time, if the app finished.
     pub finished: Option<SimTime>,
+    /// When the app stopped occupying memory, whatever the reason: equals
+    /// `finished` for completed apps, the kill instant for killed apps, the
+    /// spawn instant for failed ones. `None` only if the run's time cap hit
+    /// while the app was still live.
+    pub ended: Option<SimTime>,
     /// True if the app was killed (OOM or M3 escalation).
     pub killed: bool,
     /// True if the app failed to run (static heap below the job's floor).
@@ -158,6 +170,11 @@ pub struct RunResult {
     /// The node's pressure state at the end of the run, when a monitor ran
     /// (what a fleet scheduler ranks this node by).
     pub pressure: Option<m3_core::monitor::PressureSummary>,
+    /// `(time ms, summary)` samples taken every
+    /// [`MachineConfig::pressure_timeline_polls`] monitor polls (empty when
+    /// capture is off or no monitor ran). The fleet scheduler reads a
+    /// node's pressure at time `t` as the last sample at or before `t`.
+    pub pressure_timeline: Vec<(u64, m3_core::monitor::PressureSummary)>,
     /// When the last application terminated (or the cap was hit).
     pub end: SimTime,
     /// Time-weighted mean of total committed bytes (§7.3's effective
@@ -280,6 +297,7 @@ impl Machine {
                 name: name.to_string(),
                 started: SimTime::ZERO + *start,
                 finished: None,
+                ended: None,
                 killed: false,
                 failed: false,
                 gc_pause: SimDuration::ZERO,
@@ -332,6 +350,7 @@ impl Machine {
         let mut churn_bystanders: Vec<Pid> = vec![0; faults.churn.len()];
         let mut next_poll = SimTime::ZERO + poll_period;
         let mut next_sample = SimTime::ZERO;
+        let mut pressure_timeline: Vec<(u64, m3_core::monitor::PressureSummary)> = Vec::new();
         // Mean-RSS integral as exact integers (`committed` summed per tick):
         // integer addition is associative, so the fast path below can account
         // a whole gap of idle ticks in one multiplication and stay
@@ -361,6 +380,7 @@ impl Machine {
                 results[idx].started = now;
                 if app.failed() {
                     results[idx].failed = true;
+                    results[idx].ended = Some(now);
                     kernel.exit(pid);
                     continue;
                 }
@@ -474,6 +494,12 @@ impl Machine {
                     registry.sync_monitor(m, &kernel);
                     let report = m.poll(&mut kernel, now);
                     next_poll += poll_period;
+                    if let Some(stride) = self.cfg.pressure_timeline_polls {
+                        if stride > 0 && m.stats.polls % stride == 0 {
+                            pressure_timeline
+                                .push((now.as_millis(), m.pressure_summary(kernel.committed())));
+                        }
+                    }
                     match report.zone {
                         Zone::AboveTop => {
                             // Usage crossed top: arm every pending fault so
@@ -571,6 +597,7 @@ impl Machine {
             running.retain(|s| {
                 if results[s.idx].killed {
                     results[s.idx].peak_rss = s.peak_rss;
+                    results[s.idx].ended = Some(now);
                     // Killed processes leave a stale PID file; the sweep on
                     // the next sync removes it and unregisters the process.
                     if let Some(m) = monitor.as_mut() {
@@ -607,6 +634,7 @@ impl Machine {
                 if finished_idx.contains(&s.idx) {
                     let r = &mut results[s.idx];
                     r.finished = Some(now + self.cfg.tick);
+                    r.ended = r.finished;
                     r.failed = s.app.failed();
                     r.gc_pause = s.app.gc_pause();
                     r.mm_time = s.app.mm_time();
@@ -759,11 +787,20 @@ impl Machine {
         let pressure = monitor
             .as_ref()
             .map(|m| m.pressure_summary(kernel.committed()));
+        // Close the timeline with the end-of-run state: reads at any
+        // `t >= end` must see the node as it finished (typically drained
+        // back to zero committed), not frozen at the last in-flight poll.
+        if self.cfg.pressure_timeline_polls.is_some() {
+            if let Some(p) = pressure {
+                pressure_timeline.push((now.as_millis(), p));
+            }
+        }
         RunResult {
             apps: results,
             profile,
             monitor_stats: monitor.map(|m| m.stats),
             pressure,
+            pressure_timeline,
             end: now,
             mean_rss: if ticks > 0 {
                 rss_area as f64 / ticks as f64

@@ -115,20 +115,79 @@ impl CacheStats {
     }
 }
 
-static CACHE: OnceLock<Mutex<HashMap<String, Arc<ScenarioOutcome>>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// A process-wide content-addressed memo cache: serialized keys map to
+/// shared [`Arc`] values, with hit/miss counters alongside. One generic
+/// home for the pattern the run cache and the fleet cache share; both are
+/// `static` instances (the constructor is `const`).
+///
+/// Lookups never hold the lock across the compute closure: two threads
+/// racing on the same key both compute it, which is benign for
+/// deterministic values (the results are identical) and far cheaper than
+/// serializing every computation behind one lock.
+pub struct MemoCache<V> {
+    map: OnceLock<Mutex<HashMap<String, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
-/// Current totals of the run memoization cache.
-pub fn cache_stats() -> CacheStats {
-    CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+impl<V> MemoCache<V> {
+    /// An empty cache. `const`, so instances can live in `static`s.
+    pub const fn new() -> Self {
+        MemoCache {
+            map: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn map(&self) -> &Mutex<HashMap<String, Arc<V>>> {
+        self.map.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Current hit/miss totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Returns the cached value for the serialized `key`, computing and
+    /// inserting it via `compute` on a miss. The first inserted value wins
+    /// a race; later computes of the same key are dropped.
+    pub fn get_or_compute<K: serde::Serialize + ?Sized>(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        let key = serde_json::to_string(key).expect("cache key serialization cannot fail");
+        if let Some(hit) = self.map().lock().expect("memo cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        Arc::clone(
+            self.map()
+                .lock()
+                .expect("memo cache poisoned")
+                .entry(key)
+                .or_insert(value),
+        )
     }
 }
 
-fn cache() -> &'static Mutex<HashMap<String, Arc<ScenarioOutcome>>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+impl<V> Default for MemoCache<V> {
+    fn default() -> Self {
+        MemoCache::new()
+    }
+}
+
+static CACHE: MemoCache<ScenarioOutcome> = MemoCache::new();
+
+/// Current totals of the run memoization cache.
+pub fn cache_stats() -> CacheStats {
+    CACHE.stats()
 }
 
 /// Like [`run_scenario`], but content-addressed: the serialized
@@ -156,24 +215,9 @@ pub fn run_scenario_cached_faulted(
     faults: &FaultPlan,
 ) -> Arc<ScenarioOutcome> {
     let cfg = machine_cfg.with_setting(setting);
-    let key = serde_json::to_string(&(scenario, setting, &cfg, faults))
-        .expect("cache key serialization cannot fail");
-    if let Some(hit) = cache().lock().expect("run cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Arc::clone(hit);
-    }
-    MISSES.fetch_add(1, Ordering::Relaxed);
-    // The lock is not held across the simulation: two threads racing on the
-    // same key both compute it, which is benign (the results are identical)
-    // and far cheaper than serializing every run behind one lock.
-    let outcome = Arc::new(run_scenario_with_faults(scenario, setting, cfg, faults));
-    Arc::clone(
-        cache()
-            .lock()
-            .expect("run cache poisoned")
-            .entry(key)
-            .or_insert(outcome),
-    )
+    CACHE.get_or_compute(&(scenario, setting, &cfg, faults), || {
+        run_scenario_with_faults(scenario, setting, cfg, faults)
+    })
 }
 
 /// Runs every `(scenario, setting, machine_cfg)` job on [`worker_threads`]

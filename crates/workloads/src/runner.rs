@@ -211,6 +211,7 @@ mod tests {
                 name: format!("a{i}"),
                 started: SimTime::ZERO,
                 finished: r.map(|s| SimTime::from_millis((s * 1000.0) as u64)),
+                ended: r.map(|s| SimTime::from_millis((s * 1000.0) as u64)),
                 killed: false,
                 failed: r.is_none(),
                 gc_pause: SimDuration::ZERO,
@@ -226,6 +227,7 @@ mod tests {
                 profile: Profile::new(),
                 monitor_stats: None,
                 pressure: None,
+                pressure_timeline: Vec::new(),
                 end: SimTime::ZERO,
                 mean_rss: 0.0,
                 degradation: Default::default(),

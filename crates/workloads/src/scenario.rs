@@ -144,6 +144,38 @@ pub fn fleet_canonical() -> Scenario {
     Scenario::uniform("MMWMCM", 120)
 }
 
+/// The fleet-scale workload: ten waves of `nodes` jobs each (so `10 *
+/// nodes` jobs total), waves sixteen minutes apart. Every job in a wave
+/// arrives at the same instant — the scheduler's placements, not arrival
+/// jitter, provide the per-node variety, which keeps node schedules
+/// content-addressable across a large homogeneous fleet: with waves that
+/// drain between arrivals, the fleet's nodes fall into a handful of
+/// schedule classes regardless of N. The mix is k-means-dominated with an
+/// n-weight and a go-cache job sprinkled across the waves (1/32 each of
+/// the heavy kinds, which outlive a wave gap and monopolise a big node),
+/// so admission control and deferral stay exercised at every scale.
+pub fn fleet_scale_scenario(nodes: usize) -> Scenario {
+    const WAVES: usize = 10;
+    const WAVE_GAP_S: u64 = 960;
+    let mut apps = Vec::with_capacity(WAVES * nodes);
+    for wave in 0..WAVES {
+        let at = SimDuration::from_secs(wave as u64 * WAVE_GAP_S);
+        for i in 0..nodes {
+            // Deterministic, wave-shifted sprinkle of heavy jobs.
+            let kind = match (wave * 7 + i) % 64 {
+                5 => AppKind::NWeight,
+                37 => AppKind::GoCache,
+                _ => AppKind::KMeans,
+            };
+            apps.push((kind, at));
+        }
+    }
+    Scenario {
+        name: format!("fleet-scale {nodes}x{WAVES}"),
+        apps,
+    }
+}
+
 /// The fleet evaluation workloads: the canonical mix, a simultaneous-
 /// arrival burst (admission control under a thundering herd), and a
 /// memory-heavy sequence that forces deferrals.
@@ -202,6 +234,24 @@ mod tests {
             all.iter().any(|s| s.apps.iter().all(|(_, d)| d.is_zero())),
             "one burst workload with simultaneous arrivals"
         );
+    }
+
+    #[test]
+    fn fleet_scale_scenario_shape() {
+        let s = fleet_scale_scenario(8);
+        assert_eq!(s.len(), 80, "ten waves of `nodes` jobs");
+        assert_eq!(s.apps[0].1, SimDuration::ZERO);
+        assert_eq!(s.apps[8].1, SimDuration::from_secs(960));
+        assert_eq!(s.apps[79].1, SimDuration::from_secs(9 * 960));
+        let heavy = s
+            .apps
+            .iter()
+            .filter(|(k, _)| !matches!(k, AppKind::KMeans))
+            .count();
+        assert!(heavy > 0, "some heavy jobs in the mix");
+        assert!(heavy * 4 < s.len(), "but k-means dominates");
+        // Same node count, same scenario — byte-identical generation.
+        assert_eq!(fleet_scale_scenario(8), s);
     }
 
     #[test]

@@ -18,5 +18,12 @@ cargo test -q --test fleet
 cargo test -q --test fleet_properties
 # Fixed-seed chaos drill; asserts its own replay is byte-identical.
 cargo run --release --example chaos_drill
+# Fleet-scale smoke: the scaling curve up to 512 nodes with a generous
+# per-point wall-clock budget (full 10k-node curve runs out of band).
+# Asserts zero oracle violations and a memoized repeat at every point.
+# Writes under target/ so the committed full-curve report stays intact.
+M3_FLEET_SCALE_MAX_NODES=512 M3_FLEET_SCALE_BUDGET_S=60 \
+    M3_RESULTS_DIR=target/ci-results \
+    cargo bench -p m3-bench --bench fleet_scale
 cargo clippy -- -D warnings
 cargo fmt --check

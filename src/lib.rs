@@ -53,13 +53,13 @@ pub mod prelude {
     pub use m3_workloads::cluster::{run_cluster, ClusterMean, ClusterResult, PAPER_NODES};
     pub use m3_workloads::faults::{DegradationReport, FaultKind, FaultPlan};
     pub use m3_workloads::fleet::{
-        run_fleet, run_fleet_cached, FleetConfig, FleetResult, JobOutcome, NodeSpec,
-        PlacementPolicy,
+        run_fleet, run_fleet_cached, run_fleet_with_workers, FleetConfig, FleetResult, JobOutcome,
+        NodeSpec, PlacementPolicy,
     };
     pub use m3_workloads::machine::{Machine, MachineConfig, RunResult};
     pub use m3_workloads::runner::{
         compare_m3_vs, run_scenario, run_scenario_with_faults, speedup_report,
     };
-    pub use m3_workloads::scenario::{fleet_canonical, AppKind, Scenario};
+    pub use m3_workloads::scenario::{fleet_canonical, fleet_scale_scenario, AppKind, Scenario};
     pub use m3_workloads::settings::{AppConfig, Setting, SettingKind};
 }

@@ -111,6 +111,31 @@ proptest! {
         prop_assert!(res.violations.is_empty(), "violations: {:#?}", res.violations);
     }
 
+    /// The worker count is a throughput knob, never a semantic one: a
+    /// randomized 256-node heterogeneous fleet produces a byte-identical
+    /// serialized [`FleetResult`] whether node simulations run on one
+    /// worker or eight (`M3_JOBS=1` vs `M3_JOBS=8`).
+    #[test]
+    fn worker_count_never_changes_a_large_fleets_result(
+        scenario in scenario_strategy(),
+        small_stride in 2usize..6,
+    ) {
+        let mut fleet = FleetConfig::homogeneous(256, 64 * GIB);
+        for (i, spec) in fleet.nodes.iter_mut().enumerate() {
+            if i % small_stride == small_stride - 1 {
+                spec.phys_total = 32 * GIB;
+            }
+        }
+        let setting = Setting::m3(scenario.len());
+        let a = run_fleet_with_workers(&scenario, &setting, machine(), &fleet, 1);
+        let b = run_fleet_with_workers(&scenario, &setting, machine(), &fleet, 8);
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "worker count changed the fleet result"
+        );
+    }
+
     /// Determinism: the same scenario, setting, machine and fleet config
     /// produce bit-identical placement logs and job outcomes.
     #[test]
