@@ -18,7 +18,7 @@
 use m3_bench::{fmt_runtime, render_table, BenchTimer};
 use m3_sim::clock::SimDuration;
 use m3_sim::units::GIB;
-use m3_workloads::cluster::ClusterMean;
+use m3_workloads::cluster::{ClusterMean, JobFailure};
 use m3_workloads::fleet::{fleet_cache_stats, run_fleet_cached, FleetConfig, NodeSpec};
 use m3_workloads::machine::MachineConfig;
 use m3_workloads::parallel::cache_stats;
@@ -82,6 +82,7 @@ fn run_row(scenario: &Scenario, fleet: &FleetConfig) -> FleetRow {
         mean_secs,
         completed_apps,
         failed_apps,
+        ..
     } = res.cluster.mean_runtime_secs();
     FleetRow {
         nodes: fleet.nodes.len(),
@@ -94,7 +95,11 @@ fn run_row(scenario: &Scenario, fleet: &FleetConfig) -> FleetRow {
         failed_apps,
         deferrals: res.jobs.iter().map(|j| j.deferrals as u64).sum(),
         migrations: res.jobs.iter().map(|j| j.migrations as u64).sum(),
-        gave_up: res.jobs.iter().filter(|j| j.gave_up).count(),
+        gave_up: res
+            .jobs
+            .iter()
+            .filter(|j| j.failure == Some(JobFailure::GaveUp))
+            .count(),
         violations: res.violations.len(),
         node_cache_hits: cache.hits,
         node_cache_misses: cache.misses,

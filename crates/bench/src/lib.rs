@@ -74,11 +74,16 @@ pub fn fmt_secs(d: SimDuration) -> String {
 }
 
 /// The results directory (`results/` at the workspace root), created on
-/// demand.
+/// demand. A relative `M3_RESULTS_DIR` is resolved against the workspace
+/// root, not the bench binary's cwd (cargo runs benches from the package
+/// directory, which would scatter CI results under `crates/bench/`).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("M3_RESULTS_DIR")
-        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
-    let p = PathBuf::from(dir);
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let p = match std::env::var("M3_RESULTS_DIR") {
+        Ok(dir) if PathBuf::from(&dir).is_absolute() => PathBuf::from(dir),
+        Ok(dir) => root.join(dir),
+        Err(_) => root.join("results"),
+    };
     std::fs::create_dir_all(&p).expect("create results dir");
     p
 }

@@ -25,7 +25,7 @@
 //!   the Spark block cache, 1 % (low) / 4 % (high) of cache slabs, and each
 //!   handler reclaims top-down: eviction before GC before `madvise`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use m3_core::alloc::RateCurve;
 use m3_core::config::MonitorConfig;
@@ -100,7 +100,21 @@ impl Oracle {
 /// - **`fleet.giveup.starvation`** — a job is never given up on while some
 ///   node's latest snapshot is green/yellow with room for the job's demand
 ///   (`max(used, reserved) + demand <= top`): bounded placement scans must
-///   degrade to exhaustive ones before abandoning work.
+///   degrade to exhaustive ones before abandoning work. Nodes known dead or
+///   quarantined are exempt, as are jobs abandoned after node loss (their
+///   give-up is budget-bound, not fleet-fullness-bound).
+///
+/// Recovery invariants (the chaos layer):
+///
+/// - **`fleet.place.dead`** — no placement or migration ever targets a node
+///   after its `fleet.node_lost` event: a node known dead at decision time
+///   receives nothing.
+/// - **`fleet.place.quarantined`** — a quarantined node receives zero
+///   placements or migrations between its quarantine entry and its
+///   re-admission.
+/// - **`fleet.lost.resolved`** — every job re-queued after node death
+///   (`fleet.reschedule` with `requeued`) is eventually placed again or
+///   explicitly given up on; no lost job is silently dropped.
 #[derive(Debug, Clone)]
 pub struct FleetOracle {
     /// Grace window a node must stay red before migration is allowed, ms.
@@ -173,6 +187,39 @@ impl FleetOracle {
         // Jobs with a defer not yet resolved by a place or a give-up:
         // job -> (deferred at, announced retry time).
         let mut pending_defer: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        // Nodes known dead / currently quarantined as the trace replays.
+        let mut dead: BTreeSet<u64> = BTreeSet::new();
+        let mut quarantined: BTreeSet<u64> = BTreeSet::new();
+        // Jobs that have ever been lost to node death, and the re-queued
+        // losses not yet resolved by a place or a give-up: job -> lost at.
+        let mut lost_jobs: BTreeSet<u64> = BTreeSet::new();
+        let mut pending_requeue: BTreeMap<u64, u64> = BTreeMap::new();
+        // A placement or migration target must be neither dead nor
+        // quarantined at decision time.
+        let check_target = |out: &mut Vec<Violation>,
+                            dead: &BTreeSet<u64>,
+                            quarantined: &BTreeSet<u64>,
+                            job: u64,
+                            node: u64,
+                            at: u64,
+                            pid: u64| {
+            if dead.contains(&node) {
+                out.push(Violation {
+                    invariant: "fleet.place.dead".into(),
+                    at_ms: at,
+                    pid,
+                    message: format!("job {job} placed on node {node}, which is dead"),
+                });
+            }
+            if quarantined.contains(&node) {
+                out.push(Violation {
+                    invariant: "fleet.place.quarantined".into(),
+                    at_ms: at,
+                    pid,
+                    message: format!("job {job} placed on node {node}, which is quarantined"),
+                });
+            }
+        };
         for e in trace.events() {
             let at = e.t.as_millis();
             match &e.data {
@@ -223,6 +270,8 @@ impl FleetOracle {
                         }),
                         Some(_) => {}
                     }
+                    check_target(&mut out, &dead, &quarantined, *job, *node, at, e.pid);
+                    pending_requeue.remove(job);
                     Self::check_defer_latency(&mut out, pending_defer.remove(job), *job, at, e.pid);
                 }
                 TraceData::FleetDefer {
@@ -246,7 +295,8 @@ impl FleetOracle {
                     }
                     pending_defer.insert(*job, (at, *retry_at_ms));
                 }
-                TraceData::FleetMigrate { job, from, .. } => {
+                TraceData::FleetMigrate { job, from, to, .. } => {
+                    check_target(&mut out, &dead, &quarantined, *job, *to, at, e.pid);
                     let streak = red_since.get(from).map(|since| at.saturating_sub(*since));
                     match streak {
                         None => out.push(Violation {
@@ -270,10 +320,19 @@ impl FleetOracle {
                 }
                 TraceData::FleetGiveUp { job, demand, .. } => {
                     Self::check_defer_latency(&mut out, pending_defer.remove(job), *job, at, e.pid);
+                    pending_requeue.remove(job);
                     // Giving up while some node visibly admits the job is
-                    // starvation: the final attempt must have seen it.
-                    let fits = latest.iter().find(|(_, s)| {
-                        matches!(s.zone, TraceZone::Green | TraceZone::Yellow)
+                    // starvation: the final attempt must have seen it. Jobs
+                    // abandoned after node loss exhausted a retry budget, not
+                    // the candidate set, so they are exempt — as are nodes
+                    // the scheduler rightly refuses to target.
+                    if lost_jobs.contains(job) {
+                        continue;
+                    }
+                    let fits = latest.iter().find(|(node, s)| {
+                        !dead.contains(node)
+                            && !quarantined.contains(node)
+                            && matches!(s.zone, TraceZone::Green | TraceZone::Yellow)
                             && s.used.max(s.reserved).saturating_add(*demand) <= s.top
                     });
                     if let Some((node, s)) = fits {
@@ -291,8 +350,36 @@ impl FleetOracle {
                         });
                     }
                 }
+                TraceData::FleetNodeLost { node, .. } => {
+                    dead.insert(*node);
+                    red_since.remove(node);
+                }
+                TraceData::FleetReschedule { job, requeued, .. } => {
+                    lost_jobs.insert(*job);
+                    if *requeued {
+                        pending_requeue.insert(*job, at);
+                    }
+                }
+                TraceData::FleetQuarantine { node, entered, .. } => {
+                    if *entered {
+                        quarantined.insert(*node);
+                    } else {
+                        quarantined.remove(node);
+                    }
+                }
                 _ => {}
             }
+        }
+        for (job, since) in pending_requeue {
+            out.push(Violation {
+                invariant: "fleet.lost.resolved".into(),
+                at_ms: since,
+                pid: job,
+                message: format!(
+                    "job {job} lost to node death at {since} ms was re-queued \
+                     but never placed or given up on"
+                ),
+            });
         }
         for (job, (since, _)) in pending_defer {
             out.push(Violation {
@@ -526,7 +613,10 @@ impl<'a> Checker<'a> {
                 | TraceData::FleetPlace { .. }
                 | TraceData::FleetDefer { .. }
                 | TraceData::FleetMigrate { .. }
-                | TraceData::FleetGiveUp { .. } => {}
+                | TraceData::FleetGiveUp { .. }
+                | TraceData::FleetNodeLost { .. }
+                | TraceData::FleetReschedule { .. }
+                | TraceData::FleetQuarantine { .. } => {}
             }
         }
         self.out
@@ -1890,6 +1980,163 @@ mod tests {
         let mut log = TraceLog::new();
         log.record(t(1), 1, TraceData::Madvise { bytes: GIB });
         log.record(t(1), 0, TraceData::ProcExit);
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    fn node_lost(node: u64) -> TraceData {
+        TraceData::FleetNodeLost { node, jobs_lost: 1 }
+    }
+
+    fn reschedule(job: u64, requeued: bool) -> TraceData {
+        TraceData::FleetReschedule {
+            job,
+            from: 0,
+            retries: 1,
+            retry_at_ms: 5_000,
+            requeued,
+        }
+    }
+
+    fn quarantine(node: u64, entered: bool) -> TraceData {
+        TraceData::FleetQuarantine {
+            node,
+            entered,
+            streak: 2,
+        }
+    }
+
+    #[test]
+    fn fleet_place_on_dead_node_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(t(2), 0, node_lost(0));
+        log.record(t(3), 0, place(1, 0));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "fleet.place.dead");
+    }
+
+    #[test]
+    fn fleet_place_on_quarantined_node_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(t(2), 0, quarantine(0, true));
+        log.record(t(3), 0, place(1, 0));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "fleet.place.quarantined");
+    }
+
+    #[test]
+    fn fleet_migrate_onto_quarantined_node_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Red));
+        log.record(t(2), 0, quarantine(1, true));
+        log.record(
+            t(12),
+            0,
+            TraceData::FleetMigrate {
+                job: 0,
+                from: 0,
+                to: 1,
+                red_for_ms: 11_000,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "fleet.place.quarantined");
+    }
+
+    #[test]
+    fn fleet_place_after_quarantine_exit_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(0, TraceZone::Green));
+        log.record(t(2), 0, quarantine(0, true));
+        log.record(t(5), 0, quarantine(0, false));
+        log.record(t(6), 0, place(1, 0));
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_requeued_job_placed_elsewhere_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, pressure(1, TraceZone::Green));
+        log.record(t(2), 0, node_lost(0));
+        log.record(t(2), 0, reschedule(4, true));
+        log.record(t(5), 0, place(4, 1));
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_requeued_job_never_resolved_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(2), 0, node_lost(0));
+        log.record(t(2), 0, reschedule(4, true));
+        let v = fleet_oracle().check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "fleet.lost.resolved");
+        assert_eq!(v[0].pid, 4);
+    }
+
+    #[test]
+    fn fleet_orphaned_lost_job_giveup_skips_starvation() {
+        // Node 1 visibly admits the job, but the job exhausted its node-loss
+        // retry budget — the give-up is legitimate, not starvation.
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            0,
+            TraceData::FleetPressure {
+                node: 1,
+                zone: TraceZone::Green,
+                used: 10,
+                reserved: 20,
+                high: 80,
+                top: 100,
+                escalations: 0,
+            },
+        );
+        log.record(t(2), 0, node_lost(0));
+        log.record(t(2), 0, reschedule(3, false));
+        log.record(
+            t(2),
+            0,
+            TraceData::FleetGiveUp {
+                job: 3,
+                attempts: 4,
+                demand: 50,
+            },
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn fleet_starvation_search_skips_dead_and_quarantined_nodes() {
+        // The only nodes with room are dead or quarantined, so giving up is
+        // legitimate for an ordinary (never-lost) job too.
+        let snap = |node| TraceData::FleetPressure {
+            node,
+            zone: TraceZone::Green,
+            used: 0,
+            reserved: 0,
+            high: 80,
+            top: 100,
+            escalations: 0,
+        };
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, snap(0));
+        log.record(t(1), 0, snap(1));
+        log.record(t(2), 0, node_lost(0));
+        log.record(t(2), 0, quarantine(1, true));
+        log.record(
+            t(3),
+            0,
+            TraceData::FleetGiveUp {
+                job: 9,
+                attempts: 5,
+                demand: 50,
+            },
+        );
         assert!(fleet_oracle().check(&log).is_empty());
     }
 }

@@ -343,6 +343,41 @@ pub enum TraceData {
         /// probed node could in fact have admitted the job).
         demand: u64,
     },
+    /// A whole node crashed; every job resident on it died mid-run (the
+    /// event's `pid` is the node index).
+    FleetNodeLost {
+        /// The dead node.
+        node: u64,
+        /// Jobs that were alive on the node when it died.
+        jobs_lost: u64,
+    },
+    /// A job lost to node death was re-queued for placement (`requeued`)
+    /// or found its retry budget exhausted (the event's `pid` is the job).
+    FleetReschedule {
+        /// The lost job.
+        job: u64,
+        /// The node that died under it.
+        from: u64,
+        /// Node-loss incidents this job has now survived.
+        retries: u64,
+        /// When the job re-enters the arrival queue, ms (0 when not
+        /// requeued).
+        retry_at_ms: u64,
+        /// True if the job re-enters the queue; false if the retry budget
+        /// is exhausted and a give-up record follows.
+        requeued: bool,
+    },
+    /// A node's probe endpoint health changed its quarantine state (the
+    /// event's `pid` is the node index).
+    FleetQuarantine {
+        /// The node entering or leaving quarantine.
+        node: u64,
+        /// True on quarantine entry, false on re-admission.
+        entered: bool,
+        /// The probe streak that triggered the transition: consecutive
+        /// failures on entry, consecutive healthy probes on exit.
+        streak: u64,
+    },
 }
 
 impl TraceData {
@@ -396,6 +431,9 @@ impl TraceData {
             TraceData::FleetDefer { .. } => "fleet.defer",
             TraceData::FleetMigrate { .. } => "fleet.migrate",
             TraceData::FleetGiveUp { .. } => "fleet.giveup",
+            TraceData::FleetNodeLost { .. } => "fleet.node_lost",
+            TraceData::FleetReschedule { .. } => "fleet.reschedule",
+            TraceData::FleetQuarantine { .. } => "fleet.quarantine",
         }
     }
 
@@ -596,6 +634,32 @@ impl TraceData {
                 f("attempts", attempts.serialize()),
                 f("demand", demand.serialize()),
             ],
+            TraceData::FleetNodeLost { node, jobs_lost } => vec![
+                f("node", node.serialize()),
+                f("jobs_lost", jobs_lost.serialize()),
+            ],
+            TraceData::FleetReschedule {
+                job,
+                from,
+                retries,
+                retry_at_ms,
+                requeued,
+            } => vec![
+                f("job", job.serialize()),
+                f("from", from.serialize()),
+                f("retries", retries.serialize()),
+                f("retry_at_ms", retry_at_ms.serialize()),
+                f("requeued", requeued.serialize()),
+            ],
+            TraceData::FleetQuarantine {
+                node,
+                entered,
+                streak,
+            } => vec![
+                f("node", node.serialize()),
+                f("entered", entered.serialize()),
+                f("streak", streak.serialize()),
+            ],
         }
     }
 }
@@ -744,6 +808,22 @@ impl Deserialize for TraceData {
                 job: map_field(c, "job")?,
                 attempts: map_field(c, "attempts")?,
                 demand: map_field(c, "demand")?,
+            },
+            "fleet.node_lost" => TraceData::FleetNodeLost {
+                node: map_field(c, "node")?,
+                jobs_lost: map_field(c, "jobs_lost")?,
+            },
+            "fleet.reschedule" => TraceData::FleetReschedule {
+                job: map_field(c, "job")?,
+                from: map_field(c, "from")?,
+                retries: map_field(c, "retries")?,
+                retry_at_ms: map_field(c, "retry_at_ms")?,
+                requeued: map_field(c, "requeued")?,
+            },
+            "fleet.quarantine" => TraceData::FleetQuarantine {
+                node: map_field(c, "node")?,
+                entered: map_field(c, "entered")?,
+                streak: map_field(c, "streak")?,
             },
             other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
         };
@@ -1054,6 +1134,31 @@ mod tests {
                 },
                 "fleet.giveup",
             ),
+            (
+                TraceData::FleetNodeLost {
+                    node: 4,
+                    jobs_lost: 2,
+                },
+                "fleet.node_lost",
+            ),
+            (
+                TraceData::FleetReschedule {
+                    job: 0,
+                    from: 4,
+                    retries: 1,
+                    retry_at_ms: 90_000,
+                    requeued: true,
+                },
+                "fleet.reschedule",
+            ),
+            (
+                TraceData::FleetQuarantine {
+                    node: 4,
+                    entered: true,
+                    streak: 2,
+                },
+                "fleet.quarantine",
+            ),
         ];
         for (data, kind) in cases {
             assert_eq!(data.kind(), kind);
@@ -1138,6 +1243,34 @@ mod tests {
                 from: 2,
                 to: 0,
                 red_for_ms: 9000,
+            },
+        );
+        log.record(
+            t(7),
+            2,
+            TraceData::FleetNodeLost {
+                node: 2,
+                jobs_lost: 1,
+            },
+        );
+        log.record(
+            t(8),
+            1,
+            TraceData::FleetReschedule {
+                job: 1,
+                from: 2,
+                retries: 1,
+                retry_at_ms: 9_500,
+                requeued: true,
+            },
+        );
+        log.record(
+            t(9),
+            0,
+            TraceData::FleetQuarantine {
+                node: 0,
+                entered: false,
+                streak: 3,
             },
         );
         let c = log.serialize();

@@ -16,6 +16,21 @@ use crate::settings::Setting;
 /// The paper's worker count.
 pub const PAPER_NODES: usize = 8;
 
+/// Why a job produced no runtime. A typed reason instead of killed/failed
+/// booleans: fleet-level chaos adds ways to lose a job (node death, retry
+/// budget exhaustion) that are not monitor kills or crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobFailure {
+    /// The M3 monitor killed the job to relieve memory pressure.
+    Killed,
+    /// The job itself failed (allocation failure, kernel OOM).
+    Crashed,
+    /// The job's node died mid-run and its retry budget ran out.
+    NodeLost,
+    /// The scheduler gave up placing the job after exhausting deferrals.
+    GaveUp,
+}
+
 /// Aggregated outcome of a cluster run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterResult {
@@ -27,6 +42,8 @@ pub struct ClusterResult {
     /// Spread (max − min) across nodes per application, seconds — the
     /// straggler effect.
     pub spread_s: Vec<f64>,
+    /// Per-application failure reason, `None` for apps that completed.
+    pub failures: Vec<Option<JobFailure>>,
 }
 
 /// Mean cluster runtime, with failures accounted rather than collapsing
@@ -41,6 +58,14 @@ pub struct ClusterMean {
     pub completed_apps: usize,
     /// Apps that failed or were killed on at least one node.
     pub failed_apps: usize,
+    /// Of the failed apps, those the monitor killed.
+    pub killed_apps: usize,
+    /// Of the failed apps, those that crashed on their own.
+    pub crashed_apps: usize,
+    /// Of the failed apps, those abandoned after their node died.
+    pub node_lost_apps: usize,
+    /// Of the failed apps, those the scheduler gave up placing.
+    pub gave_up_apps: usize,
 }
 
 impl ClusterMean {
@@ -52,9 +77,10 @@ impl ClusterMean {
 
 impl ClusterResult {
     /// Mean of the per-app cluster runtimes over the apps that completed,
-    /// alongside a failed-app count.
+    /// alongside failed-app counts broken out by [`JobFailure`] reason.
     pub fn mean_runtime_secs(&self) -> ClusterMean {
         let completed: Vec<f64> = self.app_runtimes_s.iter().flatten().copied().collect();
+        let count = |r| self.failures.iter().filter(|f| **f == Some(r)).count();
         ClusterMean {
             mean_secs: if completed.is_empty() {
                 None
@@ -63,6 +89,10 @@ impl ClusterResult {
             },
             completed_apps: completed.len(),
             failed_apps: self.app_runtimes_s.len() - completed.len(),
+            killed_apps: count(JobFailure::Killed),
+            crashed_apps: count(JobFailure::Crashed),
+            node_lost_apps: count(JobFailure::NodeLost),
+            gave_up_apps: count(JobFailure::GaveUp),
         }
     }
 }
@@ -115,9 +145,19 @@ pub fn run_cluster_nodes(
         run_scenario_cached(scenario, setting, cfg)
     });
     let mut per_node: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(nodes); napps];
+    let mut failures: Vec<Option<JobFailure>> = vec![None; napps];
     for out in &outs {
         for (i, rt) in runtimes(&out.run).into_iter().enumerate() {
             per_node[i].push(rt);
+        }
+        // A kill on any node trumps a crash: the monitor's decision is the
+        // reason the cluster-level job has no runtime.
+        for (i, a) in out.run.apps.iter().enumerate() {
+            if a.killed {
+                failures[i] = Some(JobFailure::Killed);
+            } else if a.failed && failures[i].is_none() {
+                failures[i] = Some(JobFailure::Crashed);
+            }
         }
     }
     let app_runtimes_s: Vec<Option<f64>> = per_node
@@ -153,6 +193,7 @@ pub fn run_cluster_nodes(
         app_runtimes_s,
         per_node_s: per_node,
         spread_s,
+        failures,
     }
 }
 
@@ -225,6 +266,14 @@ mod tests {
         assert_eq!(mean.mean_secs, None, "nothing completed");
         assert_eq!(mean.completed_apps, 0);
         assert_eq!(mean.failed_apps, 1);
+        assert_eq!(
+            mean.killed_apps + mean.crashed_apps,
+            1,
+            "the node-level failure has a typed reason: {mean:?}"
+        );
+        assert_eq!(mean.node_lost_apps, 0);
+        assert_eq!(mean.gave_up_apps, 0);
+        assert!(res.failures[0].is_some());
         assert!(!mean.all_completed());
         let _ = 64 * GIB;
     }
@@ -246,6 +295,8 @@ mod tests {
         assert_eq!(mean.mean_secs, res.app_runtimes_s[0]);
         assert_eq!(mean.completed_apps, 1);
         assert_eq!(mean.failed_apps, 1);
+        assert_eq!(res.failures[0], None, "completed app carries no reason");
+        assert!(res.failures[1].is_some());
         assert!(!mean.all_completed());
     }
 

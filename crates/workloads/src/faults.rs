@@ -286,6 +286,153 @@ pub struct DegradationReport {
     pub recoveries: Vec<FaultRecovery>,
 }
 
+/// A whole worker node crashing mid-horizon: every job resident on the
+/// node at `at` dies with it, and the node admits nothing afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// When the node dies.
+    pub at: SimDuration,
+    /// Index of the dying node in [`crate::fleet::FleetConfig::nodes`].
+    pub node: usize,
+}
+
+/// A window during which a node's probe endpoint stops answering: reads
+/// inside the window return the summary frozen at `start` (a *stale*
+/// probe) while the staleness is tolerable, and fail outright afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeFlap {
+    /// The flapping node.
+    pub node: usize,
+    /// When the endpoint stops answering fresh reads.
+    pub start: SimDuration,
+    /// How long the endpoint stays unresponsive.
+    pub duration: SimDuration,
+}
+
+impl ProbeFlap {
+    /// True if `now` falls inside the flap window.
+    pub fn contains(&self, now: SimTime) -> bool {
+        let t = now.saturating_since(SimTime::ZERO);
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// A delayed placement decision: the scheduler only gets to the job's
+/// arrival `delay` after it was submitted (a decision-pipeline backlog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementDelay {
+    /// The delayed job (scenario schedule index).
+    pub job: usize,
+    /// How long the decision is delayed.
+    pub delay: SimDuration,
+}
+
+/// A serializable schedule of everything that goes wrong *around* the
+/// fleet scheduler: whole-node crashes, flapping probe endpoints, delayed
+/// placement decisions, and mid-horizon scheduler restarts that wipe the
+/// advisory candidate index. The cluster-level analogue of [`FaultPlan`],
+/// and like it part of the fleet memoization key (see
+/// [`crate::fleet::run_fleet_cached_faulted`]) so chaos runs never collide
+/// with clean cached results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetFaultPlan {
+    /// Whole-node crashes.
+    pub node_crashes: Vec<NodeCrash>,
+    /// Probe-endpoint flap windows.
+    pub flaps: Vec<ProbeFlap>,
+    /// Delayed placement decisions.
+    pub placement_delays: Vec<PlacementDelay>,
+    /// Instants at which the scheduler restarts and must rebuild its
+    /// sharded candidate index from authoritative node state.
+    pub scheduler_restarts: Vec<SimDuration>,
+}
+
+impl FleetFaultPlan {
+    /// The empty plan: the whole fleet survives the horizon.
+    pub fn none() -> Self {
+        FleetFaultPlan::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty()
+            && self.flaps.is_empty()
+            && self.placement_delays.is_empty()
+            && self.scheduler_restarts.is_empty()
+    }
+
+    /// Adds a whole-node crash of `node` at `at`.
+    pub fn with_node_crash(mut self, at: SimDuration, node: usize) -> Self {
+        self.node_crashes.push(NodeCrash { at, node });
+        self
+    }
+
+    /// Adds a probe-endpoint flap on `node` from `start` for `duration`.
+    pub fn with_flap(mut self, node: usize, start: SimDuration, duration: SimDuration) -> Self {
+        self.flaps.push(ProbeFlap {
+            node,
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// Delays job `job`'s arrival placement decision by `delay`.
+    pub fn with_placement_delay(mut self, job: usize, delay: SimDuration) -> Self {
+        self.placement_delays.push(PlacementDelay { job, delay });
+        self
+    }
+
+    /// Adds a scheduler restart at `at`.
+    pub fn with_scheduler_restart(mut self, at: SimDuration) -> Self {
+        self.scheduler_restarts.push(at);
+        self
+    }
+
+    /// Number of injectable items in the plan.
+    pub fn injected_count(&self) -> u64 {
+        (self.node_crashes.len()
+            + self.flaps.len()
+            + self.placement_delays.len()
+            + self.scheduler_restarts.len()) as u64
+    }
+}
+
+/// What a fleet run did about its [`FleetFaultPlan`]: the per-incident
+/// accounting fleet operators reason with. Every [`crate::fleet::FleetResult`]
+/// carries one (all-zero for clean runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetDegradationReport {
+    /// Nodes that crashed during the horizon.
+    pub nodes_lost: u64,
+    /// Job-loss incidents: jobs resident on a node when it died (a job
+    /// rescheduled onto a second dying node counts twice). Always equals
+    /// `jobs_rescheduled + jobs_orphaned`.
+    pub jobs_lost: u64,
+    /// Loss incidents resolved by re-entering the arrival queue.
+    pub jobs_rescheduled: u64,
+    /// Loss incidents that exhausted the retry budget: the job is given
+    /// up on with `NodeLost` recorded as its failure reason.
+    pub jobs_orphaned: u64,
+    /// Times a flapping node was quarantined.
+    pub quarantine_episodes: u64,
+    /// Endpoint reads that failed outright (flap beyond the stale window).
+    pub probe_failures: u64,
+    /// Scheduling decisions taken on a tolerated stale probe.
+    pub stale_probe_decisions: u64,
+    /// Arrival decisions delayed by the fault plan.
+    pub placements_delayed: u64,
+    /// Total injected decision delay, ms.
+    pub placement_delay_ms: u64,
+    /// Mid-horizon scheduler restarts.
+    pub scheduler_restarts: u64,
+    /// Authoritative node reads performed rebuilding the candidate index
+    /// after restarts — the index-rebuild cost.
+    pub index_rebuild_nodes: u64,
+    /// Plan items that named a nonexistent or already-dead target.
+    pub faults_unapplied: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +471,45 @@ mod tests {
             .events
             .iter()
             .all(|e| matches!(e.kind, FaultKind::Crash)));
+    }
+
+    #[test]
+    fn fleet_plan_builders_accumulate_and_serialize() {
+        let plan = FleetFaultPlan::none()
+            .with_node_crash(SimDuration::from_secs(300), 2)
+            .with_flap(1, SimDuration::from_secs(60), SimDuration::from_secs(120))
+            .with_placement_delay(0, SimDuration::from_secs(30))
+            .with_scheduler_restart(SimDuration::from_secs(600));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.injected_count(), 4);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FleetFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back, "fleet plans round-trip byte-exactly");
+        assert!(FleetFaultPlan::none().is_empty());
+        assert_eq!(FleetFaultPlan::none(), FleetFaultPlan::default());
+    }
+
+    #[test]
+    fn probe_flap_window_is_half_open() {
+        let flap = ProbeFlap {
+            node: 3,
+            start: SimDuration::from_secs(10),
+            duration: SimDuration::from_secs(5),
+        };
+        assert!(!flap.contains(SimTime::from_secs(9)));
+        assert!(flap.contains(SimTime::from_secs(10)));
+        assert!(flap.contains(SimTime::from_secs(14)));
+        assert!(!flap.contains(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn fleet_degradation_report_defaults_to_zero() {
+        let report = FleetDegradationReport::default();
+        assert_eq!(report.nodes_lost, 0);
+        assert_eq!(report.jobs_lost, 0);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FleetDegradationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
     }
 
     #[test]

@@ -76,10 +76,11 @@ use m3_oracle::{FleetOracle, Violation};
 use m3_sim::clock::{SimDuration, SimTime};
 use m3_sim::trace::{TraceData, TraceLog, TraceZone};
 use m3_sim::units::GIB;
+use m3_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::{run_cluster_nodes, ClusterResult};
-use crate::faults::FaultPlan;
+use crate::cluster::{run_cluster_nodes, ClusterResult, JobFailure};
+use crate::faults::{FaultPlan, FleetDegradationReport, FleetFaultPlan, ProbeFlap};
 use crate::hibench;
 use crate::machine::MachineConfig;
 use crate::parallel::{run_scenario_cached_faulted, CacheStats, MemoCache};
@@ -159,6 +160,23 @@ pub struct FleetConfig {
     /// Shards whose nodes get a fresh pressure probe per rebalance check
     /// (round-robin across checks).
     pub refresh_shards: usize,
+    /// Times a job lost to node death may re-enter the arrival queue
+    /// before the scheduler abandons it as orphaned.
+    pub retry_budget: u32,
+    /// Base delay of the node-loss retry backoff; retry `k` waits
+    /// `base * 2^(k-1)` plus deterministic jitter in `[0, base)`.
+    pub backoff_base: SimDuration,
+    /// Seed of the deterministic backoff jitter (part of the cache key:
+    /// different seeds are different schedules).
+    pub backoff_seed: u64,
+    /// How old a flapping endpoint's stale summary may be before the
+    /// scheduler refuses it and forces an authoritative re-read.
+    pub stale_window: SimDuration,
+    /// Consecutive forced re-reads before a flapping node is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive healthy probes a quarantined node must answer before
+    /// it is re-admitted as a placement target.
+    pub quarantine_healthy: u32,
 }
 
 impl FleetConfig {
@@ -178,6 +196,12 @@ impl FleetConfig {
             place_candidates: 4,
             probe_budget: 16,
             refresh_shards: 1,
+            retry_budget: 3,
+            backoff_base: SimDuration::from_secs(30),
+            backoff_seed: 0xF1EE7,
+            stale_window: SimDuration::from_secs(120),
+            quarantine_after: 2,
+            quarantine_healthy: 3,
         }
     }
 
@@ -208,8 +232,11 @@ pub struct JobOutcome {
     pub deferrals: u32,
     /// Times the rebalancer migrated the job.
     pub migrations: u32,
-    /// True if the job exhausted its admission retries.
-    pub gave_up: bool,
+    /// Times the job was lost to node death and re-entered the arrival
+    /// queue (or was abandoned on its last loss).
+    pub reschedules: u32,
+    /// Why the job produced no runtime; `None` = it completed.
+    pub failure: Option<JobFailure>,
     /// Completion time minus the job's *arrival* (not its last restart),
     /// seconds; `None` if the job failed, was killed, or was given up on.
     pub runtime_s: Option<f64>,
@@ -233,6 +260,9 @@ pub struct FleetResult {
     /// Cluster-invariant violations from [`FleetOracle`] plus any node-level
     /// conformance violations from the final node runs. Empty = conformant.
     pub violations: Vec<Violation>,
+    /// What the injected fleet faults cost this run (all zeros for a clean
+    /// run or in passthrough mode).
+    pub degradation: FleetDegradationReport,
 }
 
 /// Peak-memory estimate used for admission control: what placing a job of
@@ -278,13 +308,24 @@ fn sched_node_cfg(base: MachineConfig, phys_total: u64) -> MachineConfig {
     cfg
 }
 
-/// Scheduler event classes, ordered within one instant: placement attempts
-/// (arrivals and retries) run before rebalance checks.
-const CLASS_PLACE: u8 = 0;
-const CLASS_REBALANCE: u8 = 1;
+/// Scheduler event classes, ordered within one instant: faults fire first
+/// (a node dead at time `t` is dead for every decision at `t`), then the
+/// scheduler restart, then placement attempts (arrivals and retries), then
+/// rebalance checks. Clean runs schedule no crash/restart events, so their
+/// event order — and their golden traces — are untouched by the renumber.
+const CLASS_CRASH: u8 = 0;
+const CLASS_RESTART: u8 = 1;
+const CLASS_PLACE: u8 = 2;
+const CLASS_REBALANCE: u8 = 3;
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
+    /// Node `node` dies: every resident job is killed mid-run and
+    /// re-queued (or orphaned once its retry budget is spent).
+    NodeCrash { node: usize },
+    /// The scheduler restarts: all advisory state is wiped and the
+    /// candidate index is rebuilt from authoritative node reads.
+    Restart,
     /// Try to admit job `job` (arrival or deferred retry), attempt number
     /// `attempt` (0 = the arrival itself).
     Place { job: usize, attempt: u32 },
@@ -315,6 +356,18 @@ struct NodeState {
     index_effective: u64,
     /// The node's current key in its shard's candidate index.
     index_key: u64,
+    /// When the node died, ms since the epoch (`None` = alive).
+    dead: Option<u64>,
+    /// True while the node is quarantined for flapping probes: deindexed
+    /// and ineligible as a placement or migration target.
+    quarantined: bool,
+    /// Consecutive forced authoritative re-reads (endpoint too stale).
+    fail_streak: u32,
+    /// Consecutive healthy probes while quarantined.
+    healthy_streak: u32,
+    /// Whether the node currently sits in its shard's candidate index
+    /// (dead and quarantined nodes do not).
+    indexed: bool,
 }
 
 /// One node's state as seen by a scheduling decision at some instant.
@@ -336,6 +389,21 @@ impl NodeView {
     }
 }
 
+/// What a node's probe endpoint answered. The *endpoint* is the fiction
+/// the fault plan degrades: authoritative node state (the simulation) is
+/// always intact underneath, but a flapping endpoint serves the summary it
+/// captured when the flap started — and past the configured stale window
+/// the scheduler refuses that and pays for an authoritative re-read.
+enum ProbeRead {
+    /// The endpoint is healthy: the view is authoritative at `t`.
+    Fresh(NodeView),
+    /// The endpoint is flapping but its stale summary (captured at flap
+    /// start) is inside [`FleetConfig::stale_window`] — tolerated.
+    Stale(NodeView),
+    /// The endpoint is flapping and its summary is too old to act on.
+    Unreachable,
+}
+
 /// The shard-index key for a node at estimated load `effective`: the
 /// `effective / top` ratio in 2^20 fixed point. Advisory ordering only —
 /// admission never reads it.
@@ -347,6 +415,7 @@ struct Fleet<'a> {
     scenario: &'a Scenario,
     base_cfg: MachineConfig,
     fleet: &'a FleetConfig,
+    plan: &'a FleetFaultPlan,
     nodes: Vec<NodeState>,
     trace: TraceLog,
     /// Final `(node, slot in that node's app list)` per job.
@@ -354,6 +423,14 @@ struct Fleet<'a> {
     deferrals: Vec<u32>,
     migrations: Vec<u32>,
     gave_up: Vec<bool>,
+    /// Per-job node-loss requeues (bounded by the retry budget).
+    reschedules: Vec<u32>,
+    /// Jobs abandoned after node loss exhausted their retry budget.
+    orphaned: Vec<bool>,
+    /// Probe-flap windows per node, from the fault plan.
+    flaps: HashMap<usize, Vec<ProbeFlap>>,
+    /// Running cost of the injected faults.
+    degradation: FleetDegradationReport,
     /// Per-shard candidate index: `(index_key, node)`, ascending = least
     /// estimated pressure first, ties to the lower node index.
     shards: Vec<BTreeSet<(u64, u32)>>,
@@ -372,9 +449,19 @@ impl<'a> Fleet<'a> {
         scenario: &'a Scenario,
         base_cfg: MachineConfig,
         fleet: &'a FleetConfig,
+        plan: &'a FleetFaultPlan,
         workers: usize,
     ) -> Fleet<'a> {
         let njobs = scenario.len();
+        let mut degradation = FleetDegradationReport::default();
+        let mut flaps: HashMap<usize, Vec<ProbeFlap>> = HashMap::new();
+        for f in &plan.flaps {
+            if f.node < fleet.nodes.len() {
+                flaps.entry(f.node).or_default().push(*f);
+            } else {
+                degradation.faults_unapplied += 1;
+            }
+        }
         let mut idle: HashMap<u64, PressureSummary> = HashMap::new();
         let mut nodes = Vec::with_capacity(fleet.nodes.len());
         for spec in &fleet.nodes {
@@ -394,6 +481,11 @@ impl<'a> Fleet<'a> {
                 top: summary.top,
                 index_effective: 0,
                 index_key: 0,
+                dead: None,
+                quarantined: false,
+                fail_streak: 0,
+                healthy_streak: 0,
+                indexed: true,
             });
         }
         let shard_size = fleet.shard_size.max(1);
@@ -406,17 +498,28 @@ impl<'a> Fleet<'a> {
             scenario,
             base_cfg,
             fleet,
+            plan,
             nodes,
             trace: TraceLog::new(),
             assignment: vec![None; njobs],
             deferrals: vec![0; njobs],
             migrations: vec![0; njobs],
             gave_up: vec![false; njobs],
+            reschedules: vec![0; njobs],
+            orphaned: vec![false; njobs],
+            flaps,
+            degradation,
             shards,
             idle,
             index_fresh_ms: None,
             workers: workers.max(1),
         }
+    }
+
+    /// True if the node may be probed for placement and targeted: alive
+    /// and not quarantined.
+    fn available(&self, node: usize) -> bool {
+        self.nodes[node].dead.is_none() && !self.nodes[node].quarantined
     }
 
     /// The sub-scenario a node's assigned jobs form. Deliberately *not*
@@ -505,11 +608,108 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// The flap window covering `t` on `node`, if any.
+    fn flap_at(&self, node: usize, t: SimTime) -> Option<ProbeFlap> {
+        self.flaps
+            .get(&node)?
+            .iter()
+            .copied()
+            .find(|f| f.contains(t))
+    }
+
+    /// Reads node `node`'s probe endpoint at time `t`. Outside a flap
+    /// window this is the authoritative view; inside one, the endpoint
+    /// serves the summary it captured when the flap started — accepted
+    /// while younger than [`FleetConfig::stale_window`], refused after.
+    /// Every stale acceptance and every refusal is counted in the
+    /// degradation report.
+    fn endpoint(&mut self, node: usize, t: SimTime) -> ProbeRead {
+        match self.flap_at(node, t) {
+            None => ProbeRead::Fresh(self.view(node, t)),
+            Some(f) => {
+                let age = t.as_millis().saturating_sub(f.start.as_millis());
+                if age <= self.fleet.stale_window.as_millis() {
+                    self.degradation.stale_probe_decisions += 1;
+                    let frozen = SimTime::from_millis(f.start.as_millis());
+                    ProbeRead::Stale(self.view(node, frozen))
+                } else {
+                    self.degradation.probe_failures += 1;
+                    ProbeRead::Unreachable
+                }
+            }
+        }
+    }
+
+    /// Advances node `node`'s health streaks after a traced probe. An
+    /// `ok` read resets the failure streak and, on a quarantined node,
+    /// counts toward re-admission; a failed read counts toward quarantine.
+    /// Stale-but-tolerated reads are neutral and never reach here.
+    fn note_health(&mut self, node: usize, t: SimTime, ok: bool) {
+        if ok {
+            self.nodes[node].fail_streak = 0;
+            if !self.nodes[node].quarantined {
+                return;
+            }
+            self.nodes[node].healthy_streak += 1;
+            let streak = self.nodes[node].healthy_streak;
+            if streak < self.fleet.quarantine_healthy.max(1) {
+                return;
+            }
+            self.nodes[node].quarantined = false;
+            self.nodes[node].healthy_streak = 0;
+            self.trace.record(
+                t,
+                node as u64,
+                TraceData::FleetQuarantine {
+                    node: node as u64,
+                    entered: false,
+                    streak: streak as u64,
+                },
+            );
+            if self.nodes[node].dead.is_none() {
+                self.set_indexed(node, true);
+            }
+        } else {
+            self.nodes[node].healthy_streak = 0;
+            self.nodes[node].fail_streak += 1;
+            let streak = self.nodes[node].fail_streak;
+            if self.nodes[node].quarantined || streak < self.fleet.quarantine_after.max(1) {
+                return;
+            }
+            self.nodes[node].quarantined = true;
+            self.degradation.quarantine_episodes += 1;
+            self.trace.record(
+                t,
+                node as u64,
+                TraceData::FleetQuarantine {
+                    node: node as u64,
+                    entered: true,
+                    streak: streak as u64,
+                },
+            );
+            self.set_indexed(node, false);
+        }
+    }
+
     /// Reads node `node`'s pressure at time `t`, records the
     /// `fleet.pressure` event, heals the shard index with the
     /// authoritative load, and advances the node's red-streak clock.
+    /// Chaos-aware: a flapping endpoint serves its tolerated stale view;
+    /// past the stale window the scheduler forces an authoritative
+    /// re-read, which counts against the node's health (quarantine).
     fn probe(&mut self, node: usize, t: SimTime) -> NodeView {
-        let view = self.view(node, t);
+        debug_assert!(self.nodes[node].dead.is_none(), "probed a dead node");
+        let view = match self.endpoint(node, t) {
+            ProbeRead::Fresh(v) => {
+                self.note_health(node, t, true);
+                v
+            }
+            ProbeRead::Stale(v) => v,
+            ProbeRead::Unreachable => {
+                self.note_health(node, t, false);
+                self.view(node, t)
+            }
+        };
         self.update_index(node, view.effective());
         let summary = view.summary;
         let zone: TraceZone = summary.zone.into();
@@ -539,17 +739,36 @@ impl<'a> Fleet<'a> {
         self.fleet.shard_size.max(1)
     }
 
-    /// Moves `node` to its new position in the shard index.
+    /// Moves `node` to its new position in the shard index. Deindexed
+    /// nodes (dead or quarantined) keep their key current without ever
+    /// re-entering the index — only [`Fleet::set_indexed`] re-admits.
     fn update_index(&mut self, node: usize, effective: u64) {
         let key = index_key(effective, self.nodes[node].top);
         let old = self.nodes[node].index_key;
         if key != old {
-            let shard = node / self.shard_size();
-            self.shards[shard].remove(&(old, node as u32));
-            self.shards[shard].insert((key, node as u32));
+            if self.nodes[node].indexed {
+                let shard = node / self.shard_size();
+                self.shards[shard].remove(&(old, node as u32));
+                self.shards[shard].insert((key, node as u32));
+            }
             self.nodes[node].index_key = key;
         }
         self.nodes[node].index_effective = effective;
+    }
+
+    /// Inserts or removes `node` from its shard's candidate index.
+    fn set_indexed(&mut self, node: usize, on: bool) {
+        if self.nodes[node].indexed == on {
+            return;
+        }
+        let shard = node / self.shard_size();
+        let entry = (self.nodes[node].index_key, node as u32);
+        if on {
+            self.shards[shard].insert(entry);
+        } else {
+            self.shards[shard].remove(&entry);
+        }
+        self.nodes[node].indexed = on;
     }
 
     /// The bounded placement scan order: the globally least-estimated
@@ -592,10 +811,20 @@ impl<'a> Fleet<'a> {
         self.index_fresh_ms = Some(t.as_millis());
         let mut feasible: Vec<NodeView> = Vec::new();
         for node in 0..self.nodes.len() {
-            let v = self.view(node, t);
-            self.update_index(node, v.effective());
-            if Self::admits(&v, demand) {
-                feasible.push(v);
+            if !self.available(node) {
+                continue;
+            }
+            match self.endpoint(node, t) {
+                ProbeRead::Fresh(v) | ProbeRead::Stale(v) => {
+                    self.update_index(node, v.effective());
+                    if Self::admits(&v, demand) {
+                        feasible.push(v);
+                    }
+                }
+                // Bulk sweeps are health-neutral (they must not quarantine
+                // half the fleet in one pass); an unreachable node just
+                // takes the pessimal key until a real probe heals it.
+                ProbeRead::Unreachable => self.update_index(node, u64::MAX),
             }
         }
         feasible
@@ -690,7 +919,9 @@ impl<'a> Fleet<'a> {
             self.refresh(t, 0);
         }
         let order: Vec<usize> = if exhaustive {
-            (0..self.nodes.len()).collect()
+            (0..self.nodes.len())
+                .filter(|&n| self.available(n))
+                .collect()
         } else {
             self.candidate_order()
         };
@@ -699,7 +930,15 @@ impl<'a> Fleet<'a> {
         let mut probed: Vec<NodeView> = Vec::new();
         let mut candidates: Vec<NodeView> = Vec::new();
         for node in order {
+            if !self.available(node) {
+                continue;
+            }
             let v = self.probe(node, t);
+            if self.nodes[node].quarantined {
+                // The probe itself tipped the node into quarantine (its
+                // endpoint was unreachable): not a candidate.
+                continue;
+            }
             probed.push(v);
             let feasible = match self.fleet.policy {
                 // The broken test policy skips admission control entirely.
@@ -802,6 +1041,10 @@ impl<'a> Fleet<'a> {
         }
         due_nodes.sort_unstable();
         due_nodes.dedup();
+        // Dead nodes are past probing; quarantined ones stay in the sweep —
+        // the rebalance cadence is exactly the health-check cadence their
+        // re-admission streak builds on.
+        due_nodes.retain(|&n| self.nodes[n].dead.is_none());
         // Pre-warm the dirty nodes' probe simulations on the worker pool.
         // Sound under any worker count: each outcome is a pure function of
         // that node's own state, and everything below reads the warmed
@@ -865,7 +1108,7 @@ impl<'a> Fleet<'a> {
             let mut candidates: Vec<NodeView> = Vec::new();
             let mut scanned = 0usize;
             for cand in self.candidate_order() {
-                if cand == node {
+                if cand == node || !self.available(cand) {
                     continue;
                 }
                 let v = match views.get(&cand) {
@@ -876,6 +1119,9 @@ impl<'a> Fleet<'a> {
                         v
                     }
                 };
+                if self.nodes[cand].quarantined {
+                    continue; // the probe itself quarantined the candidate
+                }
                 scanned += 1;
                 if Self::admits(&v, demand) {
                     candidates.push(v);
@@ -907,14 +1153,185 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Builds the event queue (arrivals + rebalance checks) and drains it.
-    fn run_events(&mut self) {
-        let mut queue: EventQueue = BTreeMap::new();
-        for (job, &(_, start)) in self.scenario.apps.iter().enumerate() {
+    /// The deterministic retry backoff for a job's `retries`-th node-loss
+    /// requeue, ms: exponential in the retry count with jitter in
+    /// `[0, base)` drawn from a counter-keyed [`SimRng`] — pure in
+    /// `(backoff_seed, job, retries)`, so replays are byte-identical and
+    /// co-lost jobs do not thunder back in lockstep.
+    fn backoff_ms(&self, job: usize, retries: u32) -> u64 {
+        let base = self.fleet.backoff_base.as_millis().max(1);
+        let exp = base.saturating_mul(1 << (retries.saturating_sub(1)).min(5));
+        let seed = self.fleet.backoff_seed
+            ^ (job as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (u64::from(retries) << 32);
+        exp + SimRng::new(seed).gen_range(base)
+    }
+
+    /// Node `node` dies at `t`: every job alive on it is killed mid-run
+    /// (a crash fault at the death instant, exactly like a migration
+    /// source) and either re-enters the arrival queue after a backoff or,
+    /// once its retry budget is spent, is given up on as orphaned.
+    fn on_node_crash(&mut self, node: usize, t: SimTime, queue: &mut EventQueue) {
+        if self.nodes[node].dead.is_some() {
+            self.degradation.faults_unapplied += 1;
+            return;
+        }
+        let t_ms = t.as_millis();
+        // Which residents are alive is read from the pre-crash probe
+        // simulation — before the crash faults below invalidate it.
+        let mut lost: Vec<(usize, usize, AppKind)> = Vec::new();
+        if !self.nodes[node].apps.is_empty() {
+            let out = self.probe_outcome(node);
+            for (slot, &(job, kind, _)) in self.nodes[node].apps.iter().enumerate() {
+                if self.assignment[job] != Some((node, slot)) {
+                    continue;
+                }
+                let alive = out.run.apps.get(slot).is_none_or(|a| {
+                    a.started.as_millis() <= t_ms && a.ended.is_none_or(|e| e.as_millis() > t_ms)
+                });
+                if alive {
+                    lost.push((slot, job, kind));
+                }
+            }
+        }
+        self.nodes[node].dead = Some(t_ms);
+        self.nodes[node].red_since = None;
+        self.set_indexed(node, false);
+        self.degradation.nodes_lost += 1;
+        self.trace.record(
+            t,
+            node as u64,
+            TraceData::FleetNodeLost {
+                node: node as u64,
+                jobs_lost: lost.len() as u64,
+            },
+        );
+        for &(slot, _, _) in &lost {
+            self.nodes[node].faults = std::mem::take(&mut self.nodes[node].faults)
+                .with_crash(t.saturating_since(SimTime::ZERO), slot);
+        }
+        self.nodes[node].probe = None;
+        for (_, job, kind) in lost {
+            self.assignment[job] = None;
+            self.degradation.jobs_lost += 1;
+            self.reschedules[job] += 1;
+            let retries = self.reschedules[job];
+            if retries > self.fleet.retry_budget {
+                self.orphaned[job] = true;
+                self.degradation.jobs_orphaned += 1;
+                self.trace.record(
+                    t,
+                    job as u64,
+                    TraceData::FleetReschedule {
+                        job: job as u64,
+                        from: node as u64,
+                        retries: retries as u64,
+                        retry_at_ms: 0,
+                        requeued: false,
+                    },
+                );
+                self.trace.record(
+                    t,
+                    job as u64,
+                    TraceData::FleetGiveUp {
+                        job: job as u64,
+                        attempts: self.deferrals[job] as u64 + 1,
+                        demand: demand_estimate(kind),
+                    },
+                );
+                continue;
+            }
+            let retry_at = t_ms + self.backoff_ms(job, retries);
+            self.degradation.jobs_rescheduled += 1;
+            self.trace.record(
+                t,
+                job as u64,
+                TraceData::FleetReschedule {
+                    job: job as u64,
+                    from: node as u64,
+                    retries: retries as u64,
+                    retry_at_ms: retry_at,
+                    requeued: true,
+                },
+            );
+            // The job re-enters the arrival queue with a fresh admission
+            // attempt count (its defer budget is per-placement-attempt).
             queue.insert(
-                (start.as_millis(), CLASS_PLACE, job as u64),
+                (retry_at, CLASS_PLACE, job as u64),
                 Event::Place { job, attempt: 0 },
             );
+        }
+    }
+
+    /// Mid-horizon scheduler restart: every advisory structure — the
+    /// shard indexes, the red-streak clocks, the refresh stamp — dies
+    /// with the old process and is rebuilt from authoritative node reads.
+    /// Death and quarantine survive (they are node state, not scheduler
+    /// state); an unreachable endpoint re-enters pessimistically at the
+    /// maximal key until a real probe heals it.
+    fn on_restart(&mut self, t: SimTime) {
+        self.degradation.scheduler_restarts += 1;
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+        self.index_fresh_ms = None;
+        for node in 0..self.nodes.len() {
+            self.nodes[node].red_since = None;
+            self.nodes[node].indexed = false;
+        }
+        for node in 0..self.nodes.len() {
+            if !self.available(node) {
+                continue;
+            }
+            let effective = match self.endpoint(node, t) {
+                ProbeRead::Fresh(v) | ProbeRead::Stale(v) => v.effective(),
+                ProbeRead::Unreachable => u64::MAX,
+            };
+            let key = index_key(effective, self.nodes[node].top);
+            self.nodes[node].index_key = key;
+            self.nodes[node].index_effective = effective;
+            self.nodes[node].indexed = true;
+            let shard = node / self.shard_size();
+            self.shards[shard].insert((key, node as u32));
+            self.degradation.index_rebuild_nodes += 1;
+        }
+    }
+
+    /// Builds the event queue (arrivals + fault injections + rebalance
+    /// checks) and drains it.
+    fn run_events(&mut self) {
+        let mut queue: EventQueue = BTreeMap::new();
+        let njobs = self.scenario.len();
+        let mut delay_ms = vec![0u64; njobs];
+        for d in &self.plan.placement_delays {
+            if d.job < njobs {
+                delay_ms[d.job] += d.delay.as_millis();
+            } else {
+                self.degradation.faults_unapplied += 1;
+            }
+        }
+        for (job, &(_, start)) in self.scenario.apps.iter().enumerate() {
+            if delay_ms[job] > 0 {
+                self.degradation.placements_delayed += 1;
+                self.degradation.placement_delay_ms += delay_ms[job];
+            }
+            queue.insert(
+                (start.as_millis() + delay_ms[job], CLASS_PLACE, job as u64),
+                Event::Place { job, attempt: 0 },
+            );
+        }
+        for (i, c) in self.plan.node_crashes.iter().enumerate() {
+            if c.node < self.nodes.len() {
+                queue.insert(
+                    (c.at.as_millis(), CLASS_CRASH, i as u64),
+                    Event::NodeCrash { node: c.node },
+                );
+            } else {
+                self.degradation.faults_unapplied += 1;
+            }
+        }
+        for (i, at) in self.plan.scheduler_restarts.iter().enumerate() {
+            queue.insert((at.as_millis(), CLASS_RESTART, i as u64), Event::Restart);
         }
         for k in 1..=self.fleet.rebalance_checks {
             queue.insert(
@@ -930,6 +1347,8 @@ impl<'a> Fleet<'a> {
             let event = queue.remove(&key).expect("key just observed");
             let t = SimTime::from_millis(key.0);
             match event {
+                Event::NodeCrash { node } => self.on_node_crash(node, t, &mut queue),
+                Event::Restart => self.on_restart(t),
                 Event::Place { job, attempt } => self.on_place(job, attempt, t, &mut queue),
                 Event::Rebalance { check } => self.on_rebalance(check, t),
             }
@@ -955,11 +1374,32 @@ pub fn run_fleet(
     machine_cfg: MachineConfig,
     fleet: &FleetConfig,
 ) -> FleetResult {
-    run_fleet_with_workers(
+    run_fleet_with_faults(
         scenario,
         setting,
         machine_cfg,
         fleet,
+        &FleetFaultPlan::none(),
+    )
+}
+
+/// [`run_fleet`] under an injected [`FleetFaultPlan`]: node crashes,
+/// flapping probe endpoints, delayed placements and scheduler restarts.
+/// The returned [`FleetResult::degradation`] accounts what the faults
+/// cost; [`FleetOracle`]'s recovery invariants run on every trace.
+pub fn run_fleet_with_faults(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+    plan: &FleetFaultPlan,
+) -> FleetResult {
+    run_fleet_faulted_with_workers(
+        scenario,
+        setting,
+        machine_cfg,
+        fleet,
+        plan,
         crate::parallel::worker_threads(),
     )
 }
@@ -975,8 +1415,32 @@ pub fn run_fleet_with_workers(
     fleet: &FleetConfig,
     workers: usize,
 ) -> FleetResult {
+    run_fleet_faulted_with_workers(
+        scenario,
+        setting,
+        machine_cfg,
+        fleet,
+        &FleetFaultPlan::none(),
+        workers,
+    )
+}
+
+/// [`run_fleet_with_faults`] with an explicit worker count.
+pub fn run_fleet_faulted_with_workers(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+    plan: &FleetFaultPlan,
+    workers: usize,
+) -> FleetResult {
     assert!(!fleet.nodes.is_empty(), "need at least one node");
     if !fleet.scheduler {
+        assert!(
+            plan.is_empty(),
+            "fleet faults need the scheduler; passthrough mode has no \
+             placement decisions to disrupt"
+        );
         let node_cfgs = fleet
             .nodes
             .iter()
@@ -989,6 +1453,7 @@ pub fn run_fleet_with_workers(
             jobs: Vec::new(),
             trace: TraceLog::new(),
             violations: Vec::new(),
+            degradation: FleetDegradationReport::default(),
         };
     }
     assert!(
@@ -997,7 +1462,7 @@ pub fn run_fleet_with_workers(
          baselines with `scheduler: false`"
     );
     let njobs = scenario.len();
-    let mut state = Fleet::new(scenario, machine_cfg, fleet, workers);
+    let mut state = Fleet::new(scenario, machine_cfg, fleet, plan, workers);
     state.run_events();
 
     // Final full-length run per non-empty node, in parallel via the node
@@ -1009,28 +1474,42 @@ pub fn run_fleet_with_workers(
 
     let mut jobs = Vec::with_capacity(njobs);
     let mut app_runtimes_s = Vec::with_capacity(njobs);
+    let mut failures = Vec::with_capacity(njobs);
     for job in 0..njobs {
         let arrival = SimTime::ZERO + scenario.apps[job].1;
-        let (node, runtime_s) = match state.assignment[job] {
+        let (node, runtime_s, failure) = match state.assignment[job] {
             Some((node, slot)) => {
                 let app = &finals[node].as_ref().expect("assigned node ran").run.apps[slot];
                 let rt = (!app.killed && !app.failed)
                     .then_some(app.finished)
                     .flatten()
                     .map(|f| f.saturating_since(arrival).as_secs_f64());
-                (Some(node), rt)
+                let failure = if app.killed {
+                    Some(JobFailure::Killed)
+                } else if app.failed {
+                    Some(JobFailure::Crashed)
+                } else {
+                    None
+                };
+                (Some(node), rt, failure)
             }
-            None => (None, None),
+            None if state.orphaned[job] => (None, None, Some(JobFailure::NodeLost)),
+            None => {
+                debug_assert!(state.gave_up[job], "unassigned job must be resolved");
+                (None, None, Some(JobFailure::GaveUp))
+            }
         };
         jobs.push(JobOutcome {
             job,
             node,
             deferrals: state.deferrals[job],
             migrations: state.migrations[job],
-            gave_up: state.gave_up[job],
+            reschedules: state.reschedules[job],
+            failure,
             runtime_s,
         });
         app_runtimes_s.push(runtime_s);
+        failures.push(failure);
     }
     // No per-node runtime matrix in scheduler mode: it is O(jobs × nodes)
     // and the per-job outcomes above carry the same information.
@@ -1038,6 +1517,7 @@ pub fn run_fleet_with_workers(
         app_runtimes_s,
         per_node_s: Vec::new(),
         spread_s: Vec::new(),
+        failures,
     };
 
     let mut violations = FleetOracle::new(fleet.grace.as_millis())
@@ -1051,6 +1531,7 @@ pub fn run_fleet_with_workers(
         jobs,
         trace: state.trace,
         violations,
+        degradation: state.degradation,
     }
 }
 
@@ -1064,19 +1545,38 @@ pub fn fleet_cache_stats() -> CacheStats {
 }
 
 /// Content-addressed [`run_fleet`]: the serialized `(scenario, setting,
-/// machine_cfg, fleet_cfg)` quadruple keys a process-wide cache, and an
-/// identical earlier fleet run is returned as a shared [`Arc`] without
-/// re-running the scheduler. The machine config is normalized through
-/// [`MachineConfig::with_setting`] before keying, like the node cache.
+/// machine_cfg, fleet_cfg, fault_plan)` quintuple keys a process-wide
+/// cache, and an identical earlier fleet run is returned as a shared
+/// [`Arc`] without re-running the scheduler. The machine config is
+/// normalized through [`MachineConfig::with_setting`] before keying, like
+/// the node cache. The fault plan is part of the key so chaos runs never
+/// collide with clean cached results.
 pub fn run_fleet_cached(
     scenario: &Scenario,
     setting: &Setting,
     machine_cfg: MachineConfig,
     fleet: &FleetConfig,
 ) -> Arc<FleetResult> {
+    run_fleet_cached_faulted(
+        scenario,
+        setting,
+        machine_cfg,
+        fleet,
+        &FleetFaultPlan::none(),
+    )
+}
+
+/// [`run_fleet_cached`] under an injected [`FleetFaultPlan`].
+pub fn run_fleet_cached_faulted(
+    scenario: &Scenario,
+    setting: &Setting,
+    machine_cfg: MachineConfig,
+    fleet: &FleetConfig,
+    plan: &FleetFaultPlan,
+) -> Arc<FleetResult> {
     let cfg = machine_cfg.with_setting(setting);
-    FLEET_CACHE.get_or_compute(&(scenario, setting, &cfg, fleet), || {
-        run_fleet(scenario, setting, machine_cfg, fleet)
+    FLEET_CACHE.get_or_compute(&(scenario, setting, &cfg, fleet, plan), || {
+        run_fleet_with_faults(scenario, setting, machine_cfg, fleet, plan)
     })
 }
 
@@ -1135,7 +1635,7 @@ mod tests {
         let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
         assert_eq!(res.jobs[0].deferrals, 0);
         assert!(res.jobs[1].deferrals > 0, "second W must wait");
-        assert!(!res.jobs[1].gave_up);
+        assert_ne!(res.jobs[1].failure, Some(JobFailure::GaveUp));
         assert!(res.violations.is_empty(), "{:?}", res.violations);
     }
 
@@ -1148,12 +1648,13 @@ mod tests {
         fleet.max_defers = 0;
         fleet.rebalance_checks = 0;
         let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
-        assert!(res.jobs[1].gave_up);
+        assert_eq!(res.jobs[1].failure, Some(JobFailure::GaveUp));
         assert_eq!(res.jobs[1].node, None);
         assert_eq!(res.cluster.app_runtimes_s[1], None);
         let mean = res.cluster.mean_runtime_secs();
         assert_eq!(mean.completed_apps, 1);
         assert_eq!(mean.failed_apps, 1);
+        assert_eq!(mean.gave_up_apps, 1, "the failure reason is typed");
         assert!(
             res.trace
                 .events()
@@ -1202,7 +1703,8 @@ mod tests {
         let scenario = Scenario::uniform("MM", 0);
         let fleet = small_fleet();
         let cfg = quick_cfg();
-        let mut state = Fleet::new(&scenario, cfg, &fleet, 1);
+        let clean = FleetFaultPlan::none();
+        let mut state = Fleet::new(&scenario, cfg, &fleet, &clean, 1);
         let v = state.probe(2, SimTime::from_millis(1_000));
         assert!(
             state.nodes[2].probe.is_none(),
@@ -1224,9 +1726,10 @@ mod tests {
         let scenario = fleet_canonical();
         let fleet = small_fleet();
         let cfg = quick_cfg();
-        let mut a = Fleet::new(&scenario, cfg, &fleet, 1);
+        let clean = FleetFaultPlan::none();
+        let mut a = Fleet::new(&scenario, cfg, &fleet, &clean, 1);
         a.run_events();
-        let mut b = Fleet::new(&scenario, cfg, &fleet, 1);
+        let mut b = Fleet::new(&scenario, cfg, &fleet, &clean, 1);
         b.run_events();
         for node in 0..b.nodes.len() {
             b.nodes[node].probe = None; // whole-fleet re-probe
@@ -1350,6 +1853,274 @@ mod tests {
             serde_json::to_string(&a).expect("serialize"),
             serde_json::to_string(&b).expect("serialize"),
             "fleet results must be bit-identical for any worker count"
+        );
+    }
+
+    // ---- fleet chaos --------------------------------------------------
+
+    #[test]
+    fn node_crash_reschedules_resident_jobs() {
+        // One k-means job lands on node 0; the node dies a minute in. The
+        // job must re-enter the queue, land elsewhere, and complete — with
+        // the loss fully accounted in the degradation report.
+        let scenario = Scenario::uniform("M", 0);
+        let fleet = small_fleet();
+        let plan = FleetFaultPlan::none().with_node_crash(SimDuration::from_secs(60), 0);
+        let res = run_fleet_with_faults(&scenario, &Setting::m3(1), quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert_eq!(res.degradation.nodes_lost, 1);
+        assert_eq!(res.degradation.jobs_lost, 1);
+        assert_eq!(res.degradation.jobs_rescheduled, 1);
+        assert_eq!(res.degradation.jobs_orphaned, 0);
+        assert_eq!(res.jobs[0].reschedules, 1);
+        assert_ne!(res.jobs[0].node, Some(0), "the dead node cannot host it");
+        assert_eq!(res.jobs[0].failure, None, "the job completes elsewhere");
+        assert!(res.jobs[0].runtime_s.is_some());
+        assert!(res.trace.events().iter().any(|e| matches!(
+            e.data,
+            TraceData::FleetNodeLost {
+                node: 0,
+                jobs_lost: 1
+            }
+        )));
+        assert!(res.trace.events().iter().any(|e| matches!(
+            e.data,
+            TraceData::FleetReschedule {
+                job: 0,
+                from: 0,
+                requeued: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn zero_retry_budget_orphans_lost_jobs() {
+        let scenario = Scenario::uniform("M", 0);
+        let mut fleet = small_fleet();
+        fleet.retry_budget = 0;
+        let plan = FleetFaultPlan::none().with_node_crash(SimDuration::from_secs(60), 0);
+        let res = run_fleet_with_faults(&scenario, &Setting::m3(1), quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert_eq!(res.degradation.jobs_orphaned, 1);
+        assert_eq!(res.degradation.jobs_rescheduled, 0);
+        assert_eq!(res.jobs[0].node, None);
+        assert_eq!(res.jobs[0].failure, Some(JobFailure::NodeLost));
+        let mean = res.cluster.mean_runtime_secs();
+        assert_eq!(mean.node_lost_apps, 1);
+        assert!(res.trace.events().iter().any(|e| matches!(
+            e.data,
+            TraceData::FleetReschedule {
+                job: 0,
+                requeued: false,
+                ..
+            }
+        )));
+        assert!(res
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.data, TraceData::FleetGiveUp { job: 0, .. })));
+    }
+
+    #[test]
+    fn flapping_node_is_quarantined_and_readmitted() {
+        // Node 1's endpoint flaps for 1000 s with a 10 s stale window: the
+        // rebalance sweep's forced re-reads quarantine it, and after the
+        // flap ends its healthy probes re-admit it. The single job placed
+        // at t=0 is unaffected.
+        let scenario = Scenario::uniform("M", 0);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.stale_window = SimDuration::from_secs(10);
+        fleet.quarantine_after = 1;
+        fleet.quarantine_healthy = 3;
+        fleet.rebalance_period = SimDuration::from_secs(60);
+        fleet.rebalance_checks = 30;
+        let plan = FleetFaultPlan::none().with_flap(
+            1,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(1_000),
+        );
+        let res = run_fleet_with_faults(&scenario, &Setting::m3(1), quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert_eq!(res.degradation.quarantine_episodes, 1);
+        assert!(res.degradation.probe_failures > 0);
+        let entered = res.trace.events().iter().any(|e| {
+            matches!(
+                e.data,
+                TraceData::FleetQuarantine {
+                    node: 1,
+                    entered: true,
+                    ..
+                }
+            )
+        });
+        let exited = res.trace.events().iter().any(|e| {
+            matches!(
+                e.data,
+                TraceData::FleetQuarantine {
+                    node: 1,
+                    entered: false,
+                    ..
+                }
+            )
+        });
+        assert!(entered, "the flapping node must be quarantined");
+        assert!(exited, "healthy probes after the flap must re-admit it");
+        assert_eq!(res.jobs[0].failure, None);
+    }
+
+    #[test]
+    fn stale_probes_are_tolerated_inside_the_window() {
+        // Both nodes flap from t=0, but the stale window is generous: every
+        // read is served from the flap-start summary, nothing fails, and
+        // nothing is quarantined.
+        let scenario = Scenario::uniform("M", 0);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.stale_window = SimDuration::from_secs(10_000);
+        fleet.rebalance_checks = 5;
+        let plan = FleetFaultPlan::none()
+            .with_flap(0, SimDuration::ZERO, SimDuration::from_secs(1_000))
+            .with_flap(1, SimDuration::ZERO, SimDuration::from_secs(1_000));
+        let res = run_fleet_with_faults(&scenario, &Setting::m3(1), quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert!(res.degradation.stale_probe_decisions > 0);
+        assert_eq!(res.degradation.probe_failures, 0);
+        assert_eq!(res.degradation.quarantine_episodes, 0);
+        assert_eq!(res.jobs[0].failure, None);
+    }
+
+    #[test]
+    fn scheduler_restart_rebuilds_the_index() {
+        let scenario = fleet_canonical();
+        let fleet = small_fleet();
+        let plan = FleetFaultPlan::none().with_scheduler_restart(SimDuration::from_secs(300));
+        let setting = Setting::m3(scenario.len());
+        let res = run_fleet_with_faults(&scenario, &setting, quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert_eq!(res.degradation.scheduler_restarts, 1);
+        assert_eq!(
+            res.degradation.index_rebuild_nodes, 3,
+            "every live node re-enters the rebuilt index"
+        );
+        assert!(res.jobs.iter().all(|j| j.failure.is_none()));
+    }
+
+    #[test]
+    fn delayed_placement_shifts_the_arrival() {
+        let scenario = Scenario::uniform("M", 0);
+        let fleet = small_fleet();
+        let setting = Setting::m3(1);
+        let clean = run_fleet(&scenario, &setting, quick_cfg(), &fleet);
+        let plan = FleetFaultPlan::none().with_placement_delay(0, SimDuration::from_secs(60));
+        let res = run_fleet_with_faults(&scenario, &setting, quick_cfg(), &fleet, &plan);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert_eq!(res.degradation.placements_delayed, 1);
+        assert_eq!(res.degradation.placement_delay_ms, 60_000);
+        let (clean_rt, delayed_rt) = (
+            clean.jobs[0].runtime_s.expect("clean run completes"),
+            res.jobs[0].runtime_s.expect("delayed run completes"),
+        );
+        assert!(
+            delayed_rt > clean_rt,
+            "runtime counts from arrival, so the delay shows: {clean_rt} vs {delayed_rt}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_is_part_of_the_fleet_cache_key() {
+        let scenario = Scenario::uniform("M", 0);
+        let cfg = quick_cfg();
+        let setting = Setting::m3(1);
+        let fleet = small_fleet();
+        let clean = run_fleet_cached(&scenario, &setting, cfg, &fleet);
+        let plan = FleetFaultPlan::none().with_node_crash(SimDuration::from_secs(60), 0);
+        let chaotic = run_fleet_cached_faulted(&scenario, &setting, cfg, &fleet, &plan);
+        assert!(
+            !Arc::ptr_eq(&clean, &chaotic),
+            "a chaos run must never collide with a clean cached result"
+        );
+        assert_eq!(clean.degradation.nodes_lost, 0);
+        assert_eq!(chaotic.degradation.nodes_lost, 1);
+        let again = run_fleet_cached_faulted(&scenario, &setting, cfg, &fleet, &plan);
+        assert!(
+            Arc::ptr_eq(&chaotic, &again),
+            "the same fault plan must hit its own cache entry"
+        );
+    }
+
+    #[test]
+    fn unknown_fault_targets_are_counted_not_applied() {
+        let scenario = Scenario::uniform("M", 0);
+        let fleet = small_fleet();
+        let setting = Setting::m3(1);
+        let plan = FleetFaultPlan::none()
+            .with_node_crash(SimDuration::from_secs(60), 99)
+            .with_flap(99, SimDuration::ZERO, SimDuration::from_secs(60))
+            .with_placement_delay(99, SimDuration::from_secs(60));
+        let clean = run_fleet(&scenario, &setting, quick_cfg(), &fleet);
+        let res = run_fleet_with_faults(&scenario, &setting, quick_cfg(), &fleet, &plan);
+        assert_eq!(res.degradation.faults_unapplied, 3);
+        assert_eq!(
+            serde_json::to_string(&res.jobs).expect("serialize"),
+            serde_json::to_string(&clean.jobs).expect("serialize"),
+            "out-of-range faults must not perturb the schedule"
+        );
+    }
+
+    #[test]
+    fn migration_fault_plans_round_trip_through_serde() {
+        // The migration test's co-location scenario leaves a crash fault
+        // on the source node; the accumulated per-node `FaultPlan`s must
+        // survive serde round trips (they feed the content-addressed node
+        // cache key).
+        let scenario = Scenario::uniform("WW", 60);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.policy = PlacementPolicy::MostPressured;
+        fleet.grace = SimDuration::ZERO;
+        fleet.rebalance_period = SimDuration::from_secs(1);
+        fleet.rebalance_checks = 150;
+        let clean = FleetFaultPlan::none();
+        let mut state = Fleet::new(&scenario, quick_cfg(), &fleet, &clean, 1);
+        state.run_events();
+        let with_faults: Vec<&FaultPlan> = state
+            .nodes
+            .iter()
+            .map(|n| &n.faults)
+            .filter(|f| !f.is_empty())
+            .collect();
+        assert!(
+            !with_faults.is_empty(),
+            "the migration must leave a crash fault on the source node"
+        );
+        for plan in with_faults {
+            let back = FaultPlan::deserialize(&plan.serialize()).expect("round trip");
+            assert_eq!(*plan, back);
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let scenario = fleet_canonical();
+        let fleet = small_fleet();
+        let setting = Setting::m3(scenario.len());
+        let plan = FleetFaultPlan::none()
+            .with_node_crash(SimDuration::from_secs(120), 1)
+            .with_flap(0, SimDuration::from_secs(60), SimDuration::from_secs(600))
+            .with_placement_delay(2, SimDuration::from_secs(30))
+            .with_scheduler_restart(SimDuration::from_secs(240));
+        let a = run_fleet_faulted_with_workers(&scenario, &setting, quick_cfg(), &fleet, &plan, 1);
+        let b = run_fleet_faulted_with_workers(&scenario, &setting, quick_cfg(), &fleet, &plan, 4);
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+            "chaos results must be bit-identical for any worker count"
+        );
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(
+            a.degradation.jobs_lost,
+            a.degradation.jobs_rescheduled + a.degradation.jobs_orphaned,
+            "every lost job is accounted"
         );
     }
 }

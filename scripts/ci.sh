@@ -16,8 +16,10 @@ cargo test -q --test conformance
 # cluster-oracle invariants, and the fleet placement properties.
 cargo test -q --test fleet
 cargo test -q --test fleet_properties
-# Fixed-seed chaos drill; asserts its own replay is byte-identical.
+# Fixed-seed chaos drills (node- and fleet-level); each asserts its own
+# replay is byte-identical and, at fleet level, zero oracle violations.
 cargo run --release --example chaos_drill
+cargo run --release --example fleet_chaos_drill
 # Fleet-scale smoke: the scaling curve up to 512 nodes with a generous
 # per-point wall-clock budget (full 10k-node curve runs out of band).
 # Asserts zero oracle violations and a memoized repeat at every point.
@@ -25,5 +27,10 @@ cargo run --release --example chaos_drill
 M3_FLEET_SCALE_MAX_NODES=512 M3_FLEET_SCALE_BUDGET_S=60 \
     M3_RESULTS_DIR=target/ci-results \
     cargo bench -p m3-bench --bench fleet_scale
+# Fleet-chaos smoke: the MTBF sweep on a smaller fleet. Asserts zero
+# oracle violations and full lost-job accounting at every point.
+M3_FLEET_CHAOS_NODES=128 M3_FLEET_CHAOS_BUDGET_S=120 \
+    M3_RESULTS_DIR=target/ci-results \
+    cargo bench -p m3-bench --bench fleet_chaos
 cargo clippy -- -D warnings
 cargo fmt --check

@@ -67,6 +67,31 @@ def fig5(plt):
         print(f"  wrote fig5_{key}.png")
 
 
+def fleet_chaos(plt):
+    rows = load("fleet_chaos")
+    if rows is None:
+        return
+    # MTBF 0 encodes the fault-free control point; plot it at the far
+    # right of a descending-MTBF (rising failure rate) axis.
+    labeled = [("∞" if r["mtbf_s"] == 0 else str(r["mtbf_s"]), r) for r in rows]
+    labeled.sort(key=lambda kv: -kv[1]["mtbf_s"] if kv[1]["mtbf_s"] else -(10**12))
+    names = [k for k, _ in labeled]
+    completion = [r["completion_rate"] * 100.0 for _, r in labeled]
+    runtime = [r["mean_runtime_s"] or 0.0 for _, r in labeled]
+    fig, ax = plt.subplots()
+    ax.plot(names, completion, marker="o", color="tab:blue", label="completion rate")
+    ax.set_xlabel("node MTBF (s)")
+    ax.set_ylabel("job completion rate (%)", color="tab:blue")
+    ax.set_ylim(0, 105)
+    ax2 = ax.twinx()
+    ax2.plot(names, runtime, marker="s", color="tab:red", label="mean runtime")
+    ax2.set_ylabel("mean job runtime (s)", color="tab:red")
+    ax.set_title(f"Fleet chaos — {labeled[0][1]['nodes']} nodes, self-healing scheduler")
+    fig.tight_layout()
+    fig.savefig(os.path.join(OUT, "fleet_chaos.png"), dpi=150)
+    print("  wrote fleet_chaos.png")
+
+
 def main():
     try:
         import matplotlib

@@ -50,10 +50,16 @@ pub mod prelude {
     pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal, SignalFaultConfig};
     pub use m3_sim::clock::{SimDuration, SimTime};
     pub use m3_sim::units::{GIB, KIB, MIB};
-    pub use m3_workloads::cluster::{run_cluster, ClusterMean, ClusterResult, PAPER_NODES};
-    pub use m3_workloads::faults::{DegradationReport, FaultKind, FaultPlan};
+    pub use m3_workloads::cluster::{
+        run_cluster, ClusterMean, ClusterResult, JobFailure, PAPER_NODES,
+    };
+    pub use m3_workloads::faults::{
+        DegradationReport, FaultKind, FaultPlan, FleetDegradationReport, FleetFaultPlan, NodeCrash,
+        PlacementDelay, ProbeFlap,
+    };
     pub use m3_workloads::fleet::{
-        run_fleet, run_fleet_cached, run_fleet_with_workers, FleetConfig, FleetResult, JobOutcome,
+        run_fleet, run_fleet_cached, run_fleet_cached_faulted, run_fleet_faulted_with_workers,
+        run_fleet_with_faults, run_fleet_with_workers, FleetConfig, FleetResult, JobOutcome,
         NodeSpec, PlacementPolicy,
     };
     pub use m3_workloads::machine::{Machine, MachineConfig, RunResult};

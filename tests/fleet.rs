@@ -134,7 +134,13 @@ fn conformant_fleet_runs_have_zero_violations() {
             scenario.name
         );
         for j in &res.jobs {
-            assert!(!j.gave_up, "{}: job {} gave up", scenario.name, j.job);
+            assert_ne!(
+                j.failure,
+                Some(JobFailure::GaveUp),
+                "{}: job {} gave up",
+                scenario.name,
+                j.job
+            );
             assert!(
                 j.node.is_some(),
                 "{}: job {} unplaced",
@@ -192,6 +198,58 @@ fn fleet_runs_are_deterministic_and_memoized() {
         serde_json::to_string(&*c1).unwrap(),
         a_bytes,
         "the memoized result matches the uncached computation"
+    );
+}
+
+#[test]
+fn chaotic_fleet_run_is_conformant_and_fully_accounted() {
+    // A four-node fleet under the full fault vocabulary at once: a node
+    // crash mid-horizon, a flapping probe endpoint, a delayed placement
+    // and a scheduler restart. The run must still pass the oracle's
+    // recovery invariants, and the degradation report must account for
+    // every lost job — rescheduled or orphaned, never silently dropped.
+    let scenario = Scenario::uniform("MMPC", 60);
+    let setting = Setting::m3(scenario.len());
+    let mut fleet = FleetConfig::homogeneous(4, 64 * GIB);
+    fleet.rebalance_checks = 20;
+    let plan = FleetFaultPlan::none()
+        .with_node_crash(SimDuration::from_secs(600), 1)
+        .with_flap(2, SimDuration::from_secs(300), SimDuration::from_secs(900))
+        .with_placement_delay(3, SimDuration::from_secs(120))
+        .with_scheduler_restart(SimDuration::from_secs(1_200));
+    let res = run_fleet_with_faults(&scenario, &setting, machine(), &fleet, &plan);
+    assert!(
+        res.violations.is_empty(),
+        "chaotic run must still be conformant: {:#?}",
+        res.violations
+    );
+    let d = &res.degradation;
+    assert_eq!(d.nodes_lost, 1);
+    assert_eq!(d.scheduler_restarts, 1);
+    assert_eq!(d.placements_delayed, 1);
+    assert_eq!(d.faults_unapplied, 0);
+    assert_eq!(
+        d.jobs_lost,
+        d.jobs_rescheduled + d.jobs_orphaned,
+        "every lost job is either rescheduled or orphaned: {d:#?}"
+    );
+    // The trace carries the chaos vocabulary for the replayed oracle.
+    let mut node_lost = 0;
+    for e in res.trace.events() {
+        if e.kind() == "fleet.node_lost" {
+            node_lost += 1;
+        }
+    }
+    assert_eq!(node_lost, 1, "the crash must be traced");
+    // An independent replay through a fresh oracle agrees.
+    let again = FleetOracle::new(fleet.grace.as_millis()).check(&res.trace);
+    assert!(again.is_empty(), "independent replay: {again:#?}");
+    // Chaos runs are deterministic and serde-stable end to end.
+    let repeat = run_fleet_with_faults(&scenario, &setting, machine(), &fleet, &plan);
+    assert_eq!(
+        serde_json::to_string(&res).unwrap(),
+        serde_json::to_string(&repeat).unwrap(),
+        "chaotic runs must be reproducible byte for byte"
     );
 }
 

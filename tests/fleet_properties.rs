@@ -52,6 +52,44 @@ fn fleet_strategy() -> impl Strategy<Value = FleetConfig> {
         })
 }
 
+/// A random chaos plan: up to two node crashes, a flapping probe
+/// endpoint, a delayed placement and maybe a scheduler restart, all over
+/// the first few hundred nodes / first simulated hour so they actually
+/// land on a 256-node fleet.
+fn fleet_fault_plan_strategy() -> impl Strategy<Value = FleetFaultPlan> {
+    (
+        proptest::collection::vec((60u64..3_600, 0usize..256), 0..3),
+        (
+            proptest::bool::ANY,
+            0usize..256,
+            60u64..1_800,
+            300u64..2_400,
+        ),
+        (proptest::bool::ANY, 0u64..4, 30u64..600),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(crashes, flap, delay, restart)| {
+            let mut plan = FleetFaultPlan::none();
+            for (at, node) in crashes {
+                plan = plan.with_node_crash(SimDuration::from_secs(at), node);
+            }
+            if let (true, node, start, dur) = flap {
+                plan = plan.with_flap(
+                    node,
+                    SimDuration::from_secs(start),
+                    SimDuration::from_secs(dur),
+                );
+            }
+            if let (true, job, d) = delay {
+                plan = plan.with_placement_delay(job as usize, SimDuration::from_secs(d));
+            }
+            if restart {
+                plan = plan.with_scheduler_restart(SimDuration::from_secs(1_500));
+            }
+            plan
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -75,7 +113,7 @@ proptest! {
             }
         }
         for j in &res.jobs {
-            if j.gave_up {
+            if j.failure == Some(JobFailure::GaveUp) {
                 prop_assert_eq!(places[j.job], 0, "job {} placed and given up", j.job);
                 prop_assert_eq!(giveups[j.job], 1, "job {} lacks its give-up record", j.job);
                 prop_assert!(j.node.is_none());
@@ -133,6 +171,38 @@ proptest! {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap(),
             "worker count changed the fleet result"
+        );
+    }
+
+    /// Chaos does not break the determinism contract: a randomized
+    /// 256-node fleet under a random [`FleetFaultPlan`] produces a
+    /// byte-identical serialized [`FleetResult`] — degradation report
+    /// included — whether node simulations run on one worker or eight.
+    #[test]
+    fn chaos_is_deterministic_across_worker_counts(
+        scenario in scenario_strategy(),
+        small_stride in 2usize..6,
+        plan in fleet_fault_plan_strategy(),
+    ) {
+        let mut fleet = FleetConfig::homogeneous(256, 64 * GIB);
+        for (i, spec) in fleet.nodes.iter_mut().enumerate() {
+            if i % small_stride == small_stride - 1 {
+                spec.phys_total = 32 * GIB;
+            }
+        }
+        let setting = Setting::m3(scenario.len());
+        let a = run_fleet_faulted_with_workers(&scenario, &setting, machine(), &fleet, &plan, 1);
+        let b = run_fleet_faulted_with_workers(&scenario, &setting, machine(), &fleet, &plan, 8);
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "worker count changed the chaotic fleet result"
+        );
+        prop_assert!(a.violations.is_empty(), "violations: {:#?}", a.violations);
+        prop_assert_eq!(
+            a.degradation.jobs_lost,
+            a.degradation.jobs_rescheduled + a.degradation.jobs_orphaned,
+            "lost-job accounting identity broke: {:#?}", a.degradation
         );
     }
 

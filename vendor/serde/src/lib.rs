@@ -350,6 +350,37 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize, E: Serialize> Serialize
+    for (A, B, C, D, E)
+{
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+            self.3.serialize(),
+            self.4.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize, E: Deserialize> Deserialize
+    for (A, B, C, D, E)
+{
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == 5 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+                D::deserialize(&items[3])?,
+                E::deserialize(&items[4])?,
+            )),
+            other => Err(DeError::new(format!("expected 5-tuple, got {other:?}"))),
+        }
+    }
+}
+
 impl Serialize for Content {
     fn serialize(&self) -> Content {
         self.clone()
