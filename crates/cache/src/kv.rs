@@ -18,6 +18,8 @@ use m3_sim::trace::{EvictReason, TraceData};
 use serde::{Deserialize, Serialize};
 
 use crate::slab::SlabCache;
+use crate::store::KeyedSlabCache;
+use crate::trace::{TraceGen, TraceOpKind, TraceWorkload};
 use crate::workload::KvWorkload;
 
 /// `NUM_epochs` for cache stacks (§4.2: 5 for Go-Cache and Memcached).
@@ -28,6 +30,19 @@ const SLAB_EVICT_US: u64 = 50;
 
 /// Largest request batch advanced at one hit ratio (keeps the ratio fresh).
 const MAX_BATCH: u64 = 20_000;
+
+/// Trace-mode ops applied before the allocation gate settles a batch.
+const TRACE_BATCH: u64 = 4096;
+
+/// Upper bound on trace-mode ops between periodic `cache.stats` snapshots.
+/// Short traces snapshot every tenth of the run instead, so even a server
+/// the OOM killer takes down early leaves progress counters in the trace.
+const TRACE_STATS_EVERY: u64 = 1_000_000;
+
+/// The periodic snapshot interval for a trace of `total_ops` requests.
+fn trace_stats_every(total_ops: u64) -> u64 {
+    (total_ops / 10).clamp(1, TRACE_STATS_EVERY)
+}
 
 /// The memory-management backend under the cache.
 #[derive(Debug)]
@@ -122,12 +137,47 @@ enum Phase {
     Done,
 }
 
+/// The key-granular engine driving a production-trace workload: the slab
+/// store, the op stream, and its extra accounting.
+#[derive(Debug)]
+struct TraceEngine {
+    store: KeyedSlabCache,
+    gen: TraceGen,
+    /// When the measured phase began.
+    serve_started: Option<SimTime>,
+    /// Next `requests_done` milestone for a periodic stats snapshot.
+    next_stats_at: u64,
+    /// Guards the one final `cache.stats` emission.
+    final_stats_emitted: bool,
+    /// Negative lookups observed.
+    negative: u64,
+    /// SETs applied.
+    sets: u64,
+    /// DELETEs applied.
+    deletes: u64,
+}
+
+/// Slab-layout deltas accumulated over one trace batch; the backend and
+/// the allocation gate are settled once per batch from these.
+#[derive(Debug, Default, Clone, Copy)]
+struct BatchFx {
+    /// Chunk-consuming inserts (gate-relevant allocation attempts).
+    attempts: u64,
+    /// Chunk bytes those inserts consumed.
+    chunk_bytes: u64,
+    /// Slabs newly committed.
+    new_slabs: u64,
+    /// Slabs released (class steals).
+    freed_slabs: u64,
+}
+
 /// A cache server process (Go-Cache or Memcached).
 #[derive(Debug)]
 pub struct KvApp {
     backend: KvBackend,
     slabs: SlabCache,
     wl: KvWorkload,
+    engine: Option<Box<TraceEngine>>,
     allocator: Option<AdaptiveAllocator>,
     phase: Phase,
     preloaded: u64,
@@ -149,6 +199,7 @@ impl KvApp {
             slabs: SlabCache::new(wl.key_space, wl.item_bytes, wl.slab_bytes, cap),
             backend,
             wl,
+            engine: None,
             allocator: m3_mode.then(|| AdaptiveAllocator::new(CACHE_NUM_EPOCHS)),
             phase: Phase::Preload,
             preloaded: 0,
@@ -157,6 +208,56 @@ impl KvApp {
             finished: false,
             stats: KvStats::default(),
         }
+    }
+
+    /// Creates a cache app driven by a production-shaped trace (Zipf
+    /// popularity, tiered values, op mix) over the key-granular slab
+    /// store. Shares the analytic path's tick, debt, signal, and
+    /// adaptive-allocation plumbing; only the storage engine and the
+    /// request stream differ.
+    pub fn new_trace(
+        backend: KvBackend,
+        twl: TraceWorkload,
+        max_bytes: u64,
+        m3_mode: bool,
+    ) -> Self {
+        twl.validate();
+        let cap = if m3_mode { u64::MAX / 2 } else { max_bytes };
+        // The analytic store stays empty; its workload mirror keeps
+        // `progress()` and inspection accessors meaningful.
+        let wl = KvWorkload {
+            key_space: twl.key_space,
+            preload_fraction: twl.preload_fraction,
+            total_requests: twl.total_ops,
+            preload_bytes_per_sec: twl.preload_bytes_per_sec,
+            ..KvWorkload::paper_memtier()
+        };
+        let mut app = KvApp::new(backend, wl, max_bytes, m3_mode);
+        app.engine = Some(Box::new(TraceEngine {
+            store: KeyedSlabCache::new(cap),
+            gen: TraceGen::new(twl),
+            serve_started: None,
+            next_stats_at: trace_stats_every(twl.total_ops),
+            final_stats_emitted: false,
+            negative: 0,
+            sets: 0,
+            deletes: 0,
+        }));
+        app
+    }
+
+    /// Convenience constructor: a trace-driven Memcached on jemalloc —
+    /// the paper's production cache configuration.
+    pub fn trace_memcached(pid: Pid, twl: TraceWorkload, max_bytes: u64, m3_mode: bool) -> Self {
+        KvApp::new_trace(
+            KvBackend::Native(NativeAllocator::new(
+                pid,
+                m3_runtime::AllocatorKind::Jemalloc,
+            )),
+            twl,
+            max_bytes,
+            m3_mode,
+        )
     }
 
     /// Convenience constructor: Go-Cache on a Go runtime.
@@ -191,9 +292,20 @@ impl KvApp {
         )
     }
 
-    /// The slab store (for hit-ratio and residency inspection).
+    /// The analytic slab store (for hit-ratio and residency inspection).
+    /// Empty when the app runs in trace mode — see [`KvApp::keyed`].
     pub fn slabs(&self) -> &SlabCache {
         &self.slabs
+    }
+
+    /// The key-granular store, when this app is trace-driven.
+    pub fn keyed(&self) -> Option<&KeyedSlabCache> {
+        self.engine.as_ref().map(|e| &e.store)
+    }
+
+    /// The trace workload, when this app is trace-driven.
+    pub fn trace_workload(&self) -> Option<&TraceWorkload> {
+        self.engine.as_ref().map(|e| e.gen.workload())
     }
 
     /// The workload description.
@@ -239,10 +351,12 @@ impl KvApp {
         remaining_us -= pay;
 
         while remaining_us > 0 && self.phase != Phase::Done {
-            let spent = match self.phase {
-                Phase::Preload => self.preload_step(os, now, remaining_us),
-                Phase::Serve => self.serve_step(os, now, remaining_us),
-                Phase::Done => 0,
+            let spent = match (self.phase, self.engine.is_some()) {
+                (Phase::Preload, false) => self.preload_step(os, now, remaining_us),
+                (Phase::Serve, false) => self.serve_step(os, now, remaining_us),
+                (Phase::Preload, true) => self.trace_preload_step(os, now, remaining_us),
+                (Phase::Serve, true) => self.trace_serve_step(os, now, remaining_us),
+                (Phase::Done, _) => 0,
             };
             if spent == 0 {
                 break;
@@ -253,6 +367,9 @@ impl KvApp {
         if self.phase == Phase::Done && self.debt.is_zero() {
             self.finished = true;
             self.slabs.clear();
+            if let Some(e) = self.engine.as_mut() {
+                e.store.clear();
+            }
             self.backend.shutdown(os);
         }
         KvTickOutcome {
@@ -362,6 +479,209 @@ impl KvApp {
         }
         pause
     }
+
+    /// Preloads the hottest ranks into the key-granular store, rate-limited
+    /// by the workload's fill bandwidth. Returns microseconds spent.
+    fn trace_preload_step(&mut self, os: &mut Kernel, now: SimTime, budget_us: u64) -> u64 {
+        let e = self.engine.as_mut().expect("trace engine");
+        let twl = *e.gen.workload();
+        let target = twl.preload_items();
+        if self.preloaded >= target {
+            self.phase = Phase::Serve;
+            return 0;
+        }
+        let budget_bytes = (budget_us * twl.preload_bytes_per_sec / 1_000_000).max(1);
+        let mut fx = BatchFx::default();
+        let mut loaded = 0;
+        while self.preloaded + loaded < target
+            && fx.chunk_bytes < budget_bytes
+            && loaded < MAX_BATCH
+        {
+            let fp = twl.fp_of(self.preloaded + loaded);
+            let out = e.store.insert(fp, twl.value_bytes(fp));
+            if out.chunk_bytes > 0 {
+                fx.attempts += 1;
+                fx.chunk_bytes += out.chunk_bytes;
+            }
+            fx.new_slabs += out.new_slabs;
+            fx.freed_slabs += out.freed_slabs;
+            loaded += 1;
+        }
+        self.preloaded += loaded;
+        let spent = fx.chunk_bytes * 1_000_000 / twl.preload_bytes_per_sec;
+        let pause = self.trace_settle(os, now, fx);
+        self.debt += pause;
+        spent.max(1)
+    }
+
+    /// Applies one batch of trace ops against the key-granular store,
+    /// then settles the allocation gate and the backend once for the
+    /// whole batch. Returns microseconds spent.
+    fn trace_serve_step(&mut self, os: &mut Kernel, now: SimTime, budget_us: u64) -> u64 {
+        if self.engine.as_ref().expect("trace engine").gen.exhausted() {
+            if !self
+                .engine
+                .as_ref()
+                .expect("trace engine")
+                .final_stats_emitted
+            {
+                self.emit_cache_stats(os, now);
+                self.engine
+                    .as_mut()
+                    .expect("trace engine")
+                    .final_stats_emitted = true;
+            }
+            self.phase = Phase::Done;
+            return 0;
+        }
+        let e = self.engine.as_mut().expect("trace engine");
+        if e.serve_started.is_none() {
+            e.serve_started = Some(now);
+        }
+        let twl = *e.gen.workload();
+        let budget_ns = budget_us.saturating_mul(1000);
+        let mut spent_ns = 0u64;
+        let mut fx = BatchFx::default();
+        let mut ops = 0;
+        let mut stats_due = false;
+        while spent_ns < budget_ns && ops < TRACE_BATCH {
+            let Some(op) = e.gen.next() else { break };
+            ops += 1;
+            let base_us = match op.kind {
+                TraceOpKind::Get { negative } => {
+                    if e.store.get(op.fp) {
+                        self.stats.hits += 1;
+                        twl.hit_us
+                    } else {
+                        self.stats.misses += 1;
+                        if negative {
+                            e.negative += 1;
+                        } else {
+                            // A real key misses once, then fills.
+                            let out = e.store.insert(op.fp, twl.value_bytes(op.fp));
+                            if out.chunk_bytes > 0 {
+                                fx.attempts += 1;
+                                fx.chunk_bytes += out.chunk_bytes;
+                            }
+                            fx.new_slabs += out.new_slabs;
+                            fx.freed_slabs += out.freed_slabs;
+                        }
+                        twl.hit_us + twl.miss_extra_us
+                    }
+                }
+                TraceOpKind::Set => {
+                    e.sets += 1;
+                    let out = e.store.insert(op.fp, twl.value_bytes(op.fp));
+                    if out.chunk_bytes > 0 {
+                        fx.attempts += 1;
+                        fx.chunk_bytes += out.chunk_bytes;
+                    }
+                    fx.new_slabs += out.new_slabs;
+                    fx.freed_slabs += out.freed_slabs;
+                    twl.set_us
+                }
+                TraceOpKind::Delete => {
+                    e.deletes += 1;
+                    e.store.delete(op.fp);
+                    twl.delete_us
+                }
+            };
+            self.stats.requests_done += 1;
+            let (num, den) = op.pace;
+            spent_ns += base_us * 1000 * num as u64 / den as u64;
+            if self.stats.requests_done >= e.next_stats_at {
+                e.next_stats_at += trace_stats_every(twl.total_ops);
+                stats_due = true;
+            }
+        }
+        let pause = self.trace_settle(os, now, fx);
+        self.debt += pause;
+        if stats_due {
+            self.emit_cache_stats(os, now);
+        }
+        (spent_ns / 1000).max(1)
+    }
+
+    /// Settles one trace batch: runs the adaptive allocation gate over the
+    /// batch's chunk-consuming inserts (one `alloc.batch` event, exactly
+    /// like the analytic path), claws back slabs covering the delayed
+    /// share, and applies the net slab delta to the memory backend.
+    fn trace_settle(&mut self, os: &mut Kernel, now: SimTime, mut fx: BatchFx) -> SimDuration {
+        let pid = self.backend.pid();
+        let mut pause = SimDuration::ZERO;
+        if fx.attempts > 0 {
+            if let Some(a) = self.allocator.as_mut() {
+                let snap = a.gate_snapshot(now);
+                let delayed = a.delayed_of(fx.attempts, now);
+                if snap.rate < 1.0 {
+                    os.record_trace_with(pid, || TraceData::AllocBatch {
+                        n: fx.attempts,
+                        delayed,
+                        rate: snap.rate,
+                        elapsed_ms: snap.elapsed_ms,
+                        epoch_ms: snap.epoch_ms,
+                        num_epochs: snap.num_epochs,
+                        curve: snap.curve.to_string(),
+                    });
+                }
+                if delayed > 0 {
+                    self.stats.delayed_puts += delayed;
+                    // Delayed puts must not grow resident memory: evict
+                    // slabs covering their share of the batch's bytes.
+                    let e = self.engine.as_mut().expect("trace engine");
+                    let delayed_bytes = fx.chunk_bytes * delayed / fx.attempts;
+                    let slabs_needed = delayed_bytes.div_ceil(e.store.slab_bytes()).max(1);
+                    let before = e.store.slab_count();
+                    let out = e.store.evict_slabs(slabs_needed);
+                    if out.slabs > 0 {
+                        os.record_trace_with(pid, || TraceData::EvictSlabs {
+                            before,
+                            evicted: out.slabs,
+                            items: out.items,
+                            bytes: out.bytes,
+                            reason: EvictReason::AdmissionDelay,
+                        });
+                        fx.freed_slabs += out.slabs;
+                        pause += SimDuration::from_millis(out.slabs * SLAB_EVICT_US / 1000);
+                    }
+                }
+            }
+        }
+        let slab_bytes = self
+            .engine
+            .as_ref()
+            .expect("trace engine")
+            .store
+            .slab_bytes();
+        if fx.freed_slabs > 0 {
+            self.backend.free(os, fx.freed_slabs * slab_bytes);
+        }
+        if fx.new_slabs > 0 {
+            pause += self.backend.alloc(os, fx.new_slabs * slab_bytes, now);
+        }
+        pause
+    }
+
+    /// Emits a cumulative `cache.stats` snapshot for the trace engine.
+    fn emit_cache_stats(&mut self, os: &mut Kernel, now: SimTime) {
+        let pid = self.backend.pid();
+        let stats = self.stats;
+        let e = self.engine.as_ref().expect("trace engine");
+        let serve_ms = e.serve_started.map(|s| (now - s).as_millis()).unwrap_or(0);
+        os.record_trace_with(pid, || TraceData::CacheStats {
+            requests: stats.requests_done,
+            hits: stats.hits,
+            misses: stats.misses,
+            negative: e.negative,
+            sets: e.sets,
+            deletes: e.deletes,
+            delayed: stats.delayed_puts,
+            capacity_items: e.store.capacity_evictions,
+            resident_bytes: e.store.resident_bytes(),
+            live_items: e.store.live_items(),
+            serve_ms,
+        });
+    }
 }
 
 impl M3Participant for KvApp {
@@ -390,19 +710,43 @@ impl M3Participant for KvApp {
                 a.on_high_signal(now);
             }
         }
-        let slabs_before = self.slabs.slab_count();
-        let (slabs, items) = self.slabs.evict_fraction(fraction);
-        os.record_trace_with(self.backend.pid(), || TraceData::EvictSlabs {
+        let pid = self.backend.pid();
+        let reason = match sig {
+            ThresholdSignal::Low => EvictReason::LowSignal,
+            ThresholdSignal::High => EvictReason::HighSignal,
+        };
+        let (slabs_before, slabs, items, bytes) = match self.engine.as_mut() {
+            Some(e) => {
+                // Key-granular path: per-class detail first, then the
+                // aggregate the oracle checks against Table 1.
+                let before = e.store.slab_count();
+                let out = e.store.evict_fraction(fraction);
+                for d in &out.classes {
+                    os.record_trace_with(pid, || TraceData::EvictClass {
+                        chunk: d.chunk,
+                        before: d.before,
+                        evicted: d.slabs,
+                        items: d.items,
+                        bytes: d.bytes,
+                        reason,
+                    });
+                }
+                (before, out.slabs, out.items, out.bytes)
+            }
+            None => {
+                let before = self.slabs.slab_count();
+                let (slabs, items) = self.slabs.evict_fraction(fraction);
+                (before, slabs, items, self.slabs.items_to_bytes(items))
+            }
+        };
+        os.record_trace_with(pid, || TraceData::EvictSlabs {
             before: slabs_before,
             evicted: slabs,
             items,
-            bytes: self.slabs.items_to_bytes(items),
-            reason: match sig {
-                ThresholdSignal::Low => EvictReason::LowSignal,
-                ThresholdSignal::High => EvictReason::HighSignal,
-            },
+            bytes,
+            reason,
         });
-        self.backend.free(os, self.slabs.items_to_bytes(items));
+        self.backend.free(os, bytes);
         let evict_cost = SimDuration::from_millis(slabs * SLAB_EVICT_US / 1000);
         let (gc_pause, returned) = self.backend.gc(os, now);
         let duration = evict_cost + gc_pause;
@@ -415,9 +759,7 @@ impl M3Participant for KvApp {
         // RSS delta as returned bytes in that case.
         let returned = if returned == 0 {
             match &self.backend {
-                KvBackend::Native(n) if n.kind() == m3_runtime::AllocatorKind::Jemalloc => {
-                    self.slabs.items_to_bytes(items)
-                }
+                KvBackend::Native(n) if n.kind() == m3_runtime::AllocatorKind::Jemalloc => bytes,
                 _ => returned,
             }
         } else {
@@ -653,5 +995,188 @@ mod tests {
         run(&mut os, &mut app);
         let out = app.handle_signal(ThresholdSignal::High, &mut os, SimTime::from_secs(99999));
         assert_eq!(out, SignalOutcome::default());
+    }
+
+    use crate::trace::{TraceWorkload, TrafficPattern};
+
+    fn small_trace() -> TraceWorkload {
+        TraceWorkload {
+            key_space: 20_000,
+            total_ops: 120_000,
+            phase_ops: 30_000,
+            ..TraceWorkload::smoke(TrafficPattern::Steady)
+        }
+    }
+
+    fn setup_trace(m3: bool, max: u64) -> (Kernel, KvApp) {
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let pid = os.spawn("memcached-trace");
+        (os, KvApp::trace_memcached(pid, small_trace(), max, m3))
+    }
+
+    #[test]
+    fn trace_benchmark_completes_and_releases() {
+        let (mut os, mut app) = setup_trace(true, 0);
+        let pid = app.pid();
+        run(&mut os, &mut app);
+        assert_eq!(app.stats.requests_done, 120_000);
+        assert!(app.stats.hits > 0 && app.stats.misses > 0);
+        assert_eq!(os.rss(pid), 0, "shutdown releases everything");
+    }
+
+    #[test]
+    fn trace_preload_fills_the_hottest_ranks() {
+        let (mut os, mut app) = setup_trace(true, 0);
+        let mut now = SimTime::ZERO;
+        while app.phase == Phase::Preload {
+            app.tick(&mut os, now, SimDuration::from_millis(100));
+            now += SimDuration::from_millis(100);
+        }
+        let twl = *app.trace_workload().unwrap();
+        let store = app.keyed().unwrap();
+        assert_eq!(store.live_items(), twl.preload_items());
+        for key in 0..100 {
+            assert!(store.contains(twl.fp_of(key)), "hot key {key} preloaded");
+        }
+    }
+
+    #[test]
+    fn trace_signal_emits_class_detail_summing_to_aggregate() {
+        let (mut os, mut app) = setup_trace(true, 0);
+        let mut now = SimTime::ZERO;
+        while app.phase == Phase::Preload {
+            app.tick(&mut os, now, SimDuration::from_millis(100));
+            now += SimDuration::from_millis(100);
+        }
+        let before = app.keyed().unwrap().slab_count();
+        app.handle_signal(ThresholdSignal::High, &mut os, now);
+        let agg = os
+            .trace
+            .of_kind("evict.slabs")
+            .filter_map(|ev| match ev.data {
+                TraceData::EvictSlabs {
+                    before,
+                    evicted,
+                    items,
+                    bytes,
+                    reason: EvictReason::HighSignal,
+                } => Some((before, evicted, items, bytes)),
+                _ => None,
+            })
+            .last()
+            .expect("high-signal eviction recorded");
+        assert_eq!(agg.0, before);
+        assert_eq!(agg.1, ((before as f64) * 0.04).ceil() as u64, "Table 1: 4%");
+        let (mut slabs, mut items, mut bytes, mut classes) = (0, 0, 0, 0);
+        for ev in os.trace.of_kind("evict.class") {
+            if let TraceData::EvictClass {
+                evicted,
+                items: i,
+                bytes: b,
+                reason: EvictReason::HighSignal,
+                ..
+            } = ev.data
+            {
+                classes += 1;
+                slabs += evicted;
+                items += i;
+                bytes += b;
+            }
+        }
+        assert!(classes > 1, "eviction spans multiple slab classes");
+        assert_eq!(slabs, agg.1, "class slabs sum to the aggregate");
+        assert_eq!(items, agg.2, "class items sum to the aggregate");
+        assert_eq!(bytes, agg.3, "class bytes sum to the aggregate");
+    }
+
+    #[test]
+    fn trace_high_signal_throttles_inserts() {
+        let (mut os, mut app) = setup_trace(true, 0);
+        let mut now = SimTime::ZERO;
+        while app.phase == Phase::Preload {
+            app.tick(&mut os, now, SimDuration::from_millis(100));
+            now += SimDuration::from_millis(100);
+        }
+        app.handle_signal(ThresholdSignal::High, &mut os, now);
+        // Serve while time is frozen: the allow rate is 0, all chunk
+        // allocations delayed and clawed back.
+        let before = app.stats.delayed_puts;
+        for _ in 0..50 {
+            app.tick(&mut os, now, SimDuration::from_millis(100));
+        }
+        assert!(app.stats.delayed_puts > before);
+        assert!(os.trace.count("alloc.batch") > 0, "gate events recorded");
+    }
+
+    #[test]
+    fn trace_emits_final_cache_stats() {
+        let (mut os, mut app) = setup_trace(false, 64 * GIB);
+        run(&mut os, &mut app);
+        let last = os
+            .trace
+            .of_kind("cache.stats")
+            .last()
+            .expect("final stats snapshot");
+        match &last.data {
+            &TraceData::CacheStats {
+                requests,
+                hits,
+                misses,
+                negative,
+                sets,
+                deletes,
+                ..
+            } => {
+                assert_eq!(requests, 120_000);
+                assert_eq!(hits + misses + sets + deletes, requests);
+                assert!(negative > 0, "negative lookups observed");
+                let get_share = (hits + misses) as f64 / requests as f64;
+                assert!((get_share - 0.90).abs() < 0.01, "GET share {get_share}");
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_static_limit_caps_residency() {
+        let cap = 64 * m3_sim::units::MIB;
+        let (mut os, mut app) = setup_trace(false, cap);
+        let pid = app.pid();
+        let mut now = SimTime::ZERO;
+        let tick = SimDuration::from_millis(100);
+        let mut peak = 0;
+        for _ in 0..10_000_000 {
+            let out = app.tick(&mut os, now, tick);
+            now += tick;
+            peak = peak.max(os.rss(pid));
+            if out.finished {
+                break;
+            }
+        }
+        assert!(app.finished(), "run completes under a static cap");
+        assert!(
+            peak <= cap + 8 * m3_sim::units::MIB,
+            "peak rss {peak} must respect the static limit"
+        );
+        assert!(
+            app.keyed().unwrap().capacity_evictions > 0,
+            "capacity pressure forces LRU recycling"
+        );
+    }
+
+    #[test]
+    fn trace_run_is_deterministic() {
+        let run_once = || {
+            let (mut os, mut app) = setup_trace(true, 0);
+            run(&mut os, &mut app);
+            (
+                app.stats.requests_done,
+                app.stats.hits,
+                app.stats.misses,
+                app.stats.delayed_puts,
+                os.trace.len(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
     }
 }

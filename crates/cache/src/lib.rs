@@ -21,11 +21,23 @@
 //! are uniform, the hit ratio equals the resident fraction of the key
 //! space, which lets the driver advance in deterministic batches instead of
 //! simulating 6.5 million individual requests.
+//!
+//! Two richer substrates extend that analytic model to production-shaped
+//! traffic (ROADMAP item 1): [`store`] is a key-granular slab-class store
+//! (sharded fingerprint index, intrusive per-class LRU, slab-granular
+//! eviction) and [`trace`] generates deterministic Zipf traces with tiered
+//! value sizes, op mixes, negative lookups, and burst / diurnal /
+//! hot-key-shift phase schedules. [`KvApp`] drives either engine through
+//! the same tick, signal, and adaptive-allocation plumbing.
 
 pub mod kv;
 pub mod slab;
+pub mod store;
+pub mod trace;
 pub mod workload;
 
 pub use kv::{KvApp, KvBackend, KvStats};
 pub use slab::SlabCache;
+pub use store::{ClassEvict, ClassView, EvictOutcome, InsertOutcome, KeyedSlabCache};
+pub use trace::{TraceGen, TraceOp, TraceOpKind, TraceWorkload, TrafficPattern, ZipfSampler};
 pub use workload::KvWorkload;

@@ -114,10 +114,12 @@ impl SlabCache {
     }
 
     /// Evicts the given fraction of slabs, rounding up (≥ 1 slab if any
-    /// exist). Returns `(slabs, items)` evicted. This is the Table 1 policy:
-    /// 1 % on a low signal, 4 % on a high signal.
+    /// exist and the fraction is positive). Returns `(slabs, items)`
+    /// evicted. This is the Table 1 policy: 1 % on a low signal, 4 % on a
+    /// high signal. Edge cases: an empty cache, a non-positive fraction,
+    /// and NaN all evict nothing; fractions ≥ 1 evict every slab.
     pub fn evict_fraction(&mut self, fraction: f64) -> (u64, u64) {
-        if self.slab_count() == 0 {
+        if self.slab_count() == 0 || fraction.is_nan() || fraction <= 0.0 {
             return (0, 0);
         }
         let n = ((self.slab_count() as f64 * fraction).ceil() as u64).clamp(1, self.slab_count());
@@ -204,6 +206,39 @@ mod tests {
     fn evict_fraction_of_empty() {
         let mut c = cache(16 * GIB);
         assert_eq!(c.evict_fraction(0.04), (0, 0));
+    }
+
+    #[test]
+    fn evict_fraction_non_positive_is_a_noop() {
+        let mut c = cache(16 * GIB);
+        c.insert(256 * 10);
+        assert_eq!(c.evict_fraction(0.0), (0, 0), "zero fraction");
+        assert_eq!(c.evict_fraction(-0.04), (0, 0), "negative fraction");
+        assert_eq!(c.evict_fraction(f64::NAN), (0, 0), "NaN fraction");
+        assert_eq!(c.resident_items(), 256 * 10, "nothing left the cache");
+    }
+
+    #[test]
+    fn evict_fraction_of_everything() {
+        let mut c = cache(16 * GIB);
+        c.insert(256 * 10);
+        assert_eq!(c.evict_fraction(1.0), (10, 2560), "1.0 empties the cache");
+        assert_eq!(c.resident_items(), 0);
+        c.insert(256 * 10);
+        assert_eq!(c.evict_fraction(7.5), (10, 2560), "so does any excess");
+    }
+
+    #[test]
+    fn evict_fraction_rounding_pins_ceil() {
+        // ceil(n · f) with a floor of one slab: the exact Table 1 maths
+        // the oracle replays.
+        let mut c = cache(u64::MAX / 2);
+        c.insert(256 * 1000); // 1000 slabs
+        assert_eq!(c.evict_fraction(0.0101).0, 11, "ceil(10.1) = 11");
+        c.insert(256 * 11); // back to 1000
+        assert_eq!(c.evict_fraction(0.001).0, 1, "ceil(1.0) = 1");
+        c.insert(256); // back to 1000
+        assert_eq!(c.evict_fraction(0.0001).0, 1, "floor of one slab");
     }
 
     #[test]

@@ -1,0 +1,966 @@
+//! Key-granular slab store (memcached-style slab classes).
+//!
+//! Where [`crate::slab::SlabCache`] models the uniform-access benchmark
+//! analytically, this store tracks every resident key so skewed (Zipf)
+//! traffic and tiered value sizes behave like a real slab allocator:
+//!
+//! - **Slab classes**: chunk sizes double from 64 B up to the slab size
+//!   (1 MiB by default); an item occupies one chunk of the smallest class
+//!   that fits `value + overhead`.
+//! - **Sharded fingerprint index**: 64 open-addressing shards keyed by the
+//!   top bits of a 64-bit key fingerprint — no string keys anywhere on the
+//!   hot path. Linear probing with backward-shift deletion keeps probes
+//!   short without tombstones.
+//! - **Intrusive per-class LRU**: entries live in one arena and link by
+//!   `u32` index, so a get/insert/delete does zero heap allocation.
+//! - **Slab-granular eviction**: when M3 demands bytes back, whole slabs
+//!   are reclaimed per class — dead chunks evaporate first, then the
+//!   class's LRU tail is sampled, which is how memcached's slab
+//!   rebalancer approximates LRU at slab granularity.
+//!
+//! Everything is integer arithmetic over a deterministic layout: the same
+//! operation sequence yields bit-identical state on every run.
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel index for "no entry" in intrusive links and index slots.
+const NONE: u32 = u32::MAX;
+
+/// Number of index shards (fixed; selected by the fingerprint's top bits).
+const SHARDS: usize = 64;
+
+/// Initial slot count per shard (power of two).
+const SHARD_MIN_CAP: usize = 64;
+
+/// Per-item metadata bytes (key, header, links) added to the value when
+/// choosing a chunk class — memcached's `item` header plus a short key.
+pub const ITEM_OVERHEAD: u64 = 56;
+
+/// Smallest chunk class, bytes.
+pub const MIN_CHUNK: u64 = 64;
+
+/// One resident item. `prev`/`next` link the class LRU (head = most
+/// recently used); freed entries chain through `next` on the free list.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    fp: u64,
+    prev: u32,
+    next: u32,
+    class: u8,
+}
+
+/// One open-addressing index shard mapping fingerprint → arena index.
+#[derive(Debug, Clone)]
+struct Shard {
+    fps: Vec<u64>,
+    idxs: Vec<u32>,
+    live: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            fps: vec![0; SHARD_MIN_CAP],
+            idxs: vec![NONE; SHARD_MIN_CAP],
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.fps.len() - 1
+    }
+
+    /// Finds the slot holding `fp`, or `None`.
+    #[inline]
+    fn find_slot(&self, fp: u64) -> Option<usize> {
+        let mask = self.mask();
+        let mut i = (fp as usize) & mask;
+        loop {
+            if self.idxs[i] == NONE {
+                return None;
+            }
+            if self.fps[i] == fp {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, fp: u64) -> Option<u32> {
+        self.find_slot(fp).map(|i| self.idxs[i])
+    }
+
+    fn insert(&mut self, fp: u64, idx: u32) {
+        if (self.live + 1) * 4 > self.fps.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = (fp as usize) & mask;
+        while self.idxs[i] != NONE {
+            debug_assert_ne!(self.fps[i], fp, "duplicate fingerprint insert");
+            i = (i + 1) & mask;
+        }
+        self.fps[i] = fp;
+        self.idxs[i] = idx;
+        self.live += 1;
+    }
+
+    /// Removes `fp`, backward-shifting the probe run so lookups never need
+    /// tombstones. Returns the arena index that was stored.
+    fn remove(&mut self, fp: u64) -> Option<u32> {
+        let mut i = self.find_slot(fp)?;
+        let out = self.idxs[i];
+        let mask = self.mask();
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if self.idxs[j] == NONE {
+                break;
+            }
+            let ideal = (self.fps[j] as usize) & mask;
+            // Slot j may shift into the hole at i only if i lies within
+            // j's probe run (cyclically between its ideal slot and j).
+            if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.fps[i] = self.fps[j];
+                self.idxs[i] = self.idxs[j];
+                i = j;
+            }
+        }
+        self.idxs[i] = NONE;
+        self.fps[i] = 0;
+        self.live -= 1;
+        Some(out)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.fps.len() * 2;
+        let old_fps = std::mem::replace(&mut self.fps, vec![0; new_cap]);
+        let old_idxs = std::mem::replace(&mut self.idxs, vec![NONE; new_cap]);
+        let mask = new_cap - 1;
+        for (fp, idx) in old_fps.into_iter().zip(old_idxs) {
+            if idx == NONE {
+                continue;
+            }
+            let mut i = (fp as usize) & mask;
+            while self.idxs[i] != NONE {
+                i = (i + 1) & mask;
+            }
+            self.fps[i] = fp;
+            self.idxs[i] = idx;
+        }
+    }
+}
+
+/// One slab class: all chunks of a given size.
+#[derive(Debug, Clone, Copy)]
+struct SlabClass {
+    /// Chunk size, bytes (power of two).
+    chunk: u64,
+    /// Chunks per slab.
+    per_slab: u64,
+    /// Slabs assigned to this class.
+    slabs: u64,
+    /// Live items (= used chunks).
+    live: u64,
+    /// Previously used chunks now free for reuse.
+    free_chunks: u64,
+    /// LRU list head (most recently used) and tail.
+    head: u32,
+    tail: u32,
+}
+
+impl SlabClass {
+    fn capacity(&self) -> u64 {
+        self.slabs * self.per_slab
+    }
+}
+
+/// Read-only view of one slab class, for inspection and tests.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ClassView {
+    /// Chunk size, bytes.
+    pub chunk: u64,
+    /// Slabs held by the class.
+    pub slabs: u64,
+    /// Live items.
+    pub live: u64,
+    /// Freed, reusable chunks.
+    pub free_chunks: u64,
+}
+
+/// Per-class detail of one slab-granular eviction.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ClassEvict {
+    /// Chunk size of the class, bytes.
+    pub chunk: u64,
+    /// Slabs the class held before.
+    pub before: u64,
+    /// Slabs evicted from the class.
+    pub slabs: u64,
+    /// Live items removed with them.
+    pub items: u64,
+    /// Bytes released (whole slabs).
+    pub bytes: u64,
+}
+
+/// Aggregate result of a slab-granular eviction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictOutcome {
+    /// Total slabs evicted.
+    pub slabs: u64,
+    /// Total live items removed.
+    pub items: u64,
+    /// Total bytes released.
+    pub bytes: u64,
+    /// Per-class breakdown (affected classes only, ascending chunk size).
+    pub classes: Vec<ClassEvict>,
+}
+
+/// What one insert did to the slab layout (the caller settles backend
+/// allocation at batch granularity from these deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Slabs newly committed.
+    pub new_slabs: u64,
+    /// Slabs released (stolen from another class at capacity).
+    pub freed_slabs: u64,
+    /// Live items evicted to make room (capacity pressure).
+    pub evicted_items: u64,
+    /// Chunk bytes consumed by this item, 0 for a same-class overwrite.
+    pub chunk_bytes: u64,
+}
+
+/// A key-granular, slab-class item store.
+#[derive(Debug, Clone)]
+pub struct KeyedSlabCache {
+    slab_bytes: u64,
+    max_bytes: u64,
+    classes: Vec<SlabClass>,
+    entries: Vec<Entry>,
+    free_head: u32,
+    shards: Vec<Shard>,
+    total_slabs: u64,
+    live: u64,
+    /// Live items evicted over the store's lifetime (all causes).
+    pub evicted_items: u64,
+    /// Slabs evicted over the store's lifetime.
+    pub evicted_slabs: u64,
+    /// Live items evicted specifically by capacity pressure.
+    pub capacity_evictions: u64,
+}
+
+impl KeyedSlabCache {
+    /// Creates an empty store with 1 MiB slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_bytes` holds at least one slab.
+    pub fn new(max_bytes: u64) -> Self {
+        Self::with_slab_bytes(max_bytes, 1 << 20)
+    }
+
+    /// Creates an empty store with the given power-of-two slab size.
+    pub fn with_slab_bytes(max_bytes: u64, slab_bytes: u64) -> Self {
+        assert!(
+            slab_bytes.is_power_of_two() && slab_bytes >= MIN_CHUNK,
+            "slab size must be a power of two holding at least one chunk"
+        );
+        assert!(max_bytes >= slab_bytes, "capacity must hold one slab");
+        let mut classes = Vec::new();
+        let mut chunk = MIN_CHUNK;
+        while chunk <= slab_bytes {
+            classes.push(SlabClass {
+                chunk,
+                per_slab: slab_bytes / chunk,
+                slabs: 0,
+                live: 0,
+                free_chunks: 0,
+                head: NONE,
+                tail: NONE,
+            });
+            chunk *= 2;
+        }
+        KeyedSlabCache {
+            slab_bytes,
+            max_bytes,
+            classes,
+            entries: Vec::new(),
+            free_head: NONE,
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            total_slabs: 0,
+            live: 0,
+            evicted_items: 0,
+            evicted_slabs: 0,
+            capacity_evictions: 0,
+        }
+    }
+
+    /// The slab size, bytes.
+    pub fn slab_bytes(&self) -> u64 {
+        self.slab_bytes
+    }
+
+    /// The configured maximum resident bytes.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Slabs currently committed.
+    pub fn slab_count(&self) -> u64 {
+        self.total_slabs
+    }
+
+    /// Bytes currently resident (whole slabs).
+    pub fn resident_bytes(&self) -> u64 {
+        self.total_slabs * self.slab_bytes
+    }
+
+    /// Live items.
+    pub fn live_items(&self) -> u64 {
+        self.live
+    }
+
+    /// The slab class index for a value of `value_bytes`.
+    #[inline]
+    pub fn class_for(&self, value_bytes: u64) -> usize {
+        let need = (value_bytes + ITEM_OVERHEAD)
+            .next_power_of_two()
+            .clamp(MIN_CHUNK, self.slab_bytes);
+        (need.trailing_zeros() - MIN_CHUNK.trailing_zeros()) as usize
+    }
+
+    /// The chunk size an item of `value_bytes` occupies.
+    #[inline]
+    pub fn chunk_bytes_for(&self, value_bytes: u64) -> u64 {
+        self.classes[self.class_for(value_bytes)].chunk
+    }
+
+    /// Per-class occupancy views (all classes, ascending chunk size).
+    pub fn class_views(&self) -> Vec<ClassView> {
+        self.classes
+            .iter()
+            .map(|c| ClassView {
+                chunk: c.chunk,
+                slabs: c.slabs,
+                live: c.live,
+                free_chunks: c.free_chunks,
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn shard_of(fp: u64) -> usize {
+        (fp >> 58) as usize & (SHARDS - 1)
+    }
+
+    /// True if the key is resident (does not touch the LRU).
+    pub fn contains(&self, fp: u64) -> bool {
+        self.shards[Self::shard_of(fp)].get(fp).is_some()
+    }
+
+    /// Looks up a key; on a hit, moves it to the front of its class LRU.
+    pub fn get(&mut self, fp: u64) -> bool {
+        match self.shards[Self::shard_of(fp)].get(fp) {
+            Some(idx) => {
+                self.touch(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a key. Its chunk returns to the class free list.
+    pub fn delete(&mut self, fp: u64) -> bool {
+        match self.shards[Self::shard_of(fp)].remove(fp) {
+            Some(idx) => {
+                let class = self.entries[idx as usize].class as usize;
+                self.unlink(idx);
+                self.release_entry(idx);
+                self.classes[class].live -= 1;
+                self.classes[class].free_chunks += 1;
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts or overwrites a key. Chooses the slab class from
+    /// `value_bytes`, growing the footprint one slab at a time; at the
+    /// byte cap it first recycles the class's own LRU tail, then steals a
+    /// slab from the most slab-heavy class.
+    pub fn insert(&mut self, fp: u64, value_bytes: u64) -> InsertOutcome {
+        let mut out = InsertOutcome::default();
+        let class = self.class_for(value_bytes);
+        if let Some(idx) = self.shards[Self::shard_of(fp)].get(fp) {
+            let old = self.entries[idx as usize].class as usize;
+            if old == class {
+                // Same-class overwrite reuses the chunk in place.
+                self.touch(idx);
+                return out;
+            }
+            // The value moved across classes: free the old chunk first.
+            self.shards[Self::shard_of(fp)].remove(fp);
+            self.unlink(idx);
+            self.release_entry(idx);
+            self.classes[old].live -= 1;
+            self.classes[old].free_chunks += 1;
+            self.live -= 1;
+        }
+
+        // Acquire a chunk in the target class.
+        if self.classes[class].free_chunks > 0 {
+            self.classes[class].free_chunks -= 1;
+        } else if self.classes[class].live + self.classes[class].free_chunks
+            < self.classes[class].capacity()
+        {
+            // A virgin chunk in an already-committed slab.
+        } else if (self.total_slabs + 1) * self.slab_bytes <= self.max_bytes {
+            self.classes[class].slabs += 1;
+            self.total_slabs += 1;
+            out.new_slabs += 1;
+        } else if self.classes[class].live > 0 {
+            // At capacity: recycle this class's own LRU tail.
+            let tail = self.classes[class].tail;
+            let victim_fp = self.entries[tail as usize].fp;
+            self.shards[Self::shard_of(victim_fp)].remove(victim_fp);
+            self.unlink(tail);
+            self.release_entry(tail);
+            self.classes[class].live -= 1;
+            self.live -= 1;
+            self.evicted_items += 1;
+            self.capacity_evictions += 1;
+            out.evicted_items += 1;
+        } else {
+            // The class owns nothing: steal a slab from the largest class.
+            let victim = self
+                .classes
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, c)| (c.slabs, usize::MAX - i))
+                .map(|(i, _)| i)
+                .expect("classes exist");
+            debug_assert!(self.classes[victim].slabs > 0, "cap holds >= 1 slab");
+            let freed = self.evict_class_slabs(victim, 1);
+            out.freed_slabs += freed.slabs;
+            out.evicted_items += freed.items;
+            self.classes[class].slabs += 1;
+            self.total_slabs += 1;
+            out.new_slabs += 1;
+        }
+
+        let idx = self.acquire_entry(fp, class as u8);
+        self.shards[Self::shard_of(fp)].insert(fp, idx);
+        self.push_front(class, idx);
+        self.classes[class].live += 1;
+        self.live += 1;
+        out.chunk_bytes = self.classes[class].chunk;
+        out
+    }
+
+    /// Evicts `n` slabs, apportioned across classes proportionally to
+    /// their slab counts (largest-remainder rounding, deterministic
+    /// tie-break on smaller chunk first). Returns the per-class detail.
+    pub fn evict_slabs(&mut self, n: u64) -> EvictOutcome {
+        let n = n.min(self.total_slabs);
+        let mut out = EvictOutcome::default();
+        if n == 0 {
+            return out;
+        }
+        let total = self.total_slabs;
+        // Largest-remainder apportionment of n over class slab counts.
+        let mut quotas: Vec<u64> = Vec::with_capacity(self.classes.len());
+        let mut rems: Vec<(u64, usize)> = Vec::with_capacity(self.classes.len());
+        let mut assigned = 0;
+        for (i, c) in self.classes.iter().enumerate() {
+            let q = n * c.slabs / total;
+            let r = n * c.slabs % total;
+            quotas.push(q);
+            assigned += q;
+            rems.push((r, i));
+        }
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, i) in rems.iter().take((n - assigned) as usize) {
+            quotas[i] += 1;
+        }
+        for (i, q) in quotas.into_iter().enumerate() {
+            if q == 0 {
+                continue;
+            }
+            let detail = self.evict_class_slabs(i, q);
+            out.slabs += detail.slabs;
+            out.items += detail.items;
+            out.bytes += detail.bytes;
+            out.classes.push(detail);
+        }
+        out
+    }
+
+    /// Evicts the given fraction of committed slabs (Table 1 policy: 1 %
+    /// on Low, 4 % on High). Rounds up; at least one slab when any exist
+    /// and the fraction is positive. Non-positive (or NaN) fractions and
+    /// an empty store evict nothing; fractions ≥ 1 evict everything.
+    pub fn evict_fraction(&mut self, fraction: f64) -> EvictOutcome {
+        if self.total_slabs == 0 || fraction.is_nan() || fraction <= 0.0 {
+            return EvictOutcome::default();
+        }
+        let n = ((self.total_slabs as f64 * fraction).ceil() as u64).clamp(1, self.total_slabs);
+        self.evict_slabs(n)
+    }
+
+    /// Evicts `n` slabs from class `class`: dead chunks (free or never
+    /// used) evaporate first, then live items leave from the LRU tail.
+    fn evict_class_slabs(&mut self, class: usize, n: u64) -> ClassEvict {
+        let before = self.classes[class].slabs;
+        let n = n.min(before);
+        let cap_after = (before - n) * self.classes[class].per_slab;
+        let mut items = 0;
+        while self.classes[class].live > cap_after {
+            let tail = self.classes[class].tail;
+            debug_assert_ne!(tail, NONE);
+            let fp = self.entries[tail as usize].fp;
+            self.shards[Self::shard_of(fp)].remove(fp);
+            self.unlink(tail);
+            self.release_entry(tail);
+            self.classes[class].live -= 1;
+            self.live -= 1;
+            items += 1;
+        }
+        // Freed chunks beyond the surviving slabs vanish with them.
+        let c = &mut self.classes[class];
+        c.free_chunks = c.free_chunks.min(cap_after - c.live);
+        c.slabs -= n;
+        self.total_slabs -= n;
+        self.evicted_items += items;
+        self.evicted_slabs += n;
+        ClassEvict {
+            chunk: self.classes[class].chunk,
+            before,
+            slabs: n,
+            items,
+            bytes: n * self.slab_bytes,
+        }
+    }
+
+    /// Removes everything (shutdown). Returns the bytes released.
+    pub fn clear(&mut self) -> u64 {
+        let bytes = self.resident_bytes();
+        for c in &mut self.classes {
+            c.slabs = 0;
+            c.live = 0;
+            c.free_chunks = 0;
+            c.head = NONE;
+            c.tail = NONE;
+        }
+        self.entries.clear();
+        self.free_head = NONE;
+        self.shards = (0..SHARDS).map(|_| Shard::new()).collect();
+        self.total_slabs = 0;
+        self.live = 0;
+        bytes
+    }
+
+    #[inline]
+    fn acquire_entry(&mut self, fp: u64, class: u8) -> u32 {
+        if self.free_head != NONE {
+            let idx = self.free_head;
+            self.free_head = self.entries[idx as usize].next;
+            self.entries[idx as usize] = Entry {
+                fp,
+                prev: NONE,
+                next: NONE,
+                class,
+            };
+            idx
+        } else {
+            let idx = self.entries.len() as u32;
+            self.entries.push(Entry {
+                fp,
+                prev: NONE,
+                next: NONE,
+                class,
+            });
+            idx
+        }
+    }
+
+    #[inline]
+    fn release_entry(&mut self, idx: u32) {
+        let e = &mut self.entries[idx as usize];
+        e.fp = 0;
+        e.prev = NONE;
+        e.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Unlinks an entry from its class LRU list.
+    #[inline]
+    fn unlink(&mut self, idx: u32) {
+        let Entry {
+            prev, next, class, ..
+        } = self.entries[idx as usize];
+        let c = &mut self.classes[class as usize];
+        if prev == NONE {
+            c.head = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next == NONE {
+            self.classes[class as usize].tail = prev;
+        } else {
+            self.entries[next as usize].prev = prev;
+        }
+    }
+
+    /// Links an entry at the front (MRU end) of a class LRU list.
+    #[inline]
+    fn push_front(&mut self, class: usize, idx: u32) {
+        let head = self.classes[class].head;
+        self.entries[idx as usize].prev = NONE;
+        self.entries[idx as usize].next = head;
+        if head != NONE {
+            self.entries[head as usize].prev = idx;
+        } else {
+            self.classes[class].tail = idx;
+        }
+        self.classes[class].head = idx;
+    }
+
+    /// Moves an entry to the front of its class LRU.
+    #[inline]
+    fn touch(&mut self, idx: u32) {
+        let class = self.entries[idx as usize].class as usize;
+        if self.classes[class].head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(class, idx);
+    }
+
+    /// Debug invariant: per-class occupancy is consistent with the slab
+    /// layout and the global counters.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let mut live = 0;
+        let mut slabs = 0;
+        for c in &self.classes {
+            assert!(
+                c.live + c.free_chunks <= c.capacity(),
+                "class {} overcommitted",
+                c.chunk
+            );
+            live += c.live;
+            slabs += c.slabs;
+        }
+        assert_eq!(live, self.live);
+        assert_eq!(slabs, self.total_slabs);
+        assert!(self.resident_bytes() <= self.max_bytes.max(self.slab_bytes));
+        let indexed: usize = self.shards.iter().map(|s| s.live).sum();
+        assert_eq!(indexed as u64, self.live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_sim::rng::SimRng;
+    use m3_sim::units::{KIB, MIB};
+
+    /// Mixes a counter into a well-spread fingerprint.
+    fn fp(i: u64) -> u64 {
+        let mut x = i.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    #[test]
+    fn class_geometry() {
+        let c = KeyedSlabCache::new(64 * MIB);
+        assert_eq!(c.chunk_bytes_for(0), 64);
+        assert_eq!(c.chunk_bytes_for(8), 64);
+        assert_eq!(c.chunk_bytes_for(9), 128);
+        assert_eq!(c.chunk_bytes_for(72), 128);
+        assert_eq!(c.chunk_bytes_for(968), 1024, "968 + 56 overhead = 1 KiB");
+        assert_eq!(c.chunk_bytes_for(1000), 2048, "overhead tips the class");
+        assert_eq!(c.chunk_bytes_for(MIB), MIB);
+        assert_eq!(c.chunk_bytes_for(8 * MIB), MIB, "oversize caps at slab");
+        assert_eq!(c.class_views().len(), 15);
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut c = KeyedSlabCache::new(64 * MIB);
+        for i in 0..1000 {
+            let out = c.insert(fp(i), 100 + i);
+            assert!(out.chunk_bytes > 0);
+        }
+        assert_eq!(c.live_items(), 1000);
+        for i in 0..1000 {
+            assert!(c.get(fp(i)), "key {i} resident");
+        }
+        assert!(!c.get(fp(5000)));
+        for i in 0..500 {
+            assert!(c.delete(fp(i)));
+        }
+        assert!(!c.delete(fp(0)), "double delete misses");
+        assert_eq!(c.live_items(), 500);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_same_class_reuses_chunk() {
+        let mut c = KeyedSlabCache::new(64 * MIB);
+        let a = c.insert(fp(1), 100);
+        assert_eq!(a.new_slabs, 1);
+        let b = c.insert(fp(1), 101);
+        assert_eq!(b, InsertOutcome::default(), "no allocation on overwrite");
+        assert_eq!(c.live_items(), 1);
+    }
+
+    #[test]
+    fn overwrite_across_classes_moves_the_item() {
+        let mut c = KeyedSlabCache::new(64 * MIB);
+        c.insert(fp(1), 100);
+        let out = c.insert(fp(1), 10_000);
+        assert_eq!(out.new_slabs, 1, "new class commits a slab");
+        assert_eq!(c.live_items(), 1);
+        let views = c.class_views();
+        let small = views.iter().find(|v| v.chunk == 256).unwrap();
+        assert_eq!(small.live, 0);
+        assert_eq!(small.free_chunks, 1, "old chunk back on the free list");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn deleted_chunks_are_reused_before_growth() {
+        let mut c = KeyedSlabCache::new(64 * MIB);
+        for i in 0..100 {
+            c.insert(fp(i), 100);
+        }
+        let slabs = c.slab_count();
+        for i in 0..50 {
+            c.delete(fp(i));
+        }
+        for i in 1000..1050 {
+            let out = c.insert(fp(i), 100);
+            assert_eq!(out.new_slabs, 0, "free chunks absorb new items");
+        }
+        assert_eq!(c.slab_count(), slabs);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn capacity_recycles_own_lru_tail() {
+        // One slab of 4 KiB holds 16 × 256 B chunks.
+        let mut c = KeyedSlabCache::with_slab_bytes(4 * KIB, 4 * KIB);
+        for i in 0..16 {
+            c.insert(fp(i), 150);
+        }
+        assert_eq!(c.slab_count(), 1);
+        // Touch key 0 so key 1 is the LRU tail.
+        assert!(c.get(fp(0)));
+        let out = c.insert(fp(100), 150);
+        assert_eq!(out.evicted_items, 1);
+        assert_eq!(out.new_slabs, 0);
+        assert!(c.contains(fp(0)), "recently used survives");
+        assert!(!c.contains(fp(1)), "LRU tail evicted");
+        assert_eq!(c.capacity_evictions, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn capacity_steals_a_slab_for_an_empty_class() {
+        let mut c = KeyedSlabCache::with_slab_bytes(4 * KIB, 4 * KIB);
+        for i in 0..16 {
+            c.insert(fp(i), 150);
+        }
+        // A different class at full capacity: steal the 256 B class's slab.
+        let out = c.insert(fp(100), 1000);
+        assert_eq!(out.freed_slabs, 1);
+        assert_eq!(out.new_slabs, 1);
+        assert_eq!(out.evicted_items, 16, "stolen slab drops all residents");
+        assert!(c.contains(fp(100)));
+        assert_eq!(c.slab_count(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn evict_slabs_apportions_by_class_weight() {
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        // ~60 slabs of 1 KiB chunks, ~30 of 16 KiB ones.
+        for i in 0..(60 * 1024) {
+            c.insert(fp(i), 900);
+        }
+        for i in 100_000..(100_000 + 30 * 64) {
+            c.insert(fp(i), 15_000);
+        }
+        let before = c.slab_count();
+        let by_class: Vec<u64> = c.class_views().iter().map(|v| v.slabs).collect();
+        let out = c.evict_slabs(9);
+        assert_eq!(out.slabs, 9);
+        assert_eq!(c.slab_count(), before - 9);
+        assert_eq!(
+            out.classes.iter().map(|d| d.slabs).sum::<u64>(),
+            9,
+            "per-class detail sums to the aggregate"
+        );
+        for d in &out.classes {
+            let idx = c.class_for(d.chunk - ITEM_OVERHEAD - 1);
+            assert!(d.slabs <= by_class[idx], "never more than the class held");
+            assert_eq!(d.bytes, d.slabs * c.slab_bytes());
+        }
+        // Proportionality: the 2:1 class gets roughly 2:1 of the cut.
+        assert!(out.classes[0].slabs > out.classes[1].slabs);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn evict_fraction_edge_cases() {
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        assert_eq!(c.evict_fraction(0.04), EvictOutcome::default(), "empty");
+        for i in 0..1024 {
+            c.insert(fp(i), 900);
+        }
+        let slabs = c.slab_count();
+        assert_eq!(c.evict_fraction(0.0).slabs, 0, "zero fraction is a no-op");
+        assert_eq!(c.evict_fraction(-0.5).slabs, 0, "negative is a no-op");
+        assert_eq!(c.evict_fraction(f64::NAN).slabs, 0, "NaN is a no-op");
+        assert_eq!(c.slab_count(), slabs);
+        assert_eq!(c.evict_fraction(0.01).slabs, 1, "rounds up to one slab");
+        let rest = c.slab_count();
+        assert_eq!(c.evict_fraction(2.0).slabs, rest, "≥1 evicts everything");
+        assert_eq!(c.slab_count(), 0);
+        assert_eq!(c.live_items(), 0);
+    }
+
+    #[test]
+    fn evict_fraction_matches_table1_rounding() {
+        let mut c = KeyedSlabCache::new(2048 * MIB);
+        // 1000 slabs of 1 MiB chunks (one item each).
+        for i in 0..1000 {
+            c.insert(fp(i), 900_000);
+        }
+        assert_eq!(c.slab_count(), 1000);
+        assert_eq!(c.evict_fraction(0.04).slabs, 40, "4% of 1000");
+        assert_eq!(c.evict_fraction(0.01).slabs, 10, "1% of 960");
+    }
+
+    #[test]
+    fn eviction_prefers_dead_chunks() {
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        for i in 0..2048 {
+            c.insert(fp(i), 900);
+        }
+        // Kill half the items: plenty of free chunks.
+        for i in 0..1024 {
+            c.delete(fp(i));
+        }
+        let live_before = c.live_items();
+        let out = c.evict_slabs(1);
+        assert_eq!(out.slabs, 1);
+        assert_eq!(out.items, 0, "dead chunks evaporate before live items");
+        assert_eq!(c.live_items(), live_before);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn lru_order_drives_slab_eviction() {
+        // 4 KiB slabs, 256 B chunks: 16 per slab, two slabs committed.
+        let mut c = KeyedSlabCache::with_slab_bytes(64 * KIB, 4 * KIB);
+        for i in 0..32 {
+            c.insert(fp(i), 150);
+        }
+        // Refresh the first 16 keys so keys 16..32 hold the tail.
+        for i in 0..16 {
+            c.get(fp(i));
+        }
+        let out = c.evict_slabs(1);
+        assert_eq!(out.items, 16);
+        for i in 0..16 {
+            assert!(c.contains(fp(i)), "refreshed keys survive");
+        }
+        for i in 16..32 {
+            assert!(!c.contains(fp(i)), "stale keys evicted");
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        for i in 0..5000 {
+            c.insert(fp(i), 2000);
+        }
+        let resident = c.resident_bytes();
+        assert!(resident > 0);
+        assert_eq!(c.clear(), resident);
+        assert_eq!(c.live_items(), 0);
+        assert_eq!(c.slab_count(), 0);
+        assert!(!c.contains(fp(1)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn random_op_soak_holds_invariants() {
+        let mut rng = SimRng::new(0xC0FFEE);
+        let mut c = KeyedSlabCache::with_slab_bytes(2 * MIB, 64 * KIB);
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for step in 0..20_000 {
+            let k = rng.gen_range(512);
+            let key = fp(k);
+            match rng.gen_range(10) {
+                0..=5 => {
+                    c.insert(key, rng.gen_range(40_000) + 1);
+                    resident.insert(key);
+                }
+                6..=7 => {
+                    let hit = c.get(key);
+                    // Capacity pressure may have evicted it, but a hit
+                    // implies we inserted it at some point.
+                    if hit {
+                        assert!(resident.contains(&key));
+                    }
+                }
+                8 => {
+                    if c.delete(key) {
+                        resident.remove(&key);
+                    }
+                }
+                _ => {
+                    let n = rng.gen_range(3);
+                    c.evict_slabs(n);
+                }
+            }
+            if step % 1000 == 0 {
+                c.check_invariants();
+            }
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn backward_shift_delete_keeps_probe_runs_intact() {
+        // Force heavy collisions: fingerprints sharing low bits land in
+        // long probe runs within one shard.
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        let colliding: Vec<u64> = (0..200u64).map(|i| (i << 32) | 0xAB).collect();
+        for &k in &colliding {
+            c.insert(k, 100);
+        }
+        for &k in colliding.iter().step_by(2) {
+            assert!(c.delete(k));
+        }
+        for (i, &k) in colliding.iter().enumerate() {
+            assert_eq!(c.contains(k), i % 2 == 1, "probe run survives deletes");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must hold one slab")]
+    fn tiny_capacity_rejected() {
+        KeyedSlabCache::new(1024);
+    }
+}

@@ -24,6 +24,15 @@
 //! - **Reclamation responses (Table 1, §4.1)** — a high signal evicts ⅛ of
 //!   the Spark block cache, 1 % (low) / 4 % (high) of cache slabs, and each
 //!   handler reclaims top-down: eviction before GC before `madvise`.
+//! - **Class-granular eviction (Table 1 at slab-class granularity)** — in
+//!   key-granular cache runs every signal eviction records one
+//!   `evict.class` event per touched slab class; each class must evict no
+//!   more slabs than it held, the group's slab/item/byte sums must equal
+//!   the aggregate `evict.slabs` event that follows, and no class event may
+//!   be left orphaned without its aggregate.
+//! - **Cache statistics (trace workloads)** — every `cache.stats` snapshot
+//!   must conserve (`hits + misses + sets + deletes = requests`, negative
+//!   lookups a subset of the misses) and grow monotonically per pid.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -411,6 +420,31 @@ struct HandlerWindow {
     first_madvise: Option<usize>,
 }
 
+/// One `evict.class` event awaiting its aggregate `evict.slabs`.
+#[derive(Debug, Clone, Copy)]
+struct PendingClassEvict {
+    at_ms: u64,
+    chunk: u64,
+    evicted: u64,
+    items: u64,
+    bytes: u64,
+    reason: EvictReason,
+}
+
+/// Cumulative counters of the last `cache.stats` snapshot for one pid.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatsSnap {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    negative: u64,
+    sets: u64,
+    deletes: u64,
+    delayed: u64,
+    capacity_items: u64,
+    serve_ms: u64,
+}
+
 /// The red-zone/above-top selection awaiting its `monitor.poll`.
 struct PendingSelection {
     target: u64,
@@ -442,6 +476,10 @@ struct Checker<'a> {
     degraded_run: u64,
     alloc: BTreeMap<u64, AllocReplay>,
     handlers: BTreeMap<u64, HandlerWindow>,
+    /// `evict.class` groups not yet folded into their aggregate, per pid.
+    pending_classes: BTreeMap<u64, Vec<PendingClassEvict>>,
+    /// Last `cache.stats` snapshot per pid (monotonicity).
+    last_stats: BTreeMap<u64, StatsSnap>,
 }
 
 impl<'a> Checker<'a> {
@@ -461,6 +499,8 @@ impl<'a> Checker<'a> {
             degraded_run: 0,
             alloc: BTreeMap::new(),
             handlers: BTreeMap::new(),
+            pending_classes: BTreeMap::new(),
+            last_stats: BTreeMap::new(),
         }
     }
 
@@ -554,8 +594,9 @@ impl<'a> Checker<'a> {
                 TraceData::EvictSlabs {
                     before,
                     evicted,
+                    items,
+                    bytes,
                     reason,
-                    ..
                 } => {
                     let frac = match reason {
                         EvictReason::LowSignal => Some(self.oracle.slab_low_fraction),
@@ -577,8 +618,40 @@ impl<'a> Checker<'a> {
                             );
                         }
                     }
+                    self.on_slab_aggregate(e, *evicted, *items, *bytes, *reason);
                     self.note_evict(e.pid, i);
                 }
+                TraceData::EvictClass {
+                    chunk,
+                    before,
+                    evicted,
+                    items,
+                    bytes,
+                    reason,
+                } => {
+                    if evicted > before {
+                        self.flag(
+                            "evict.class.bound",
+                            e,
+                            format!(
+                                "class {chunk} evicted {evicted} slabs but held \
+                                 only {before}"
+                            ),
+                        );
+                    }
+                    self.pending_classes
+                        .entry(e.pid)
+                        .or_default()
+                        .push(PendingClassEvict {
+                            at_ms: e.t.as_millis(),
+                            chunk: *chunk,
+                            evicted: *evicted,
+                            items: *items,
+                            bytes: *bytes,
+                            reason: *reason,
+                        });
+                }
+                TraceData::CacheStats { .. } => self.on_cache_stats(e),
                 TraceData::Gc { .. } => {
                     if let Some(w) = self.handlers.get_mut(&e.pid) {
                         w.first_gc.get_or_insert(i);
@@ -602,6 +675,8 @@ impl<'a> Checker<'a> {
                     // the process; a respawn starts from fresh state.
                     self.alloc.remove(&e.pid);
                     self.handlers.remove(&e.pid);
+                    self.pending_classes.remove(&e.pid);
+                    self.last_stats.remove(&e.pid);
                 }
                 TraceData::ZoneChange { .. }
                 | TraceData::WatchdogEscalate { .. }
@@ -619,7 +694,135 @@ impl<'a> Checker<'a> {
                 | TraceData::FleetQuarantine { .. } => {}
             }
         }
+        for (pid, group) in std::mem::take(&mut self.pending_classes) {
+            for c in group {
+                self.out.push(Violation {
+                    invariant: "evict.class.orphan".to_string(),
+                    at_ms: c.at_ms,
+                    pid,
+                    message: format!(
+                        "evict.class for class {} ({} slabs, {:?}) was never \
+                         folded into an aggregate evict.slabs event",
+                        c.chunk, c.evicted, c.reason
+                    ),
+                });
+            }
+        }
         self.out
+    }
+
+    /// Folds the pending `evict.class` group (if any) into its aggregate:
+    /// reasons must match and the per-class slab/item/byte sums must equal
+    /// the aggregate exactly — the class detail is a decomposition of the
+    /// aggregate, not an independent report. Analytic (non-key-granular)
+    /// runs record no class detail, so an empty group is conformant.
+    fn on_slab_aggregate(
+        &mut self,
+        e: &TraceEvent,
+        evicted: u64,
+        items: u64,
+        bytes: u64,
+        reason: EvictReason,
+    ) {
+        let Some(group) = self.pending_classes.remove(&e.pid) else {
+            return;
+        };
+        for c in &group {
+            if c.reason != reason {
+                self.flag(
+                    "evict.class.conservation",
+                    e,
+                    format!(
+                        "class {} detail recorded reason {:?} inside a {reason:?} \
+                         aggregate",
+                        c.chunk, c.reason
+                    ),
+                );
+            }
+        }
+        let (s, i, b) = group.iter().fold((0u64, 0u64, 0u64), |(s, i, b), c| {
+            (s + c.evicted, i + c.items, b + c.bytes)
+        });
+        if (s, i, b) != (evicted, items, bytes) {
+            self.flag(
+                "evict.class.conservation",
+                e,
+                format!(
+                    "class detail sums to {s} slabs / {i} items / {b} bytes, \
+                     aggregate recorded {evicted} / {items} / {bytes}"
+                ),
+            );
+        }
+    }
+
+    /// `cache.stats` snapshots must conserve and grow monotonically.
+    fn on_cache_stats(&mut self, e: &TraceEvent) {
+        let &TraceData::CacheStats {
+            requests,
+            hits,
+            misses,
+            negative,
+            sets,
+            deletes,
+            delayed,
+            capacity_items,
+            serve_ms,
+            ..
+        } = &e.data
+        else {
+            unreachable!("on_cache_stats called with a non-stats event");
+        };
+        if hits + misses + sets + deletes != requests {
+            self.flag(
+                "cache.stats.conservation",
+                e,
+                format!(
+                    "hits {hits} + misses {misses} + sets {sets} + deletes \
+                     {deletes} != requests {requests}"
+                ),
+            );
+        }
+        if negative > misses {
+            self.flag(
+                "cache.stats.conservation",
+                e,
+                format!("negative lookups {negative} exceed misses {misses}"),
+            );
+        }
+        let snap = StatsSnap {
+            requests,
+            hits,
+            misses,
+            negative,
+            sets,
+            deletes,
+            delayed,
+            capacity_items,
+            serve_ms,
+        };
+        if let Some(prev) = self.last_stats.get(&e.pid) {
+            let regressed = [
+                ("requests", prev.requests, requests),
+                ("hits", prev.hits, hits),
+                ("misses", prev.misses, misses),
+                ("negative", prev.negative, negative),
+                ("sets", prev.sets, sets),
+                ("deletes", prev.deletes, deletes),
+                ("delayed", prev.delayed, delayed),
+                ("capacity_items", prev.capacity_items, capacity_items),
+                ("serve_ms", prev.serve_ms, serve_ms),
+            ];
+            for (name, old, new) in regressed {
+                if new < old {
+                    self.flag(
+                        "cache.stats.monotonic",
+                        e,
+                        format!("cumulative {name} fell from {old} to {new}"),
+                    );
+                }
+            }
+        }
+        self.last_stats.insert(e.pid, snap);
     }
 
     fn note_evict(&mut self, pid: u64, i: usize) {
@@ -1533,6 +1736,264 @@ mod tests {
             },
         );
         assert!(Oracle::paper(None).check(&log).is_empty());
+    }
+
+    /// `evict.class` detail for one signal eviction: classes summing to
+    /// (3 slabs, 15 items, 3 MiB) before a 300-slab low-signal aggregate.
+    fn class_group(log: &mut TraceLog, reason: EvictReason) {
+        for (chunk, before, evicted, items, bytes) in [
+            (128, 200, 2, 10, 2 * 1024 * 1024),
+            (1024, 100, 1, 5, 1024 * 1024),
+        ] {
+            log.record(
+                t(4),
+                3,
+                TraceData::EvictClass {
+                    chunk,
+                    before,
+                    evicted,
+                    items,
+                    bytes,
+                    reason,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn class_detail_conserving_to_its_aggregate_passes() {
+        let mut log = TraceLog::new();
+        class_group(&mut log, EvictReason::LowSignal);
+        log.record(
+            t(4),
+            3,
+            TraceData::EvictSlabs {
+                before: 300,
+                evicted: 3, // ceil(0.01 * 300)
+                items: 15,
+                bytes: 3 * 1024 * 1024,
+                reason: EvictReason::LowSignal,
+            },
+        );
+        assert_eq!(Oracle::paper(None).check(&log), Vec::new());
+    }
+
+    #[test]
+    fn class_detail_that_does_not_sum_is_flagged() {
+        let mut log = TraceLog::new();
+        class_group(&mut log, EvictReason::LowSignal);
+        log.record(
+            t(4),
+            3,
+            TraceData::EvictSlabs {
+                before: 300,
+                evicted: 3,
+                items: 99, // group sums to 15
+                bytes: 3 * 1024 * 1024,
+                reason: EvictReason::LowSignal,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "evict.class.conservation"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn class_reason_mismatch_is_flagged() {
+        let mut log = TraceLog::new();
+        class_group(&mut log, EvictReason::HighSignal);
+        log.record(
+            t(4),
+            3,
+            TraceData::EvictSlabs {
+                before: 300,
+                evicted: 3,
+                items: 15,
+                bytes: 3 * 1024 * 1024,
+                reason: EvictReason::LowSignal,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "evict.class.conservation"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn class_overdraw_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(4),
+            3,
+            TraceData::EvictClass {
+                chunk: 128,
+                before: 2,
+                evicted: 5, // more than the class held
+                items: 10,
+                bytes: 5 * 1024 * 1024,
+                reason: EvictReason::HighSignal,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "evict.class.bound"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn orphaned_class_detail_is_flagged() {
+        let mut log = TraceLog::new();
+        class_group(&mut log, EvictReason::LowSignal);
+        // No aggregate follows: both class events are orphans.
+        let violations = Oracle::paper(None).check(&log);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| v.invariant == "evict.class.orphan")
+                .count(),
+            2,
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn analytic_aggregate_without_class_detail_passes() {
+        // Statistical runs record no class granularity; the aggregate alone
+        // is conformant.
+        let mut log = TraceLog::new();
+        log.record(
+            t(4),
+            3,
+            TraceData::EvictSlabs {
+                before: 300,
+                evicted: 3,
+                items: 700,
+                bytes: 3 * 1024 * 1024,
+                reason: EvictReason::LowSignal,
+            },
+        );
+        assert_eq!(Oracle::paper(None).check(&log), Vec::new());
+    }
+
+    fn stats(requests: u64, hits: u64, serve_ms: u64) -> TraceData {
+        TraceData::CacheStats {
+            requests,
+            hits,
+            misses: requests - hits,
+            negative: 0,
+            sets: 0,
+            deletes: 0,
+            delayed: 0,
+            capacity_items: 0,
+            resident_bytes: GIB,
+            live_items: 1000,
+            serve_ms,
+        }
+    }
+
+    #[test]
+    fn cache_stats_that_do_not_conserve_are_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            3,
+            TraceData::CacheStats {
+                requests: 100,
+                hits: 40,
+                misses: 30,   // 40 + 30 + 10 + 10 = 90 != 100
+                negative: 50, // and negative > misses
+                sets: 10,
+                deletes: 10,
+                delayed: 0,
+                capacity_items: 0,
+                resident_bytes: 0,
+                live_items: 0,
+                serve_ms: 10,
+            },
+        );
+        let violations = Oracle::paper(None).check(&log);
+        assert_eq!(
+            violations
+                .iter()
+                .filter(|v| v.invariant == "cache.stats.conservation")
+                .count(),
+            2,
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn cache_stats_regression_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 3, stats(1000, 800, 100));
+        log.record(t(2), 3, stats(500, 400, 200)); // cumulative counters fell
+        let violations = Oracle::paper(None).check(&log);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "cache.stats.monotonic"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn monotone_cache_stats_pass() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 3, stats(1000, 800, 100));
+        log.record(t(2), 3, stats(2000, 1500, 200));
+        log.record(t(3), 3, stats(2000, 1500, 200)); // idle snapshot repeats
+        assert_eq!(Oracle::paper(None).check(&log), Vec::new());
+    }
+
+    /// End to end: a real key-granular trace run — preload, Zipf serve,
+    /// a low and a high signal mid-run — replays with zero violations,
+    /// including the class-granular Table 1 checks and the batched
+    /// allocation-gate carry.
+    #[test]
+    fn keyed_cache_run_is_conformant() {
+        use m3_cache::{KvApp, TraceWorkload, TrafficPattern};
+        use m3_core::{M3Participant, ThresholdSignal};
+        use m3_sim::clock::SimDuration;
+
+        let twl = TraceWorkload {
+            key_space: 20_000,
+            total_ops: 120_000,
+            phase_ops: 30_000,
+            ..TraceWorkload::smoke(TrafficPattern::HotKeyShift)
+        };
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let pid = os.spawn("memcached-trace");
+        let mut app = KvApp::trace_memcached(pid, twl, 0, true);
+        let tick = SimDuration::from_millis(100);
+        let mut now = t(0);
+        let mut ticks = 0u64;
+        while !app.finished() {
+            app.tick(&mut os, now, tick);
+            now += tick;
+            ticks += 1;
+            if ticks == 10 {
+                app.handle_signal(ThresholdSignal::Low, &mut os, now);
+            }
+            if ticks == 25 {
+                app.handle_signal(ThresholdSignal::High, &mut os, now);
+            }
+            assert!(ticks < 1_000_000, "run must terminate");
+        }
+        let trace = std::mem::take(&mut os.trace);
+        assert!(trace.count("evict.class") > 0, "class detail recorded");
+        assert!(trace.count("cache.stats") > 0, "stats snapshots recorded");
+        assert!(trace.count("alloc.batch") > 0, "gate events recorded");
+        assert_eq!(Oracle::paper(None).check(&trace), Vec::new());
     }
 
     #[test]

@@ -236,6 +236,49 @@ pub enum TraceData {
         /// Why the eviction ran.
         reason: EvictReason,
     },
+    /// Per-slab-class detail of a signal-driven cache eviction; a group of
+    /// these immediately precedes the aggregate [`TraceData::EvictSlabs`]
+    /// they sum to (key-granular runs only).
+    EvictClass {
+        /// Chunk size of the slab class, bytes.
+        chunk: u64,
+        /// Slabs the class held before eviction.
+        before: u64,
+        /// Slabs evicted from the class.
+        evicted: u64,
+        /// Live items removed with them.
+        items: u64,
+        /// Bytes freed (whole slabs).
+        bytes: u64,
+        /// Why the eviction ran.
+        reason: EvictReason,
+    },
+    /// Cumulative key-granular cache statistics (trace workloads): emitted
+    /// periodically during the measured phase and once at completion.
+    CacheStats {
+        /// Requests completed.
+        requests: u64,
+        /// GET hits.
+        hits: u64,
+        /// GET misses (including negative lookups).
+        misses: u64,
+        /// Negative lookups among the misses.
+        negative: u64,
+        /// SETs applied.
+        sets: u64,
+        /// DELETEs applied.
+        deletes: u64,
+        /// Inserts delayed by the adaptive protocol.
+        delayed: u64,
+        /// Items evicted by capacity pressure.
+        capacity_items: u64,
+        /// Resident bytes (whole slabs).
+        resident_bytes: u64,
+        /// Live items.
+        live_items: u64,
+        /// Simulated milliseconds since the measured phase began.
+        serve_ms: u64,
+    },
     /// A runtime-layer collection ran.
     Gc {
         /// Which collection.
@@ -412,6 +455,8 @@ impl TraceData {
             TraceData::HandlerEnd { .. } => "handler.end",
             TraceData::EvictBlocks { .. } => "evict.blocks",
             TraceData::EvictSlabs { .. } => "evict.slabs",
+            TraceData::EvictClass { .. } => "evict.class",
+            TraceData::CacheStats { .. } => "cache.stats",
             TraceData::Gc { layer, .. } => match layer {
                 GcLayer::Young => "gc.young",
                 GcLayer::Mixed => "gc.mixed",
@@ -531,6 +576,46 @@ impl TraceData {
                 f("items", items.serialize()),
                 f("bytes", bytes.serialize()),
                 f("reason", reason.serialize()),
+            ],
+            TraceData::EvictClass {
+                chunk,
+                before,
+                evicted,
+                items,
+                bytes,
+                reason,
+            } => vec![
+                f("chunk", chunk.serialize()),
+                f("before", before.serialize()),
+                f("evicted", evicted.serialize()),
+                f("items", items.serialize()),
+                f("bytes", bytes.serialize()),
+                f("reason", reason.serialize()),
+            ],
+            TraceData::CacheStats {
+                requests,
+                hits,
+                misses,
+                negative,
+                sets,
+                deletes,
+                delayed,
+                capacity_items,
+                resident_bytes,
+                live_items,
+                serve_ms,
+            } => vec![
+                f("requests", requests.serialize()),
+                f("hits", hits.serialize()),
+                f("misses", misses.serialize()),
+                f("negative", negative.serialize()),
+                f("sets", sets.serialize()),
+                f("deletes", deletes.serialize()),
+                f("delayed", delayed.serialize()),
+                f("capacity_items", capacity_items.serialize()),
+                f("resident_bytes", resident_bytes.serialize()),
+                f("live_items", live_items.serialize()),
+                f("serve_ms", serve_ms.serialize()),
             ],
             TraceData::Gc {
                 layer,
@@ -753,6 +838,27 @@ impl Deserialize for TraceData {
                 items: map_field(c, "items")?,
                 bytes: map_field(c, "bytes")?,
                 reason: map_field(c, "reason")?,
+            },
+            "evict.class" => TraceData::EvictClass {
+                chunk: map_field(c, "chunk")?,
+                before: map_field(c, "before")?,
+                evicted: map_field(c, "evicted")?,
+                items: map_field(c, "items")?,
+                bytes: map_field(c, "bytes")?,
+                reason: map_field(c, "reason")?,
+            },
+            "cache.stats" => TraceData::CacheStats {
+                requests: map_field(c, "requests")?,
+                hits: map_field(c, "hits")?,
+                misses: map_field(c, "misses")?,
+                negative: map_field(c, "negative")?,
+                sets: map_field(c, "sets")?,
+                deletes: map_field(c, "deletes")?,
+                delayed: map_field(c, "delayed")?,
+                capacity_items: map_field(c, "capacity_items")?,
+                resident_bytes: map_field(c, "resident_bytes")?,
+                live_items: map_field(c, "live_items")?,
+                serve_ms: map_field(c, "serve_ms")?,
             },
             "gc.young" | "gc.mixed" | "gc.full" | "gc.go" => TraceData::Gc {
                 layer: map_field(c, "layer")?,
@@ -1074,6 +1180,33 @@ mod tests {
                     new: 2,
                 },
                 "threshold.adjust.high",
+            ),
+            (
+                TraceData::EvictClass {
+                    chunk: 1024,
+                    before: 10,
+                    evicted: 1,
+                    items: 7,
+                    bytes: 1 << 20,
+                    reason: EvictReason::LowSignal,
+                },
+                "evict.class",
+            ),
+            (
+                TraceData::CacheStats {
+                    requests: 100,
+                    hits: 90,
+                    misses: 10,
+                    negative: 5,
+                    sets: 7,
+                    deletes: 3,
+                    delayed: 2,
+                    capacity_items: 1,
+                    resident_bytes: 1 << 20,
+                    live_items: 42,
+                    serve_ms: 1000,
+                },
+                "cache.stats",
             ),
             (gc(GcLayer::Full, 0), "gc.full"),
             (

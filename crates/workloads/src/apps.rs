@@ -7,7 +7,7 @@
 //! process spawned at start time so Algorithm 1's spawn-order sorting sees
 //! the real schedule).
 
-use m3_cache::{KvApp, KvWorkload};
+use m3_cache::{KvApp, KvWorkload, TraceWorkload};
 use m3_core::{M3Participant, SignalOutcome, ThresholdSignal};
 use m3_framework::{JobSpec, SparkApp, SparkConfig};
 use m3_os::{DiskModel, Kernel, Pid};
@@ -50,6 +50,17 @@ pub enum AppBlueprint {
         /// Whether the cache runs the M3 policies.
         m3_mode: bool,
     },
+    /// A Memcached server driven by a production-shaped key-granular trace
+    /// (Zipf popularity, tiered values, GET/SET/DELETE mix) instead of the
+    /// analytic uniform workload.
+    TraceCache {
+        /// The trace workload (keys, ops, skew, traffic pattern, seed).
+        workload: TraceWorkload,
+        /// Static cache size (ignored under M3; `u64::MAX / 2` ≈ unbounded).
+        max_bytes: u64,
+        /// Whether the cache runs the M3 policies.
+        m3_mode: bool,
+    },
     /// An unmodified JVM server with alternating load (Fig. 2).
     Alternating {
         /// JVM configuration.
@@ -86,6 +97,11 @@ impl AppBlueprint {
             } => AnyApp::Kv(KvApp::memcached(
                 pid, allocator, workload, max_bytes, m3_mode,
             )),
+            AppBlueprint::TraceCache {
+                workload,
+                max_bytes,
+                m3_mode,
+            } => AnyApp::Kv(KvApp::trace_memcached(pid, workload, max_bytes, m3_mode)),
             AppBlueprint::Alternating { jvm, profile } => {
                 AnyApp::Alternating(AlternatingApp::new(pid, jvm, profile))
             }
@@ -98,9 +114,9 @@ impl AppBlueprint {
     pub fn is_m3(&self) -> bool {
         match self {
             AppBlueprint::Spark { spark, .. } => spark.m3_mode,
-            AppBlueprint::GoCache { m3_mode, .. } | AppBlueprint::Memcached { m3_mode, .. } => {
-                *m3_mode
-            }
+            AppBlueprint::GoCache { m3_mode, .. }
+            | AppBlueprint::Memcached { m3_mode, .. }
+            | AppBlueprint::TraceCache { m3_mode, .. } => *m3_mode,
             AppBlueprint::Alternating { jvm, .. } => jvm.return_to_os,
         }
     }

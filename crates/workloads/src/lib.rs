@@ -10,6 +10,9 @@
 //!   delivery, profile sampling, and OOM handling;
 //! - [`hibench`] — calibrated per-node parameters for the three HiBench
 //!   jobs (k-means / PageRank / n-weight) and the cache benchmarks;
+//! - [`kvtrace`] — the key-granular cache-trace sweep: a production-shaped
+//!   Zipf trace over millions of keys replayed under the M3, stock, and
+//!   static-limit policies on an undersized node;
 //! - [`scenario`] — the sixteen evaluation workloads (twelve Fig. 5
 //!   workloads plus the four worst cases of Fig. 8);
 //! - [`settings`] — the five configuration regimes: Default, Globally
@@ -35,6 +38,7 @@ pub mod cluster;
 pub mod faults;
 pub mod fleet;
 pub mod hibench;
+pub mod kvtrace;
 pub mod machine;
 pub mod parallel;
 pub mod runner;
@@ -50,6 +54,10 @@ pub use faults::{
 pub use fleet::{
     demand_estimate, fleet_cache_stats, run_fleet, run_fleet_cached, FleetConfig, FleetResult,
     JobOutcome, NodeSpec, PlacementPolicy,
+};
+pub use kvtrace::{
+    kvtrace_cache_stats, node_phys_bytes, run_cache_trace, run_cache_trace_cached,
+    working_set_bytes, CachePolicy, CacheTraceOutcome,
 };
 pub use machine::{AppResult, Machine, MachineConfig, RunResult, ScheduleEntry};
 pub use parallel::{

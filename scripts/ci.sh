@@ -32,5 +32,14 @@ M3_FLEET_SCALE_MAX_NODES=512 M3_FLEET_SCALE_BUDGET_S=60 \
 M3_FLEET_CHAOS_NODES=128 M3_FLEET_CHAOS_BUDGET_S=120 \
     M3_RESULTS_DIR=target/ci-results \
     cargo bench -p m3-bench --bench fleet_chaos
+# Cache-trace smoke: the key-granular M3 vs Default vs static-limit sweep
+# at reduced scale (the committed full-scale sweep runs 1.2M keys / 10M
+# ops per point). Every point must replay oracle-clean within budget; the
+# drill additionally proves byte-identical replay.
+M3_CACHE_TRACE_KEYS=150000 M3_CACHE_TRACE_OPS=1200000 \
+    M3_CACHE_TRACE_BUDGET_S=60 \
+    M3_RESULTS_DIR=target/ci-results \
+    cargo bench -p m3-bench --bench cache_trace
+cargo run --release --example cache_trace_drill
 cargo clippy -- -D warnings
 cargo fmt --check

@@ -92,6 +92,63 @@ def fleet_chaos(plt):
     print("  wrote fleet_chaos.png")
 
 
+def cache_trace(plt):
+    rows = load("cache_trace")
+    if rows is None:
+        return
+    patterns = list(dict.fromkeys(r["pattern"] for r in rows))
+    policies = list(dict.fromkeys(r["policy"] for r in rows))
+    by_point = {(r["pattern"], r["policy"]): r for r in rows}
+    width = 0.8 / len(policies)
+    xs = range(len(patterns))
+
+    # Panel 1: hit ratio per pattern, grouped by policy; killed runs hatched.
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for i, policy in enumerate(policies):
+        pts = [by_point[(p, policy)] for p in patterns]
+        pos = [x + (i - (len(policies) - 1) / 2) * width for x in xs]
+        bars = ax.bar(pos, [r["hit_ratio"] for r in pts], width=width, label=policy)
+        for bar, r in zip(bars, pts):
+            if r["killed"]:
+                bar.set_hatch("//")
+                ax.annotate(
+                    "OOM", (bar.get_x() + bar.get_width() / 2, bar.get_height()),
+                    ha="center", va="bottom", fontsize=8,
+                )
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(patterns)
+    ax.set_ylabel("GET hit ratio")
+    ax.set_ylim(0, 1.05)
+    ax.set_title(
+        f"Cache trace — {rows[0]['keys']:,} keys, {rows[0]['ops']:,} ops/point"
+        " (hatched = OOM-killed)"
+    )
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(OUT, "cache_trace_hit_ratio.png"), dpi=150)
+    print("  wrote cache_trace_hit_ratio.png")
+
+    # Panel 2: peak RSS per point against node physical memory.
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for i, policy in enumerate(policies):
+        pts = [by_point[(p, policy)] for p in patterns]
+        pos = [x + (i - (len(policies) - 1) / 2) * width for x in xs]
+        ax.bar(pos, [r["peak_rss_gib"] for r in pts], width=width, label=policy)
+    ax.axhline(rows[0]["phys_gib"], color="k", linewidth=0.8, linestyle="--")
+    ax.annotate(
+        f"phys {rows[0]['phys_gib']:.1f} GiB", (0, rows[0]["phys_gib"]),
+        va="bottom", fontsize=8,
+    )
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(patterns)
+    ax.set_ylabel("peak RSS (GiB)")
+    ax.set_title("Cache trace — peak residency vs node physical memory")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(OUT, "cache_trace_peak_rss.png"), dpi=150)
+    print("  wrote cache_trace_peak_rss.png")
+
+
 def main():
     try:
         import matplotlib
@@ -103,6 +160,8 @@ def main():
     os.makedirs(OUT, exist_ok=True)
     fig1(plt)
     fig5(plt)
+    fleet_chaos(plt)
+    cache_trace(plt)
     print(f"plots in {os.path.abspath(OUT)}")
 
 

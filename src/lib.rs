@@ -42,6 +42,7 @@ pub use m3_workloads as workloads;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
+    pub use m3_cache::{TraceWorkload, TrafficPattern};
     pub use m3_core::{
         AdaptiveAllocator, M3Participant, Monitor, MonitorConfig, PressureSummary, SignalOutcome,
         SortOrder, ThresholdSignal, Zone,
@@ -61,6 +62,9 @@ pub mod prelude {
         run_fleet, run_fleet_cached, run_fleet_cached_faulted, run_fleet_faulted_with_workers,
         run_fleet_with_faults, run_fleet_with_workers, FleetConfig, FleetResult, JobOutcome,
         NodeSpec, PlacementPolicy,
+    };
+    pub use m3_workloads::kvtrace::{
+        run_cache_trace, run_cache_trace_cached, CachePolicy, CacheTraceOutcome,
     };
     pub use m3_workloads::machine::{Machine, MachineConfig, RunResult};
     pub use m3_workloads::runner::{

@@ -94,6 +94,62 @@ fn uncached_parallel_fanout_matches_serial() {
     }
 }
 
+#[test]
+fn cache_trace_sweep_is_deterministic_across_workers_and_repeats() {
+    // The BENCH_cache_trace scenario at CI-smoke scale: every
+    // (pattern, policy) point must serialize byte-identically whether the
+    // sweep runs serially, fanned out on 1 or 8 workers, or answered from
+    // the memo cache on a repeat invocation (M3_JOBS only changes worker
+    // count, never results).
+    use m3::prelude::{run_cache_trace, run_cache_trace_cached, CachePolicy};
+    use m3::prelude::{TraceWorkload, TrafficPattern};
+
+    let patterns = [
+        TrafficPattern::Burst,
+        TrafficPattern::Diurnal,
+        TrafficPattern::HotKeyShift,
+    ];
+    let points: Vec<(TraceWorkload, CachePolicy)> = patterns
+        .iter()
+        .flat_map(|&p| {
+            let twl = TraceWorkload {
+                key_space: 40_000,
+                total_ops: 250_000,
+                phase_ops: 62_500,
+                ..TraceWorkload::smoke(p)
+            };
+            CachePolicy::ALL.map(|policy| (twl, policy))
+        })
+        .collect();
+    let reference: Vec<String> = points
+        .iter()
+        .map(|(twl, policy)| {
+            serde_json::to_string(&run_cache_trace(*twl, *policy)).expect("serialize outcome")
+        })
+        .collect();
+    for workers in [1, 8] {
+        let bytes = parallel_map(points.clone(), workers, |(twl, policy)| {
+            serde_json::to_string(&run_cache_trace(twl, policy)).expect("serialize outcome")
+        });
+        assert_eq!(
+            reference, bytes,
+            "cache-trace fan-out diverged at {workers} workers"
+        );
+    }
+    // Memoized repeats: the second lookup is answered from the cache and
+    // must still match the fresh serial reference byte for byte.
+    for rep in 0..2 {
+        for (i, (twl, policy)) in points.iter().enumerate() {
+            let cached = run_cache_trace_cached(*twl, *policy);
+            let bytes = serde_json::to_string(&*cached).expect("serialize outcome");
+            assert_eq!(
+                reference[i], bytes,
+                "memoized cache-trace run diverged: rep={rep} point={i}"
+            );
+        }
+    }
+}
+
 /// A fault plan touching every injection channel: app faults, a lossy and
 /// laggy signal bus, and a monitor poll outage.
 fn chaos_plan() -> FaultPlan {
