@@ -16,6 +16,7 @@ use m3_framework::BlockCache;
 use m3_os::{Kernel, KernelConfig};
 use m3_runtime::{Jvm, JvmConfig};
 use m3_sim::clock::SimTime;
+use m3_sim::trace::Criticality;
 use m3_sim::units::{GIB, KIB, MIB};
 
 fn bench_monitor_poll(c: &mut Criterion) {
@@ -47,6 +48,7 @@ fn bench_selection(c: &mut Criterion) {
                 spawned_at: SimTime::from_secs(i % 97),
                 rss: (i % 13) * GIB / 4,
                 expected_reclaim: (i % 7 + 1) * 100 * MIB,
+                crit: Criticality::ALL[i as usize % 3],
             })
             .collect();
         b.iter(|| {

@@ -36,6 +36,7 @@ fn scenario() -> Scenario {
             (AppKind::GoCache, SimDuration::ZERO),
             (AppKind::KMeans, SimDuration::from_secs(120)),
         ],
+        classes: Vec::new(),
     }
 }
 

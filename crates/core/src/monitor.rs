@@ -11,13 +11,14 @@
 
 use m3_os::{Kernel, Pid, Signal};
 use m3_sim::clock::SimTime;
-use m3_sim::trace::{ThresholdSide, TraceData, TraceZone};
+use m3_sim::trace::{Criticality, ThresholdSide, TraceData, TraceZone};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::MonitorConfig;
 use crate::reclaim::ReclaimTracker;
-use crate::selection::{select_processes, Candidate};
+use crate::selection::{select_processes, select_processes_blind, Candidate};
 use crate::thresholds::AdaptiveThresholds;
 
 /// The memory zone a poll observed (Fig. 4).
@@ -141,6 +142,8 @@ pub struct Monitor {
     cfg: MonitorConfig,
     thresholds: AdaptiveThresholds,
     registered: BTreeSet<Pid>,
+    /// Criticality class per registered pid; absent means `Standard`.
+    classes: BTreeMap<Pid, Criticality>,
     tracker: ReclaimTracker,
     above_top_since: Option<SimTime>,
     /// Whether the previous poll saw usage above the low threshold (the low
@@ -167,6 +170,7 @@ impl Monitor {
             thresholds: AdaptiveThresholds::new(&cfg),
             cfg,
             registered: BTreeSet::new(),
+            classes: BTreeMap::new(),
             tracker: ReclaimTracker::new(),
             above_top_since: None,
             was_above_low: false,
@@ -183,15 +187,33 @@ impl Monitor {
         &self.cfg
     }
 
-    /// Registers a process (the paper's PID-file directory).
+    /// Registers a process (the paper's PID-file directory) as `Standard`
+    /// criticality.
     pub fn register(&mut self, pid: Pid) {
-        self.registered.insert(pid);
+        self.register_with_class(pid, Criticality::Standard);
     }
 
-    /// Unregisters a process and forgets its reclamation history and
+    /// Registers a process with an explicit criticality class.
+    pub fn register_with_class(&mut self, pid: Pid, crit: Criticality) {
+        self.registered.insert(pid);
+        if crit == Criticality::Standard {
+            self.classes.remove(&pid);
+        } else {
+            self.classes.insert(pid, crit);
+        }
+    }
+
+    /// The criticality class `pid` was registered with (`Standard` if it
+    /// never declared one).
+    pub fn criticality_of(&self, pid: Pid) -> Criticality {
+        self.classes.get(&pid).copied().unwrap_or_default()
+    }
+
+    /// Unregisters a process and forgets its reclamation history, class and
     /// watchdog state.
     pub fn unregister(&mut self, pid: Pid) {
         self.registered.remove(&pid);
+        self.classes.remove(&pid);
         self.tracker.forget(pid);
         self.watchdog.remove(&pid);
     }
@@ -271,6 +293,7 @@ impl Monitor {
                     spawned_at: p.spawned_at,
                     rss: p.committed,
                     expected_reclaim: self.tracker.expected(pid, p.committed),
+                    crit: self.criticality_of(pid),
                 })
             })
             .collect()
@@ -382,6 +405,10 @@ impl Monitor {
                 let selected = if self.cfg.signal_all {
                     // Ablation: skip Algorithm 1 and disturb everyone.
                     cands.iter().map(|c| c.pid).collect()
+                } else if self.cfg.crit_blind {
+                    // Ablation: the paper's posture-only ordering, ignoring
+                    // criticality classes.
+                    select_processes_blind(&cands, self.cfg.sort_order, target)
                 } else {
                     select_processes(&cands, self.cfg.sort_order, target)
                 };
@@ -482,26 +509,52 @@ impl Monitor {
 
     /// Kills processes (Algorithm 1 ordering) until usage is at or below
     /// top. Killing releases memory immediately in the simulated kernel.
-    /// Watchdog-escalated participants are deprioritized to the front of the
-    /// ordering: a non-cooperator dies before any cooperating process.
+    ///
+    /// Criticality is the outermost key: every batch job dies before any
+    /// standard job, which dies before any latency-critical job. *Within* a
+    /// class, watchdog-escalated participants are deprioritized to the
+    /// front — a non-cooperator dies before any cooperating peer — and the
+    /// Algorithm 1 posture order decides the rest. Each kill also records a
+    /// `kill.class` event carrying the victim's class and the alive
+    /// candidate set it was chosen from, which is what the oracle's
+    /// kill-ordering invariant replays.
     fn kill_down_to_top(&mut self, os: &mut Kernel, used: u64) -> Vec<Pid> {
         let cands = self.candidates(os);
         let mut sorted = cands;
-        crate::selection::sort_candidates(&mut sorted, self.cfg.sort_order);
-        // Stable partition: escalated first, Algorithm-1 order within each
-        // class.
-        sorted.sort_by_key(|c| !self.is_deprioritized(c.pid));
+        if self.cfg.crit_blind {
+            crate::selection::sort_candidates_blind(&mut sorted, self.cfg.sort_order);
+            // The pre-criticality behaviour: escalated first, Algorithm-1
+            // order within each partition, classes ignored entirely.
+            sorted.sort_by_key(|c| !self.is_deprioritized(c.pid));
+        } else {
+            crate::selection::sort_candidates(&mut sorted, self.cfg.sort_order);
+            // Stable: expendable classes first; escalated participants lead
+            // within their class but never jump a class boundary (an
+            // uncooperative latency-critical job still outlives batch).
+            sorted.sort_by_key(|c| {
+                (
+                    Reverse(c.crit.expendability()),
+                    !self.is_deprioritized(c.pid),
+                )
+            });
+        }
         let mut killed = Vec::new();
         let mut remaining = used;
-        for c in sorted {
+        for (i, c) in sorted.iter().enumerate() {
             if remaining <= self.cfg.top {
                 break;
             }
+            os.record_trace_with(c.pid, || TraceData::KillClass {
+                crit: c.crit,
+                candidates: sorted[i..].iter().map(Candidate::info).collect(),
+            });
             os.record_trace(c.pid, TraceData::MonitorKill { rss: c.rss });
             os.kill(c.pid);
-            self.unregister(c.pid);
             remaining = remaining.saturating_sub(c.rss);
             killed.push(c.pid);
+        }
+        for &pid in &killed {
+            self.unregister(pid);
         }
         killed
     }
@@ -839,6 +892,80 @@ mod tests {
         assert_eq!(r.killed, vec![uncoop]);
         assert!(os.is_alive(coop));
         assert!(!os.is_alive(uncoop));
+    }
+
+    #[test]
+    fn batch_dies_before_latency_critical_despite_newest_first() {
+        let (mut os, mut mon) = setup();
+        os.set_time(t(0));
+        let batch = os.spawn("spark-batch");
+        os.set_time(t(100));
+        let critical = os.spawn("memcached-tier");
+        mon.register_with_class(batch, Criticality::Batch);
+        mon.register_with_class(critical, Criticality::LatencyCritical);
+        os.grow(batch, 31 * GIB).unwrap();
+        os.grow(critical, 32 * GIB).unwrap(); // 63 GiB > top (62)
+        mon.poll(&mut os, t(101));
+        // Newest-first posture alone would kill `critical` (spawned last);
+        // criticality must redirect the kill onto the batch job.
+        let r = mon.poll(&mut os, t(101 + 30));
+        assert_eq!(r.killed, vec![batch]);
+        assert!(os.is_alive(critical));
+    }
+
+    #[test]
+    fn crit_blind_monitor_reverts_to_posture_order() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.crit_blind = true;
+        let mut mon = Monitor::new(cfg);
+        os.set_time(t(0));
+        let batch = os.spawn("spark-batch");
+        os.set_time(t(100));
+        let critical = os.spawn("memcached-tier");
+        mon.register_with_class(batch, Criticality::Batch);
+        mon.register_with_class(critical, Criticality::LatencyCritical);
+        os.grow(batch, 31 * GIB).unwrap();
+        os.grow(critical, 32 * GIB).unwrap();
+        mon.poll(&mut os, t(101));
+        let r = mon.poll(&mut os, t(101 + 30));
+        assert_eq!(r.killed, vec![critical], "blind policy kills the newest");
+    }
+
+    #[test]
+    fn escalation_never_jumps_a_class_boundary() {
+        let (mut os, _) = setup();
+        let mut cfg = MonitorConfig::paper_64gb();
+        cfg.watchdog_polls = 2;
+        let mut mon = Monitor::new(cfg);
+        os.set_time(t(0));
+        let uncoop = os.spawn("uncooperative-critical");
+        os.set_time(t(100));
+        let batch = os.spawn("cooperative-batch");
+        mon.register_with_class(uncoop, Criticality::LatencyCritical);
+        mon.register_with_class(batch, Criticality::Batch);
+        os.grow(uncoop, 33 * GIB).unwrap();
+        os.grow(batch, 30 * GIB).unwrap(); // 63 GiB > top (62)
+        mon.poll(&mut os, t(101));
+        mon.note_reclamation(batch, GIB / 2);
+        let r = mon.poll(&mut os, t(101 + 30));
+        assert!(mon.is_deprioritized(uncoop));
+        // Even escalated, a latency-critical job outlives batch residents.
+        assert_eq!(r.killed, vec![batch]);
+        assert!(os.is_alive(uncoop));
+    }
+
+    #[test]
+    fn registration_tracks_classes() {
+        let (mut os, mut mon) = setup();
+        let a = os.spawn("a");
+        let b = os.spawn("b");
+        mon.register(a);
+        mon.register_with_class(b, Criticality::Batch);
+        assert_eq!(mon.criticality_of(a), Criticality::Standard);
+        assert_eq!(mon.criticality_of(b), Criticality::Batch);
+        mon.unregister(b);
+        assert_eq!(mon.criticality_of(b), Criticality::Standard);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! real PID-file directory has.
 
 use m3_os::{Kernel, Pid};
+use m3_sim::trace::Criticality;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -24,6 +25,9 @@ pub struct PidFile {
     /// alive. (Real PID files approximate this with the process start time
     /// from `/proc/<pid>/stat`.)
     pub incarnation: u64,
+    /// The criticality class the participant declared in its PID file
+    /// (`Standard` when it declared nothing).
+    pub crit: Criticality,
 }
 
 /// The known registration directory.
@@ -43,6 +47,19 @@ impl Registry {
     /// it. Re-registration overwrites the previous file, as writing the
     /// same path would.
     pub fn register(&mut self, os: &Kernel, pid: Pid, app_name: impl Into<String>) {
+        self.register_with_class(os, pid, app_name, Criticality::Standard);
+    }
+
+    /// Like [`Registry::register`], with an explicit criticality class
+    /// written into the PID file. The monitor reads the class on its next
+    /// directory sync and uses it as the primary key of Algorithm 1.
+    pub fn register_with_class(
+        &mut self,
+        os: &Kernel,
+        pid: Pid,
+        app_name: impl Into<String>,
+        crit: Criticality,
+    ) {
         let incarnation = os.process(pid).map_or(0, |p| p.incarnation);
         self.entries.insert(
             pid,
@@ -50,6 +67,7 @@ impl Registry {
                 pid,
                 app_name: app_name.into(),
                 incarnation,
+                crit,
             },
         );
     }
@@ -112,9 +130,9 @@ impl Registry {
         for pid in self.sweep_stale(os) {
             monitor.unregister(pid);
         }
-        for &pid in self.entries.keys() {
+        for (&pid, file) in &self.entries {
             if !monitor.is_registered(pid) {
-                monitor.register(pid);
+                monitor.register_with_class(pid, file.crit);
             }
         }
     }
@@ -225,6 +243,22 @@ mod tests {
         reg.register(&os, pid, "new");
         assert!(reg.sweep_stale(&os).is_empty());
         assert_eq!(reg.entry(pid).unwrap().app_name, "new");
+    }
+
+    #[test]
+    fn pid_file_class_reaches_the_monitor() {
+        let mut os = kernel();
+        let batch = os.spawn("batch");
+        let plain = os.spawn("plain");
+        let mut reg = Registry::new();
+        let mut mon = Monitor::new(MonitorConfig::scaled(4 * GIB));
+        reg.register_with_class(&os, batch, "batch", Criticality::Batch);
+        reg.register(&os, plain, "plain");
+        assert_eq!(reg.entry(batch).unwrap().crit, Criticality::Batch);
+        assert_eq!(reg.entry(plain).unwrap().crit, Criticality::Standard);
+        reg.sync_monitor(&mut mon, &os);
+        assert_eq!(mon.criticality_of(batch), Criticality::Batch);
+        assert_eq!(mon.criticality_of(plain), Criticality::Standard);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use m3_os::Pid;
 use m3_sim::clock::SimTime;
-use m3_sim::trace::CandidateInfo;
+use m3_sim::trace::{CandidateInfo, Criticality};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// The configurable sort order of Algorithm 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +60,8 @@ pub struct Candidate {
     pub rss: u64,
     /// Expected reclamation on a high signal, bytes.
     pub expected_reclaim: u64,
+    /// The process's criticality class (primary sort key).
+    pub crit: Criticality,
 }
 
 impl Candidate {
@@ -69,6 +72,7 @@ impl Candidate {
             spawned_at_ms: self.spawned_at.as_millis(),
             rss: self.rss,
             expected_reclaim: self.expected_reclaim,
+            crit: self.crit,
         }
     }
 
@@ -80,31 +84,45 @@ impl Candidate {
             spawned_at: SimTime::from_millis(i.spawned_at_ms),
             rss: i.rss,
             expected_reclaim: i.expected_reclaim,
+            crit: i.crit,
         }
     }
 }
 
+/// The paper's posture-only comparison: the configured order, ties broken
+/// by pid for determinism.
+fn posture_cmp(a: &Candidate, b: &Candidate, order: SortOrder) -> Ordering {
+    let by_posture = match order {
+        SortOrder::NewestFirst => b.spawned_at.cmp(&a.spawned_at),
+        SortOrder::OldestFirst => a.spawned_at.cmp(&b.spawned_at),
+        SortOrder::LargestRss => b.rss.cmp(&a.rss),
+        SortOrder::LargestExpectedReclaim => b.expected_reclaim.cmp(&a.expected_reclaim),
+    };
+    by_posture.then(a.pid.cmp(&b.pid))
+}
+
 /// Sorts candidates in signalling priority order (highest priority first).
-/// Ties break by pid so results are deterministic.
+///
+/// Criticality is the primary key — more-expendable classes (batch before
+/// standard before latency-critical) sort ahead — and the paper's configured
+/// posture order breaks ties *within* a class. A fleet where every job is
+/// `Standard` (the default) therefore sorts exactly as the paper's
+/// Algorithm 1 did. Final ties break by pid so results are deterministic.
 pub fn sort_candidates(candidates: &mut [Candidate], order: SortOrder) {
-    match order {
-        SortOrder::NewestFirst => {
-            candidates.sort_by(|a, b| b.spawned_at.cmp(&a.spawned_at).then(a.pid.cmp(&b.pid)));
-        }
-        SortOrder::OldestFirst => {
-            candidates.sort_by(|a, b| a.spawned_at.cmp(&b.spawned_at).then(a.pid.cmp(&b.pid)));
-        }
-        SortOrder::LargestRss => {
-            candidates.sort_by(|a, b| b.rss.cmp(&a.rss).then(a.pid.cmp(&b.pid)));
-        }
-        SortOrder::LargestExpectedReclaim => {
-            candidates.sort_by(|a, b| {
-                b.expected_reclaim
-                    .cmp(&a.expected_reclaim)
-                    .then(a.pid.cmp(&b.pid))
-            });
-        }
-    }
+    candidates.sort_by(|a, b| {
+        b.crit
+            .expendability()
+            .cmp(&a.crit.expendability())
+            .then_with(|| posture_cmp(a, b, order))
+    });
+}
+
+/// Criticality-blind variant of [`sort_candidates`]: the paper's original
+/// posture-only ordering. Kept as an ablation knob — a policy sorted this
+/// way under a mixed-criticality load is exactly what the oracle's
+/// `kill.class.order` invariant must catch.
+pub fn sort_candidates_blind(candidates: &mut [Candidate], order: SortOrder) {
+    candidates.sort_by(|a, b| posture_cmp(a, b, order));
 }
 
 /// Algorithm 1: returns the pids to signal, in order, so that the sum of
@@ -115,11 +133,14 @@ pub fn sort_candidates(candidates: &mut [Candidate], order: SortOrder) {
 ///
 /// ```
 /// use m3_core::selection::{select_processes, Candidate, SortOrder};
+/// use m3_sim::trace::Criticality;
 /// use m3_sim::SimTime;
 ///
 /// let candidates = vec![
-///     Candidate { pid: 1, spawned_at: SimTime::from_secs(0), rss: 100, expected_reclaim: 40 },
-///     Candidate { pid: 2, spawned_at: SimTime::from_secs(9), rss: 100, expected_reclaim: 40 },
+///     Candidate { pid: 1, spawned_at: SimTime::from_secs(0), rss: 100, expected_reclaim: 40,
+///                 crit: Criticality::Standard },
+///     Candidate { pid: 2, spawned_at: SimTime::from_secs(9), rss: 100, expected_reclaim: 40,
+///                 crit: Criticality::Standard },
 /// ];
 /// // Newest first: pid 2 alone covers a target of 30.
 /// assert_eq!(select_processes(&candidates, SortOrder::NewestFirst, 30), vec![2]);
@@ -132,9 +153,24 @@ pub fn select_processes(candidates: &[Candidate], order: SortOrder, target: u64)
     }
     let mut sorted = candidates.to_vec();
     sort_candidates(&mut sorted, order);
+    take_until_target(&sorted, target)
+}
+
+/// [`select_processes`] with the criticality-blind posture-only ordering
+/// (the `crit_blind` ablation).
+pub fn select_processes_blind(candidates: &[Candidate], order: SortOrder, target: u64) -> Vec<Pid> {
+    if target == 0 {
+        return Vec::new();
+    }
+    let mut sorted = candidates.to_vec();
+    sort_candidates_blind(&mut sorted, order);
+    take_until_target(&sorted, target)
+}
+
+fn take_until_target(sorted: &[Candidate], target: u64) -> Vec<Pid> {
     let mut selected = Vec::new();
     let mut expected: u64 = 0;
-    for c in &sorted {
+    for c in sorted {
         if expected >= target {
             break;
         }
@@ -154,6 +190,14 @@ mod tests {
             spawned_at: SimTime::from_secs(spawn_s),
             rss,
             expected_reclaim: expect,
+            crit: Criticality::Standard,
+        }
+    }
+
+    fn classed(pid: Pid, spawn_s: u64, crit: Criticality) -> Candidate {
+        Candidate {
+            crit,
+            ..cand(pid, spawn_s, 100, 30)
         }
     }
 
@@ -222,5 +266,50 @@ mod tests {
     #[test]
     fn empty_candidates_is_fine() {
         assert!(select_processes(&[], SortOrder::LargestRss, 100).is_empty());
+    }
+
+    #[test]
+    fn criticality_dominates_the_posture_order() {
+        // Newest-first would pick the latency-critical pid 3 (spawned last);
+        // criticality must redirect pressure onto batch, then standard.
+        let cs = vec![
+            classed(1, 0, Criticality::Batch),
+            classed(2, 5, Criticality::Standard),
+            classed(3, 9, Criticality::LatencyCritical),
+        ];
+        assert_eq!(
+            select_processes(&cs, SortOrder::NewestFirst, 1000),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn posture_breaks_ties_within_a_class() {
+        let cs = vec![
+            classed(1, 0, Criticality::Batch),
+            classed(2, 9, Criticality::Batch),
+            classed(3, 5, Criticality::LatencyCritical),
+        ];
+        // Within Batch, newest-first puts pid 2 ahead of pid 1.
+        assert_eq!(
+            select_processes(&cs, SortOrder::NewestFirst, 1000),
+            vec![2, 1, 3]
+        );
+    }
+
+    #[test]
+    fn blind_sort_ignores_criticality() {
+        let mut cs = vec![
+            classed(1, 0, Criticality::Batch),
+            classed(2, 9, Criticality::LatencyCritical),
+        ];
+        sort_candidates_blind(&mut cs, SortOrder::NewestFirst);
+        assert_eq!(cs[0].pid, 2, "posture-only order picks the newest");
+    }
+
+    #[test]
+    fn candidate_info_round_trips_criticality() {
+        let c = classed(7, 3, Criticality::Batch);
+        assert_eq!(Candidate::from_info(&c.info()), c);
     }
 }

@@ -33,6 +33,14 @@
 //! - **Cache statistics (trace workloads)** — every `cache.stats` snapshot
 //!   must conserve (`hits + misses + sets + deletes = requests`, negative
 //!   lookups a subset of the misses) and grow monotonically per pid.
+//! - **Mixed-criticality kill ordering (`kill.class.order`)** — the
+//!   flagship criticality invariant: a job is only ever killed while no
+//!   more-expendable candidate is still alive. Every monitor kill records a
+//!   `kill.class` event with the victim's class and the alive candidate set
+//!   it was chosen from; the victim must be of maximal expendability within
+//!   that set (batch dies before standard, standard before
+//!   latency-critical). A criticality-blind policy under a mixed load is
+//!   caught here.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -42,7 +50,8 @@ use m3_core::monitor::MAX_DEGRADED_WIDENING;
 use m3_core::selection::{select_processes, Candidate, SortOrder};
 use m3_core::thresholds::AdaptiveThresholds;
 use m3_sim::trace::{
-    CandidateInfo, EvictReason, SigKind, ThresholdSide, TraceData, TraceEvent, TraceLog, TraceZone,
+    CandidateInfo, Criticality, EvictReason, SigKind, ThresholdSide, TraceData, TraceEvent,
+    TraceLog, TraceZone,
 };
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +133,17 @@ impl Oracle {
 /// - **`fleet.lost.resolved`** — every job re-queued after node death
 ///   (`fleet.reschedule` with `requeued`) is eventually placed again or
 ///   explicitly given up on; no lost job is silently dropped.
+///
+/// Mixed-criticality invariants (`sched.class.*` events):
+///
+/// - **`sched.class.preempt`** — a reservation preemption is only legal
+///   when the preemptor is strictly *less* expendable than its victim
+///   (latency-critical may displace batch, never a peer or better).
+/// - **`sched.class.slo`** — per-job SLO accounting must conserve: `met`
+///   equals `runtime_ms <= slo_ms` (vacuously true without an SLO) and the
+///   stall time never exceeds the runtime.
+/// - **`sched.class.consistency`** — preempt and SLO events must agree
+///   with the class and SLO the job declared in its `sched.class.assign`.
 #[derive(Debug, Clone)]
 pub struct FleetOracle {
     /// Grace window a node must stay red before migration is allowed, ms.
@@ -203,6 +223,8 @@ impl FleetOracle {
         // losses not yet resolved by a place or a give-up: job -> lost at.
         let mut lost_jobs: BTreeSet<u64> = BTreeSet::new();
         let mut pending_requeue: BTreeMap<u64, u64> = BTreeMap::new();
+        // Criticality class and SLO each job declared at submission.
+        let mut classes: BTreeMap<u64, (Criticality, u64)> = BTreeMap::new();
         // A placement or migration target must be neither dead nor
         // quarantined at decision time.
         let check_target = |out: &mut Vec<Violation>,
@@ -376,6 +398,95 @@ impl FleetOracle {
                         quarantined.remove(node);
                     }
                 }
+                TraceData::SchedClassAssign { job, crit, slo_ms } => {
+                    classes.insert(*job, (*crit, *slo_ms));
+                }
+                TraceData::SchedClassPreempt {
+                    job,
+                    crit,
+                    victim,
+                    victim_crit,
+                    node,
+                } => {
+                    if crit.expendability() >= victim_crit.expendability() {
+                        out.push(Violation {
+                            invariant: "sched.class.preempt".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} ({}) preempted job {victim} ({}) on node \
+                                 {node}: a preemptor must be strictly less expendable \
+                                 than its victim",
+                                crit.name(),
+                                victim_crit.name()
+                            ),
+                        });
+                    }
+                    for (who, recorded) in [(job, crit), (victim, victim_crit)] {
+                        if let Some((assigned, _)) = classes.get(who) {
+                            if assigned != recorded {
+                                out.push(Violation {
+                                    invariant: "sched.class.consistency".into(),
+                                    at_ms: at,
+                                    pid: e.pid,
+                                    message: format!(
+                                        "preempt records job {who} as {}, its assignment \
+                                         declared {}",
+                                        recorded.name(),
+                                        assigned.name()
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                TraceData::SchedClassSlo {
+                    job,
+                    crit,
+                    slo_ms,
+                    runtime_ms,
+                    stall_ms,
+                    met,
+                } => {
+                    let want_met = *slo_ms == 0 || runtime_ms <= slo_ms;
+                    if *met != want_met {
+                        out.push(Violation {
+                            invariant: "sched.class.slo".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} recorded met={met} but runtime {runtime_ms} ms \
+                                 against SLO {slo_ms} ms implies met={want_met}"
+                            ),
+                        });
+                    }
+                    if stall_ms > runtime_ms {
+                        out.push(Violation {
+                            invariant: "sched.class.slo".into(),
+                            at_ms: at,
+                            pid: e.pid,
+                            message: format!(
+                                "job {job} stalled {stall_ms} ms, more than its whole \
+                                 {runtime_ms} ms runtime"
+                            ),
+                        });
+                    }
+                    if let Some((assigned, assigned_slo)) = classes.get(job) {
+                        if assigned != crit || assigned_slo != slo_ms {
+                            out.push(Violation {
+                                invariant: "sched.class.consistency".into(),
+                                at_ms: at,
+                                pid: e.pid,
+                                message: format!(
+                                    "job {job} SLO report says ({}, {slo_ms} ms), its \
+                                     assignment declared ({}, {assigned_slo} ms)",
+                                    crit.name(),
+                                    assigned.name()
+                                ),
+                            });
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -535,6 +646,9 @@ impl<'a> Checker<'a> {
                     SigKind::Kill => {}
                 },
                 TraceData::MonitorKill { .. } => self.window_kills.push(e.pid),
+                TraceData::KillClass { crit, candidates } => {
+                    self.on_kill_class(e, *crit, candidates);
+                }
                 TraceData::MonitorPoll { .. } => self.on_poll(e),
                 TraceData::AllocGate {
                     delayed,
@@ -691,7 +805,10 @@ impl<'a> Checker<'a> {
                 | TraceData::FleetGiveUp { .. }
                 | TraceData::FleetNodeLost { .. }
                 | TraceData::FleetReschedule { .. }
-                | TraceData::FleetQuarantine { .. } => {}
+                | TraceData::FleetQuarantine { .. }
+                | TraceData::SchedClassAssign { .. }
+                | TraceData::SchedClassPreempt { .. }
+                | TraceData::SchedClassSlo { .. } => {}
             }
         }
         for (pid, group) in std::mem::take(&mut self.pending_classes) {
@@ -914,6 +1031,49 @@ impl<'a> Checker<'a> {
             all,
             selected: selected.to_vec(),
         });
+    }
+
+    /// `kill.class.order`: when a classed kill is recorded, the victim must
+    /// be maximally expendable among the candidates still alive at that
+    /// moment — a batch job must always die before a standard one, and a
+    /// standard one before a latency-critical one.
+    fn on_kill_class(&mut self, e: &TraceEvent, crit: Criticality, candidates: &[CandidateInfo]) {
+        let Some(victim) = candidates.iter().find(|c| c.pid == e.pid) else {
+            self.flag(
+                "kill.class.order",
+                e,
+                format!(
+                    "kill.class victim {} is not among its recorded candidates",
+                    e.pid
+                ),
+            );
+            return;
+        };
+        if victim.crit != crit {
+            self.flag(
+                "kill.class.order",
+                e,
+                format!(
+                    "kill.class records the victim as {:?} but its candidate \
+                     entry says {:?}",
+                    crit, victim.crit
+                ),
+            );
+        }
+        if let Some(better) = candidates
+            .iter()
+            .find(|c| c.crit.expendability() > crit.expendability())
+        {
+            self.flag(
+                "kill.class.order",
+                e,
+                format!(
+                    "{crit:?} job {} killed while more-expendable {:?} candidate \
+                     {} was still alive",
+                    e.pid, better.crit, better.pid
+                ),
+            );
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1545,6 +1705,102 @@ mod tests {
         assert!(
             violations.iter().any(|v| v.invariant == "kill.grace"),
             "first above-top poll cannot kill yet: {violations:?}"
+        );
+    }
+
+    /// Drives a real monitor over a batch hog (spawned first) and a later
+    /// latency-critical hog whose combined usage sits above top until the
+    /// grace period expires and the monitor kills down to top.
+    fn classed_kill_run(crit_blind: bool) -> (TraceLog, MonitorConfig) {
+        let mut cfg = paper();
+        cfg.crit_blind = crit_blind;
+        let mut os = Kernel::new(KernelConfig::with_total(64 * GIB));
+        let mut mon = Monitor::new(cfg);
+        os.set_time(t(0));
+        let batch = os.spawn("batch");
+        mon.register_with_class(batch, Criticality::Batch);
+        os.grow(batch, 31 * GIB).unwrap();
+        os.set_time(t(5));
+        let critical = os.spawn("critical");
+        mon.register_with_class(critical, Criticality::LatencyCritical);
+        os.grow(critical, 32 * GIB).unwrap();
+        for s in 6..45 {
+            let now = t(s);
+            os.set_time(now);
+            mon.poll(&mut os, now);
+            os.take_signals(batch);
+            os.take_signals(critical);
+        }
+        (std::mem::take(&mut os.trace), cfg)
+    }
+
+    #[test]
+    fn classed_kill_run_is_conformant_and_spares_the_critical_job() {
+        let (trace, cfg) = classed_kill_run(false);
+        assert!(trace.count("kill.class") > 0, "kill path must trigger");
+        let violations = Oracle::paper(Some(cfg)).check(&trace);
+        assert_eq!(violations, Vec::new());
+    }
+
+    #[test]
+    fn criticality_blind_policy_is_caught_by_the_oracle() {
+        // The ablation sorts by posture alone: newest-first kills the
+        // latency-critical job while the batch job is still alive. The
+        // flagship invariant must catch exactly this.
+        let (trace, cfg) = classed_kill_run(true);
+        assert!(trace.count("kill.class") > 0, "kill path must trigger");
+        let violations = Oracle::paper(Some(cfg)).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "kill.class.order"),
+            "posture-only kill under mixed criticality must be flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn kill_class_victim_missing_from_candidates_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            7,
+            TraceData::KillClass {
+                crit: Criticality::Batch,
+                candidates: vec![CandidateInfo {
+                    pid: 8,
+                    spawned_at_ms: 0,
+                    rss: GIB,
+                    expected_reclaim: 0,
+                    crit: Criticality::Batch,
+                }],
+            },
+        );
+        let violations = Oracle::paper(Some(paper())).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "kill.class.order"),
+            "got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn kill_class_crit_mismatch_is_flagged() {
+        let mut log = TraceLog::new();
+        log.record(
+            t(1),
+            7,
+            TraceData::KillClass {
+                crit: Criticality::Batch,
+                candidates: vec![CandidateInfo {
+                    pid: 7,
+                    spawned_at_ms: 0,
+                    rss: GIB,
+                    expected_reclaim: 0,
+                    crit: Criticality::Standard,
+                }],
+            },
+        );
+        let violations = Oracle::paper(Some(paper())).check(&log);
+        assert!(
+            violations.iter().any(|v| v.invariant == "kill.class.order"),
+            "got {violations:?}"
         );
     }
 
@@ -2596,6 +2852,155 @@ mod tests {
                 job: 9,
                 attempts: 5,
                 demand: 50,
+            },
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    fn assign(job: u64, crit: Criticality, slo_ms: u64) -> TraceData {
+        TraceData::SchedClassAssign { job, crit, slo_ms }
+    }
+
+    fn preempt(job: u64, crit: Criticality, victim: u64, victim_crit: Criticality) -> TraceData {
+        TraceData::SchedClassPreempt {
+            job,
+            crit,
+            victim,
+            victim_crit,
+            node: 0,
+        }
+    }
+
+    #[test]
+    fn sched_class_preempt_of_more_expendable_victim_is_conformant() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, assign(1, Criticality::LatencyCritical, 500));
+        log.record(t(1), 0, assign(2, Criticality::Batch, 0));
+        log.record(
+            t(2),
+            0,
+            preempt(1, Criticality::LatencyCritical, 2, Criticality::Batch),
+        );
+        assert!(fleet_oracle().check(&log).is_empty());
+    }
+
+    #[test]
+    fn sched_class_preempt_of_equal_or_less_expendable_victim_is_caught() {
+        for victim_crit in [Criticality::Batch, Criticality::LatencyCritical] {
+            let mut log = TraceLog::new();
+            log.record(t(1), 0, assign(1, Criticality::Batch, 0));
+            log.record(t(1), 0, assign(2, victim_crit, 0));
+            log.record(t(2), 0, preempt(1, Criticality::Batch, 2, victim_crit));
+            let v = fleet_oracle().check(&log);
+            assert!(
+                v.iter().any(|x| x.invariant == "sched.class.preempt"),
+                "batch preempting {victim_crit:?} must be flagged: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_class_preempt_contradicting_assignment_is_caught() {
+        // Job 2 was declared latency-critical, but the preempt event
+        // relabels it as batch to make the eviction look legal.
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, assign(1, Criticality::LatencyCritical, 500));
+        log.record(t(1), 0, assign(2, Criticality::LatencyCritical, 500));
+        log.record(
+            t(2),
+            0,
+            preempt(1, Criticality::LatencyCritical, 2, Criticality::Batch),
+        );
+        let v = fleet_oracle().check(&log);
+        assert!(
+            v.iter().any(|x| x.invariant == "sched.class.consistency"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn sched_class_slo_accounting_is_checked() {
+        // met must equal runtime <= slo, and stall time cannot exceed the
+        // whole runtime.
+        let ok = TraceData::SchedClassSlo {
+            job: 1,
+            crit: Criticality::LatencyCritical,
+            slo_ms: 500,
+            runtime_ms: 400,
+            stall_ms: 100,
+            met: true,
+        };
+        let wrong_met = TraceData::SchedClassSlo {
+            job: 1,
+            crit: Criticality::LatencyCritical,
+            slo_ms: 500,
+            runtime_ms: 900,
+            stall_ms: 100,
+            met: true,
+        };
+        let impossible_stall = TraceData::SchedClassSlo {
+            job: 1,
+            crit: Criticality::LatencyCritical,
+            slo_ms: 500,
+            runtime_ms: 400,
+            stall_ms: 401,
+            met: true,
+        };
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, assign(1, Criticality::LatencyCritical, 500));
+        log.record(t(2), 0, ok);
+        assert!(fleet_oracle().check(&log).is_empty());
+
+        for bad in [wrong_met, impossible_stall] {
+            let mut log = TraceLog::new();
+            log.record(t(1), 0, assign(1, Criticality::LatencyCritical, 500));
+            log.record(t(2), 0, bad);
+            let v = fleet_oracle().check(&log);
+            assert!(
+                v.iter().any(|x| x.invariant == "sched.class.slo"),
+                "got {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_class_slo_contradicting_assignment_is_caught() {
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, assign(1, Criticality::Standard, 0));
+        log.record(
+            t(2),
+            0,
+            TraceData::SchedClassSlo {
+                job: 1,
+                crit: Criticality::LatencyCritical,
+                slo_ms: 500,
+                runtime_ms: 400,
+                stall_ms: 0,
+                met: true,
+            },
+        );
+        let v = fleet_oracle().check(&log);
+        assert!(
+            v.iter().any(|x| x.invariant == "sched.class.consistency"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn jobs_without_slo_are_always_met() {
+        // slo_ms == 0 means "no SLO declared": met must be recorded true.
+        let mut log = TraceLog::new();
+        log.record(t(1), 0, assign(1, Criticality::Batch, 0));
+        log.record(
+            t(2),
+            0,
+            TraceData::SchedClassSlo {
+                job: 1,
+                crit: Criticality::Batch,
+                slo_ms: 0,
+                runtime_ms: 10_000,
+                stall_ms: 2_000,
+                met: true,
             },
         );
         assert!(fleet_oracle().check(&log).is_empty());

@@ -75,6 +75,66 @@ pub enum GcLayer {
     Go,
 }
 
+/// Job criticality class for mixed-criticality scheduling (SARA/MURS:
+/// pressure decisions must respect criticality, not just memory posture).
+///
+/// Lives in `m3-sim` so trace events, the monitor, the fleet scheduler and
+/// the oracle all share one definition. The derived `Ord` runs from least to
+/// most expendable is NOT implied — use [`Criticality::expendability`] for
+/// victim ordering.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Criticality {
+    /// Latency-critical serving tier: killed/evicted last, never disturbed
+    /// by early-warning reclamation.
+    LatencyCritical,
+    /// Ordinary job: the paper's behaviour, unchanged.
+    #[default]
+    Standard,
+    /// Batch analytics: absorbs pressure first (earlier/larger evictions,
+    /// first in the kill ordering, preemptible by critical admissions).
+    Batch,
+}
+
+impl Criticality {
+    /// All classes, least expendable first.
+    pub const ALL: [Criticality; 3] = [
+        Criticality::LatencyCritical,
+        Criticality::Standard,
+        Criticality::Batch,
+    ];
+
+    /// Stable name used in traces and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Criticality::LatencyCritical => "latency_critical",
+            Criticality::Standard => "standard",
+            Criticality::Batch => "batch",
+        }
+    }
+
+    /// Parses a stable name back into a class.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "latency_critical" => Some(Criticality::LatencyCritical),
+            "standard" => Some(Criticality::Standard),
+            "batch" => Some(Criticality::Batch),
+            _ => None,
+        }
+    }
+
+    /// How readily this class is sacrificed under pressure: higher values
+    /// are killed, evicted, and preempted before lower ones.
+    pub fn expendability(&self) -> u8 {
+        match self {
+            Criticality::LatencyCritical => 0,
+            Criticality::Standard => 1,
+            Criticality::Batch => 2,
+        }
+    }
+}
+
 /// One Algorithm 1 candidate as the monitor saw it at selection time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CandidateInfo {
@@ -86,6 +146,8 @@ pub struct CandidateInfo {
     pub rss: u64,
     /// Expected reclamation on a high signal, bytes.
     pub expected_reclaim: u64,
+    /// The candidate's criticality class.
+    pub crit: Criticality,
 }
 
 /// The typed payload of one traced event.
@@ -421,6 +483,57 @@ pub enum TraceData {
         /// failures on entry, consecutive healthy probes on exit.
         streak: u64,
     },
+    /// The fleet scheduler recorded a job's criticality class and latency
+    /// SLO at submission time (the event's `pid` is the job index).
+    SchedClassAssign {
+        /// The classified job.
+        job: u64,
+        /// Its criticality class.
+        crit: Criticality,
+        /// Its latency SLO, ms (0 = no SLO).
+        slo_ms: u64,
+    },
+    /// A critical admission preempted a lower-criticality resident's
+    /// reservation instead of deferring (the event's `pid` is the admitted
+    /// job).
+    SchedClassPreempt {
+        /// The admitted job.
+        job: u64,
+        /// The admitted job's class.
+        crit: Criticality,
+        /// The preempted resident.
+        victim: u64,
+        /// The preempted resident's class.
+        victim_crit: Criticality,
+        /// The node the preemption happened on.
+        node: u64,
+    },
+    /// Per-job SLO accounting emitted when a job leaves the fleet (the
+    /// event's `pid` is the job index).
+    SchedClassSlo {
+        /// The finished job.
+        job: u64,
+        /// Its criticality class.
+        crit: Criticality,
+        /// Its latency SLO, ms (0 = no SLO).
+        slo_ms: u64,
+        /// Wall time from submission to completion, ms.
+        runtime_ms: u64,
+        /// Time spent stalled (deferred/queued) rather than running, ms.
+        stall_ms: u64,
+        /// Whether the SLO was met (vacuously true without one).
+        met: bool,
+    },
+    /// The monitor killed a process with criticality context: the victim's
+    /// class and the not-yet-killed candidate set it was chosen from (the
+    /// event's `pid` is the victim; one event per kill, paired with the
+    /// plain `monitor.kill`).
+    KillClass {
+        /// The victim's criticality class.
+        crit: Criticality,
+        /// The alive candidates the victim was chosen from, victim included.
+        candidates: Vec<CandidateInfo>,
+    },
 }
 
 impl TraceData {
@@ -479,6 +592,10 @@ impl TraceData {
             TraceData::FleetNodeLost { .. } => "fleet.node_lost",
             TraceData::FleetReschedule { .. } => "fleet.reschedule",
             TraceData::FleetQuarantine { .. } => "fleet.quarantine",
+            TraceData::SchedClassAssign { .. } => "sched.class.assign",
+            TraceData::SchedClassPreempt { .. } => "sched.class.preempt",
+            TraceData::SchedClassSlo { .. } => "sched.class.slo",
+            TraceData::KillClass { .. } => "kill.class",
         }
     }
 
@@ -745,6 +862,43 @@ impl TraceData {
                 f("entered", entered.serialize()),
                 f("streak", streak.serialize()),
             ],
+            TraceData::SchedClassAssign { job, crit, slo_ms } => vec![
+                f("job", job.serialize()),
+                f("crit", crit.serialize()),
+                f("slo_ms", slo_ms.serialize()),
+            ],
+            TraceData::SchedClassPreempt {
+                job,
+                crit,
+                victim,
+                victim_crit,
+                node,
+            } => vec![
+                f("job", job.serialize()),
+                f("crit", crit.serialize()),
+                f("victim", victim.serialize()),
+                f("victim_crit", victim_crit.serialize()),
+                f("node", node.serialize()),
+            ],
+            TraceData::SchedClassSlo {
+                job,
+                crit,
+                slo_ms,
+                runtime_ms,
+                stall_ms,
+                met,
+            } => vec![
+                f("job", job.serialize()),
+                f("crit", crit.serialize()),
+                f("slo_ms", slo_ms.serialize()),
+                f("runtime_ms", runtime_ms.serialize()),
+                f("stall_ms", stall_ms.serialize()),
+                f("met", met.serialize()),
+            ],
+            TraceData::KillClass { crit, candidates } => vec![
+                f("crit", crit.serialize()),
+                f("candidates", candidates.serialize()),
+            ],
         }
     }
 }
@@ -930,6 +1084,30 @@ impl Deserialize for TraceData {
                 node: map_field(c, "node")?,
                 entered: map_field(c, "entered")?,
                 streak: map_field(c, "streak")?,
+            },
+            "sched.class.assign" => TraceData::SchedClassAssign {
+                job: map_field(c, "job")?,
+                crit: map_field(c, "crit")?,
+                slo_ms: map_field(c, "slo_ms")?,
+            },
+            "sched.class.preempt" => TraceData::SchedClassPreempt {
+                job: map_field(c, "job")?,
+                crit: map_field(c, "crit")?,
+                victim: map_field(c, "victim")?,
+                victim_crit: map_field(c, "victim_crit")?,
+                node: map_field(c, "node")?,
+            },
+            "sched.class.slo" => TraceData::SchedClassSlo {
+                job: map_field(c, "job")?,
+                crit: map_field(c, "crit")?,
+                slo_ms: map_field(c, "slo_ms")?,
+                runtime_ms: map_field(c, "runtime_ms")?,
+                stall_ms: map_field(c, "stall_ms")?,
+                met: map_field(c, "met")?,
+            },
+            "kill.class" => TraceData::KillClass {
+                crit: map_field(c, "crit")?,
+                candidates: map_field(c, "candidates")?,
             },
             other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
         };
@@ -1292,10 +1470,61 @@ mod tests {
                 },
                 "fleet.quarantine",
             ),
+            (
+                TraceData::SchedClassAssign {
+                    job: 0,
+                    crit: Criticality::LatencyCritical,
+                    slo_ms: 5000,
+                },
+                "sched.class.assign",
+            ),
+            (
+                TraceData::SchedClassPreempt {
+                    job: 0,
+                    crit: Criticality::LatencyCritical,
+                    victim: 1,
+                    victim_crit: Criticality::Batch,
+                    node: 2,
+                },
+                "sched.class.preempt",
+            ),
+            (
+                TraceData::SchedClassSlo {
+                    job: 0,
+                    crit: Criticality::Standard,
+                    slo_ms: 0,
+                    runtime_ms: 900,
+                    stall_ms: 0,
+                    met: true,
+                },
+                "sched.class.slo",
+            ),
+            (
+                TraceData::KillClass {
+                    crit: Criticality::Batch,
+                    candidates: vec![],
+                },
+                "kill.class",
+            ),
         ];
         for (data, kind) in cases {
             assert_eq!(data.kind(), kind);
         }
+    }
+
+    #[test]
+    fn criticality_names_round_trip_and_order_expendability() {
+        for c in Criticality::ALL {
+            assert_eq!(Criticality::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Criticality::from_name("frobnicate"), None);
+        assert_eq!(Criticality::default(), Criticality::Standard);
+        assert!(
+            Criticality::Batch.expendability() > Criticality::Standard.expendability()
+                && Criticality::Standard.expendability()
+                    > Criticality::LatencyCritical.expendability(),
+            "batch dies first, latency-critical last"
+        );
     }
 
     #[test]
@@ -1327,6 +1556,7 @@ mod tests {
                     spawned_at_ms: 0,
                     rss: 100,
                     expected_reclaim: 25,
+                    crit: Criticality::Standard,
                 }],
                 selected: vec![3],
             },
@@ -1404,6 +1634,52 @@ mod tests {
                 node: 0,
                 entered: false,
                 streak: 3,
+            },
+        );
+        log.record(
+            t(10),
+            1,
+            TraceData::SchedClassAssign {
+                job: 1,
+                crit: Criticality::Batch,
+                slo_ms: 0,
+            },
+        );
+        log.record(
+            t(11),
+            0,
+            TraceData::SchedClassPreempt {
+                job: 0,
+                crit: Criticality::LatencyCritical,
+                victim: 1,
+                victim_crit: Criticality::Batch,
+                node: 2,
+            },
+        );
+        log.record(
+            t(12),
+            0,
+            TraceData::SchedClassSlo {
+                job: 0,
+                crit: Criticality::LatencyCritical,
+                slo_ms: 4000,
+                runtime_ms: 3500,
+                stall_ms: 120,
+                met: true,
+            },
+        );
+        log.record(
+            t(13),
+            5,
+            TraceData::KillClass {
+                crit: Criticality::Batch,
+                candidates: vec![CandidateInfo {
+                    pid: 5,
+                    spawned_at_ms: 100,
+                    rss: 64,
+                    expected_reclaim: 6,
+                    crit: Criticality::Batch,
+                }],
             },
         );
         let c = log.serialize();

@@ -6,8 +6,10 @@
 //! different task-scheduling histories (the `node_salt`), aggregated by
 //! taking the per-application maximum completion time.
 
+use m3_sim::trace::Criticality;
 use serde::{Deserialize, Serialize};
 
+use crate::fleet::JobOutcome;
 use crate::machine::{Machine, MachineConfig, RunResult};
 use crate::parallel::{run_scenario_cached, worker_threads};
 use crate::scenario::Scenario;
@@ -49,7 +51,7 @@ pub struct ClusterResult {
 /// Mean cluster runtime, with failures accounted rather than collapsing
 /// the whole cluster to "no answer": one killed app should not hide how the
 /// other N−1 fared.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterMean {
     /// Mean runtime over the *completed* apps, seconds — `None` only when
     /// no app completed at all.
@@ -66,12 +68,77 @@ pub struct ClusterMean {
     pub node_lost_apps: usize,
     /// Of the failed apps, those the scheduler gave up placing.
     pub gave_up_apps: usize,
+    /// Per-criticality-class slices (one entry per class that had jobs;
+    /// empty for passthrough/legacy paths, where no per-job class data
+    /// exists). Filled by [`ClusterMean::with_classes`].
+    pub classes: Vec<ClassSummary>,
+}
+
+/// One criticality class's slice of a fleet run: how many of its jobs ran,
+/// whether the class held its latency SLOs, and how much reclamation stall
+/// it absorbed — the per-class attainment report the mixed-criticality
+/// bench plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The criticality class.
+    pub crit: Criticality,
+    /// Jobs submitted in this class.
+    pub jobs: usize,
+    /// Of those, jobs that completed.
+    pub completed: usize,
+    /// Of those, jobs that failed (killed, crashed, lost, or given up).
+    pub failed: usize,
+    /// Jobs in this class that declared a latency SLO (`slo_ms > 0`).
+    pub slo_jobs: usize,
+    /// Completed jobs whose SLO held (jobs without one count as met).
+    pub slo_met: usize,
+    /// Mean runtime over the class's completed jobs, seconds.
+    pub mean_secs: Option<f64>,
+    /// Total reclamation-handler stall the class absorbed, ms.
+    pub stall_ms: u64,
 }
 
 impl ClusterMean {
     /// True if every app completed.
     pub fn all_completed(&self) -> bool {
         self.failed_apps == 0 && self.completed_apps > 0
+    }
+
+    /// Fills the per-class slices from a fleet run's per-job outcomes.
+    /// Classes with no jobs are omitted (an empty mix stays empty), so
+    /// unclassified fleets — where every job reports `Standard` — get
+    /// exactly one summary line.
+    pub fn with_classes(mut self, jobs: &[JobOutcome]) -> Self {
+        self.classes = Criticality::ALL
+            .iter()
+            .filter_map(|&crit| {
+                let of_class: Vec<&JobOutcome> = jobs.iter().filter(|j| j.crit == crit).collect();
+                if of_class.is_empty() {
+                    return None;
+                }
+                let runtimes: Vec<f64> = of_class.iter().filter_map(|j| j.runtime_s).collect();
+                Some(ClassSummary {
+                    crit,
+                    jobs: of_class.len(),
+                    completed: runtimes.len(),
+                    failed: of_class.len() - runtimes.len(),
+                    slo_jobs: of_class.iter().filter(|j| j.slo_ms > 0).count(),
+                    slo_met: of_class.iter().filter(|j| j.slo_met == Some(true)).count(),
+                    mean_secs: if runtimes.is_empty() {
+                        None
+                    } else {
+                        Some(runtimes.iter().sum::<f64>() / runtimes.len() as f64)
+                    },
+                    stall_ms: of_class.iter().map(|j| j.stall_ms).sum(),
+                })
+            })
+            .collect();
+        self
+    }
+
+    /// The summary of one class, if it had jobs.
+    pub fn class(&self, crit: Criticality) -> Option<&ClassSummary> {
+        self.classes.iter().find(|c| c.crit == crit)
     }
 }
 
@@ -93,6 +160,7 @@ impl ClusterResult {
             crashed_apps: count(JobFailure::Crashed),
             node_lost_apps: count(JobFailure::NodeLost),
             gave_up_apps: count(JobFailure::GaveUp),
+            classes: Vec::new(),
         }
     }
 }
@@ -323,5 +391,94 @@ mod tests {
     fn zero_nodes_rejected() {
         let scenario = Scenario::uniform("M", 0);
         run_cluster(&scenario, &Setting::m3(1), quick_cfg(), 0);
+    }
+
+    // ---- per-class aggregation edge cases -----------------------------
+
+    fn job(job: usize, crit: Criticality, slo_ms: u64, runtime_s: Option<f64>) -> JobOutcome {
+        JobOutcome {
+            job,
+            node: runtime_s.map(|_| 0),
+            deferrals: 0,
+            migrations: 0,
+            reschedules: 0,
+            failure: runtime_s.is_none().then_some(JobFailure::Killed),
+            runtime_s,
+            crit,
+            slo_ms,
+            stall_ms: 250,
+            slo_met: runtime_s.map(|rt| slo_ms == 0 || (rt * 1000.0) as u64 <= slo_ms),
+        }
+    }
+
+    fn empty_mean() -> ClusterMean {
+        ClusterResult {
+            app_runtimes_s: Vec::new(),
+            per_node_s: Vec::new(),
+            spread_s: Vec::new(),
+            failures: Vec::new(),
+        }
+        .mean_runtime_secs()
+    }
+
+    #[test]
+    fn class_summaries_skip_empty_classes() {
+        // No jobs at all: no slices. One Standard job: exactly one slice,
+        // and the unpopulated classes stay absent rather than reporting
+        // zeros.
+        let mean = empty_mean().with_classes(&[]);
+        assert!(mean.classes.is_empty());
+        assert!(mean.class(Criticality::Batch).is_none());
+        let mean = empty_mean().with_classes(&[job(0, Criticality::Standard, 0, Some(10.0))]);
+        assert_eq!(mean.classes.len(), 1);
+        assert!(mean.class(Criticality::LatencyCritical).is_none());
+        assert!(mean.class(Criticality::Batch).is_none());
+        let std = mean.class(Criticality::Standard).expect("populated");
+        assert_eq!((std.jobs, std.completed, std.failed), (1, 1, 0));
+        assert_eq!(std.mean_secs, Some(10.0));
+    }
+
+    #[test]
+    fn all_failed_class_reports_no_mean_and_no_met_slos() {
+        let jobs = [
+            job(0, Criticality::LatencyCritical, 5_000, None),
+            job(1, Criticality::LatencyCritical, 5_000, None),
+            job(2, Criticality::Batch, 0, Some(100.0)),
+        ];
+        let mean = empty_mean().with_classes(&jobs);
+        let lc = mean.class(Criticality::LatencyCritical).expect("slice");
+        assert_eq!((lc.jobs, lc.completed, lc.failed), (2, 0, 2));
+        assert_eq!(lc.mean_secs, None, "nothing completed");
+        assert_eq!(lc.slo_jobs, 2, "declared SLOs still count");
+        assert_eq!(lc.slo_met, 0, "a failed job never meets its SLO");
+        assert_eq!(lc.stall_ms, 500, "stall is accounted even for failures");
+    }
+
+    #[test]
+    fn slo_attainment_counts_only_held_slos() {
+        let jobs = [
+            job(0, Criticality::LatencyCritical, 5_000, Some(4.0)), // met
+            job(1, Criticality::LatencyCritical, 5_000, Some(6.0)), // missed
+            job(2, Criticality::LatencyCritical, 0, Some(60.0)),    // no SLO
+        ];
+        let mean = empty_mean().with_classes(&jobs);
+        let lc = mean.class(Criticality::LatencyCritical).expect("slice");
+        assert_eq!(lc.slo_jobs, 2);
+        assert_eq!(lc.slo_met, 2, "the held SLO plus the SLO-less job");
+        assert_eq!(lc.mean_secs, Some(70.0 / 3.0));
+    }
+
+    #[test]
+    fn class_report_round_trips_through_serde() {
+        let jobs = [
+            job(0, Criticality::LatencyCritical, 5_000, Some(4.0)),
+            job(1, Criticality::Standard, 0, Some(20.0)),
+            job(2, Criticality::Batch, 0, None),
+        ];
+        let mean = empty_mean().with_classes(&jobs);
+        assert_eq!(mean.classes.len(), 3);
+        let json = serde_json::to_string(&mean).expect("serialize");
+        let back: ClusterMean = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(mean, back, "the per-class report must round-trip");
     }
 }

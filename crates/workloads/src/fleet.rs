@@ -74,7 +74,7 @@ use m3_core::config::MonitorConfig;
 use m3_core::monitor::{Monitor, PressureSummary, Zone};
 use m3_oracle::{FleetOracle, Violation};
 use m3_sim::clock::{SimDuration, SimTime};
-use m3_sim::trace::{TraceData, TraceLog, TraceZone};
+use m3_sim::trace::{Criticality, TraceData, TraceLog, TraceZone};
 use m3_sim::units::GIB;
 use m3_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -177,6 +177,14 @@ pub struct FleetConfig {
     /// Consecutive healthy probes a quarantined node must answer before
     /// it is re-admitted as a placement target.
     pub quarantine_healthy: u32,
+    /// Criticality-blindness ablation (the conformance suite's failing
+    /// policy). A blind scheduler keeps the preemption and migration
+    /// machinery but strips every class check from victim selection: any
+    /// classified job whose admission fails may preempt, and it evicts
+    /// the latest-arriving alive resident regardless of class — which
+    /// the cluster oracle flags the moment a victim is not strictly more
+    /// expendable than its preemptor.
+    pub crit_blind: bool,
 }
 
 impl FleetConfig {
@@ -202,6 +210,7 @@ impl FleetConfig {
             stale_window: SimDuration::from_secs(120),
             quarantine_after: 2,
             quarantine_healthy: 3,
+            crit_blind: false,
         }
     }
 
@@ -232,14 +241,25 @@ pub struct JobOutcome {
     pub deferrals: u32,
     /// Times the rebalancer migrated the job.
     pub migrations: u32,
-    /// Times the job was lost to node death and re-entered the arrival
-    /// queue (or was abandoned on its last loss).
+    /// Times the job re-entered the arrival queue after losing its node —
+    /// to node death or to a preemption by a less-expendable job.
     pub reschedules: u32,
     /// Why the job produced no runtime; `None` = it completed.
     pub failure: Option<JobFailure>,
     /// Completion time minus the job's *arrival* (not its last restart),
     /// seconds; `None` if the job failed, was killed, or was given up on.
     pub runtime_s: Option<f64>,
+    /// The criticality class the job declared at submission
+    /// (`Standard` in unclassified scenarios).
+    pub crit: Criticality,
+    /// The latency SLO the job declared, ms (0 = none).
+    pub slo_ms: u64,
+    /// Reclamation-handler time the job absorbed on its final node, ms
+    /// (0 when the job never ran).
+    pub stall_ms: u64,
+    /// Whether the job met its SLO — trivially `Some(true)` without one;
+    /// `None` when the job never completed.
+    pub slo_met: Option<bool>,
 }
 
 /// Outcome of one fleet run. Serializable end to end: the golden snapshot
@@ -263,6 +283,15 @@ pub struct FleetResult {
     /// What the injected fleet faults cost this run (all zeros for a clean
     /// run or in passthrough mode).
     pub degradation: FleetDegradationReport,
+}
+
+impl FleetResult {
+    /// [`ClusterResult::mean_runtime_secs`] with the per-class slices
+    /// filled from the per-job outcomes: the mixed-criticality report —
+    /// SLO attainment and stall per criticality class.
+    pub fn class_mean(&self) -> crate::cluster::ClusterMean {
+        self.cluster.mean_runtime_secs().with_classes(&self.jobs)
+    }
 }
 
 /// Peak-memory estimate used for admission control: what placing a job of
@@ -527,6 +556,11 @@ impl<'a> Fleet<'a> {
     /// and nodes with identical schedules must share one entry.
     fn node_scenario(&self, node: usize) -> Scenario {
         let st = &self.nodes[node];
+        let classes = st
+            .apps
+            .iter()
+            .map(|&(job, _, _)| self.scenario.class_of(job))
+            .collect();
         Scenario {
             name: format!("{}::sched", self.scenario.name),
             apps: st
@@ -534,7 +568,9 @@ impl<'a> Fleet<'a> {
                 .iter()
                 .map(|&(_, kind, start)| (kind, start))
                 .collect(),
+            classes: Vec::new(),
         }
+        .with_classes(classes)
     }
 
     fn node_cfg(&self, node: usize) -> MachineConfig {
@@ -880,6 +916,127 @@ impl<'a> Fleet<'a> {
         self.update_index(node, est);
     }
 
+    /// Last-resort admission for a job nothing currently admits: evict
+    /// more-expendable residents from one node so the job fits (DESIGN.md
+    /// §16). A latency-critical job may preempt `Batch` reservations —
+    /// never the other way around; under the [`FleetConfig::crit_blind`]
+    /// ablation the class checks disappear and the oracle's
+    /// `sched.class.preempt` invariant catches the first wrong-direction
+    /// eviction.
+    ///
+    /// Victims are chosen on the node needing the fewest evictions (ties
+    /// to the lower node index), latest-arriving first, until the demand
+    /// heuristic says the job fits. Each victim is crashed at `t` exactly
+    /// like a migration source and re-enters the arrival queue after the
+    /// node-loss backoff (`fleet.reschedule` with `requeued`, so the
+    /// oracle's lost-job resolution machinery tracks it; preemption never
+    /// orphans — the victim always requeues). Returns the chosen node;
+    /// the caller re-probes it and places only on an authoritative admit.
+    fn try_preempt(
+        &mut self,
+        job: usize,
+        demand: u64,
+        t: SimTime,
+        queue: &mut EventQueue,
+    ) -> Option<usize> {
+        if !self.scenario.is_classified() {
+            return None;
+        }
+        let crit = self.scenario.class_of(job).crit;
+        if !self.fleet.crit_blind && crit != Criticality::LatencyCritical {
+            return None;
+        }
+        let t_ms = t.as_millis();
+        let mut best: Option<(usize, usize)> = None; // (victim count, node)
+        let mut best_victims: Vec<(usize, usize, AppKind)> = Vec::new();
+        for node in 0..self.nodes.len() {
+            if !self.available(node) || self.nodes[node].apps.is_empty() {
+                continue;
+            }
+            let out = self.probe_outcome(node);
+            let mut evictable: Vec<(usize, usize, AppKind)> = self.nodes[node]
+                .apps
+                .iter()
+                .enumerate()
+                .filter(|&(slot, &(res, _, _))| {
+                    self.assignment[res] == Some((node, slot))
+                        && (self.fleet.crit_blind
+                            || self.scenario.class_of(res).crit == Criticality::Batch)
+                        && out.run.apps.get(slot).is_none_or(|a| {
+                            a.started.as_millis() <= t_ms
+                                && a.ended.is_none_or(|e| e.as_millis() > t_ms)
+                        })
+                })
+                .map(|(slot, &(res, kind, _))| (slot, res, kind))
+                .collect();
+            drop(out);
+            if evictable.is_empty() {
+                continue;
+            }
+            evictable.sort_by_key(|&(_, res, _)| Reverse(res)); // latest-arriving first
+            let view = self.view(node, t);
+            let mut freed = 0u64;
+            let mut needed = None;
+            for (i, &(_, _, kind)) in evictable.iter().enumerate() {
+                freed = freed.saturating_add(demand_estimate(kind));
+                let after = view.effective().saturating_sub(freed);
+                if after.saturating_add(demand) <= view.summary.top {
+                    needed = Some(i + 1);
+                    break;
+                }
+            }
+            let Some(n) = needed else { continue };
+            if best.is_none_or(|(bn, _)| n < bn) {
+                best = Some((n, node));
+                evictable.truncate(n);
+                best_victims = evictable;
+            }
+        }
+        let (_, node) = best?;
+        let mut freed = 0u64;
+        for &(slot, victim, kind) in &best_victims {
+            self.nodes[node].faults = std::mem::take(&mut self.nodes[node].faults)
+                .with_crash(t.saturating_since(SimTime::ZERO), slot);
+            self.assignment[victim] = None;
+            self.reschedules[victim] += 1;
+            freed = freed.saturating_add(demand_estimate(kind));
+            let retry_at = t_ms + self.backoff_ms(victim, self.reschedules[victim]);
+            self.trace.record(
+                t,
+                victim as u64,
+                TraceData::SchedClassPreempt {
+                    job: job as u64,
+                    crit,
+                    victim: victim as u64,
+                    victim_crit: self.scenario.class_of(victim).crit,
+                    node: node as u64,
+                },
+            );
+            self.trace.record(
+                t,
+                victim as u64,
+                TraceData::FleetReschedule {
+                    job: victim as u64,
+                    from: node as u64,
+                    retries: self.reschedules[victim] as u64,
+                    retry_at_ms: retry_at,
+                    requeued: true,
+                },
+            );
+            queue.insert(
+                (retry_at, CLASS_PLACE, victim as u64),
+                Event::Place {
+                    job: victim,
+                    attempt: 0,
+                },
+            );
+        }
+        self.nodes[node].probe = None;
+        let est = self.nodes[node].index_effective.saturating_sub(freed);
+        self.update_index(node, est);
+        Some(node)
+    }
+
     fn on_place(&mut self, job: usize, attempt: u32, t: SimTime, queue: &mut EventQueue) {
         let kind = self.scenario.apps[job].0;
         let demand = demand_estimate(kind);
@@ -966,10 +1123,28 @@ impl<'a> Fleet<'a> {
                 choice = Some(node);
             }
         }
+        // Nothing admits the job outright: a latency-critical job may
+        // evict Batch reservations instead of deferring. The preempted
+        // node is re-read through `probe`, and the job still only places
+        // on an authoritative admit — if the freed memory has not surfaced
+        // in the pressure timeline yet, the job defers once more and its
+        // retry lands on the now-lighter node.
+        if choice.is_none() {
+            if let Some(node) = self.try_preempt(job, demand, t, queue) {
+                let v = self.probe(node, t);
+                probed.push(v);
+                if Self::admits(&v, demand) {
+                    choice = Some(node);
+                }
+            }
+        }
         match choice {
             Some(node) => {
+                // Most recent probe of the node: a preemption re-probe
+                // supersedes any earlier read this same placement took.
                 let summary = probed
                     .iter()
+                    .rev()
                     .find(|v| v.node == node)
                     .expect("picked node was probed")
                     .summary;
@@ -1078,8 +1253,12 @@ impl<'a> Fleet<'a> {
                 continue;
             }
             let red_for = t_ms.saturating_sub(since);
-            // Victim: the lowest-priority (latest-arriving) job alive on
-            // this node at `t` that has migration budget left.
+            // Victim: the most expendable job alive on this node at `t`
+            // with migration budget left — Batch moves before Standard,
+            // Standard before LatencyCritical — and within a class the
+            // lowest-priority (latest-arriving) one. Unclassified
+            // scenarios (and the `crit_blind` ablation) collapse to the
+            // pure latest-arriving rule.
             let out = self.probe_outcome(node);
             let victim = self.nodes[node]
                 .apps
@@ -1093,7 +1272,14 @@ impl<'a> Fleet<'a> {
                                 && a.ended.is_none_or(|e| e.as_millis() > t_ms)
                         })
                 })
-                .max_by_key(|&(_, &(job, _, _))| job)
+                .max_by_key(|&(_, &(job, _, _))| {
+                    let exp = if self.fleet.crit_blind {
+                        0
+                    } else {
+                        self.scenario.class_of(job).crit.expendability()
+                    };
+                    (exp, job)
+                })
                 .map(|(slot, &(job, kind, _))| (slot, job, kind));
             let Some((slot, job, kind)) = victim else {
                 continue;
@@ -1315,6 +1501,21 @@ impl<'a> Fleet<'a> {
                 self.degradation.placements_delayed += 1;
                 self.degradation.placement_delay_ms += delay_ms[job];
             }
+            if self.scenario.is_classified() {
+                // Declare the job's class and SLO at submission: the
+                // anchor the oracle checks every later class event
+                // (preempt, SLO report) for consistency against.
+                let class = self.scenario.class_of(job);
+                self.trace.record(
+                    SimTime::from_millis(start.as_millis() + delay_ms[job]),
+                    job as u64,
+                    TraceData::SchedClassAssign {
+                        job: job as u64,
+                        crit: class.crit,
+                        slo_ms: class.slo_ms,
+                    },
+                );
+            }
             queue.insert(
                 (start.as_millis() + delay_ms[job], CLASS_PLACE, job as u64),
                 Event::Place { job, attempt: 0 },
@@ -1477,13 +1678,14 @@ pub fn run_fleet_faulted_with_workers(
     let mut failures = Vec::with_capacity(njobs);
     for job in 0..njobs {
         let arrival = SimTime::ZERO + scenario.apps[job].1;
-        let (node, runtime_s, failure) = match state.assignment[job] {
+        let class = scenario.class_of(job);
+        let (node, runtime_ms, stall_ms, failure) = match state.assignment[job] {
             Some((node, slot)) => {
                 let app = &finals[node].as_ref().expect("assigned node ran").run.apps[slot];
                 let rt = (!app.killed && !app.failed)
                     .then_some(app.finished)
                     .flatten()
-                    .map(|f| f.saturating_since(arrival).as_secs_f64());
+                    .map(|f| f.saturating_since(arrival).as_millis());
                 let failure = if app.killed {
                     Some(JobFailure::Killed)
                 } else if app.failed {
@@ -1491,14 +1693,34 @@ pub fn run_fleet_faulted_with_workers(
                 } else {
                     None
                 };
-                (Some(node), rt, failure)
+                (Some(node), rt, app.stall.as_millis(), failure)
             }
-            None if state.orphaned[job] => (None, None, Some(JobFailure::NodeLost)),
+            None if state.orphaned[job] => (None, None, 0, Some(JobFailure::NodeLost)),
             None => {
                 debug_assert!(state.gave_up[job], "unassigned job must be resolved");
-                (None, None, Some(JobFailure::GaveUp))
+                (None, None, 0, Some(JobFailure::GaveUp))
             }
         };
+        let runtime_s = runtime_ms.map(|ms| ms as f64 / 1000.0);
+        let slo_met = runtime_ms.map(|ms| class.slo_ms == 0 || ms <= class.slo_ms);
+        if scenario.is_classified() {
+            if let (Some(ms), Some(met)) = (runtime_ms, slo_met) {
+                // The job's SLO report, stamped at its completion instant;
+                // the oracle re-derives `met` and the stall bound from it.
+                state.trace.record(
+                    arrival + SimDuration::from_millis(ms),
+                    job as u64,
+                    TraceData::SchedClassSlo {
+                        job: job as u64,
+                        crit: class.crit,
+                        slo_ms: class.slo_ms,
+                        runtime_ms: ms,
+                        stall_ms,
+                        met,
+                    },
+                );
+            }
+        }
         jobs.push(JobOutcome {
             job,
             node,
@@ -1507,6 +1729,10 @@ pub fn run_fleet_faulted_with_workers(
             reschedules: state.reschedules[job],
             failure,
             runtime_s,
+            crit: class.crit,
+            slo_ms: class.slo_ms,
+            stall_ms,
+            slo_met,
         });
         app_runtimes_s.push(runtime_s);
         failures.push(failure);
@@ -1854,6 +2080,147 @@ mod tests {
             serde_json::to_string(&b).expect("serialize"),
             "fleet results must be bit-identical for any worker count"
         );
+    }
+
+    // ---- mixed criticality --------------------------------------------
+
+    use crate::scenario::JobClass;
+
+    #[test]
+    fn latency_critical_preempts_batch_instead_of_starving() {
+        // One 64-GiB node fully reserved by a Batch n-weight; a
+        // latency-critical k-means arrives a minute later. Without
+        // preemption the k-means would defer until the n-weight finishes;
+        // with it, the batch job is evicted, re-queued, and the critical
+        // job takes the node. Long victim backoff keeps the evicted batch
+        // job from racing back onto the node before the critical one.
+        let scenario = Scenario::uniform("WM", 60).with_classes(vec![
+            JobClass::new(Criticality::Batch, 0),
+            JobClass::new(Criticality::LatencyCritical, 0),
+        ]);
+        let mut fleet = FleetConfig::homogeneous(1, 64 * GIB);
+        fleet.rebalance_checks = 0;
+        fleet.max_defers = 200;
+        fleet.backoff_base = SimDuration::from_secs(600);
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        let preempts = res
+            .trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.data,
+                    TraceData::SchedClassPreempt {
+                        job: 1,
+                        victim: 0,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(preempts >= 1, "the critical job must preempt the batch one");
+        assert_eq!(res.jobs[1].failure, None, "the critical job completes");
+        assert_eq!(res.jobs[1].crit, Criticality::LatencyCritical);
+        assert!(
+            res.jobs[0].reschedules >= 1,
+            "the batch victim re-enters the queue"
+        );
+        assert!(
+            res.trace
+                .events()
+                .iter()
+                .any(|e| matches!(e.data, TraceData::SchedClassAssign { job: 1, .. })),
+            "classified jobs declare their class at submission"
+        );
+    }
+
+    #[test]
+    fn crit_blind_fleet_is_caught_by_the_oracle() {
+        // The ablation evicts the latest-arriving resident regardless of
+        // class: here a Standard job preempts the resident
+        // latency-critical one, which the cluster oracle must flag. The
+        // same scenario with class checks on is quietly conformant — the
+        // Standard job simply waits its turn.
+        let scenario = Scenario::uniform("WW", 60).with_classes(vec![
+            JobClass::new(Criticality::LatencyCritical, 0),
+            JobClass::new(Criticality::Standard, 0),
+        ]);
+        let mut fleet = FleetConfig::homogeneous(1, 64 * GIB);
+        fleet.rebalance_checks = 0;
+        fleet.max_defers = 200;
+        fleet.crit_blind = true;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| v.invariant == "sched.class.preempt"),
+            "a wrong-direction eviction must be flagged, got {:?}",
+            res.violations
+        );
+        let mut fair = fleet.clone();
+        fair.crit_blind = false;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fair);
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert!(
+            !res.trace
+                .events()
+                .iter()
+                .any(|e| matches!(e.data, TraceData::SchedClassPreempt { .. })),
+            "a Standard job must not preempt a critical resident"
+        );
+    }
+
+    #[test]
+    fn migration_victim_is_the_most_expendable_resident() {
+        // The co-location scenario of `red_node_triggers_migration`, with
+        // classes: the *older* job is Standard, the newer one critical.
+        // The class-aware rebalancer must invert the legacy
+        // latest-arriving choice and move the more-expendable older job.
+        let scenario = Scenario::uniform("WW", 60).with_classes(vec![
+            JobClass::new(Criticality::Standard, 0),
+            JobClass::new(Criticality::LatencyCritical, 0),
+        ]);
+        let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+        fleet.policy = PlacementPolicy::MostPressured;
+        fleet.grace = SimDuration::ZERO;
+        fleet.rebalance_period = SimDuration::from_secs(1);
+        fleet.rebalance_checks = 150;
+        let res = run_fleet(&scenario, &Setting::m3(2), quick_cfg(), &fleet);
+        assert_eq!(res.jobs[0].migrations, 1, "the standard job is the victim");
+        assert_eq!(res.jobs[1].migrations, 0, "the critical job stays put");
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn class_mean_slices_the_fleet_by_criticality() {
+        // Three staggered k-means on three nodes: one critical with a
+        // generous SLO, one standard, one batch. Every class completes,
+        // and the per-class report accounts each slice separately.
+        let scenario = Scenario::uniform("MMM", 120).with_classes(vec![
+            JobClass::new(Criticality::LatencyCritical, 40_000_000),
+            JobClass::new(Criticality::Standard, 0),
+            JobClass::new(Criticality::Batch, 0),
+        ]);
+        let res = run_fleet(&scenario, &Setting::m3(3), quick_cfg(), &small_fleet());
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        let mean = res.class_mean();
+        assert_eq!(mean.classes.len(), 3, "one slice per populated class");
+        let lc = mean.class(Criticality::LatencyCritical).expect("lc slice");
+        assert_eq!((lc.jobs, lc.completed, lc.failed), (1, 1, 0));
+        assert_eq!(lc.slo_jobs, 1);
+        assert_eq!(lc.slo_met, 1, "a 40,000-second SLO holds trivially");
+        let batch = mean.class(Criticality::Batch).expect("batch slice");
+        assert_eq!(batch.slo_jobs, 0);
+        assert_eq!(batch.slo_met, 1, "no SLO counts as met");
+        assert!(res.trace.events().iter().any(|e| matches!(
+            e.data,
+            TraceData::SchedClassSlo {
+                job: 0,
+                met: true,
+                ..
+            }
+        )));
     }
 
     // ---- fleet chaos --------------------------------------------------

@@ -16,7 +16,7 @@ use m3_os::cgroup::{Cgroup, CgroupSet};
 use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal};
 use m3_sim::clock::{SimDuration, SimTime};
 use m3_sim::metrics::Profile;
-use m3_sim::trace::{SigKind, TraceData, TraceLog};
+use m3_sim::trace::{Criticality, SigKind, TraceData, TraceLog};
 use m3_sim::units::{bytes_to_gib, GIB};
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,7 @@ use crate::apps::{AnyApp, AppBlueprint};
 use crate::faults::{
     DegradationReport, FaultKind, FaultPlan, FaultRecovery, UnappliedFault, UnappliedReason,
 };
+use crate::scenario::JobClass;
 use crate::settings::Setting;
 
 /// One schedule entry: display name, start delay, and the blueprint built at
@@ -143,6 +144,9 @@ pub struct AppResult {
     pub gc_pause: SimDuration,
     /// Framework memory-management time (Spark capacity misses).
     pub mm_time: SimDuration,
+    /// Time spent inside reclamation signal handlers — the memory-pressure
+    /// stall the scheduler charges against a job's latency SLO.
+    pub stall: SimDuration,
     /// Peak resident set size observed.
     pub peak_rss: u64,
 }
@@ -203,6 +207,10 @@ struct Slot {
     idx: usize,
     app: AnyApp,
     peak_rss: u64,
+    /// The job's criticality class (drives per-class signal handling).
+    class: JobClass,
+    /// Accumulated reclamation-handler time.
+    stall: SimDuration,
     /// Injected non-cooperation: when set, the app's signal handler still
     /// runs but only this fraction of freed bytes is returned to the OS.
     unresponsive: Option<f64>,
@@ -243,7 +251,17 @@ impl Machine {
     /// Runs a schedule of `(name, start, blueprint)` to completion (or the
     /// time cap) and returns per-app results plus the memory profile.
     pub fn run(&self, schedule: Vec<ScheduleEntry>) -> RunResult {
-        self.run_full(schedule, None, &FaultPlan::none())
+        self.run_full(schedule, None, &FaultPlan::none(), &[])
+    }
+
+    /// Like [`Machine::run`], with a criticality class per schedule entry
+    /// (missing entries default to `Standard`). Classes change how a job
+    /// answers pressure: batch jobs treat the advisory low signal as a high
+    /// one (earlier, larger reclamation), latency-critical jobs ignore the
+    /// low signal and only reclaim on high, and the class is written into
+    /// the job's PID file so the monitor's kill ordering sees it.
+    pub fn run_classed(&self, schedule: Vec<ScheduleEntry>, classes: &[JobClass]) -> RunResult {
+        self.run_full(schedule, None, &FaultPlan::none(), classes)
     }
 
     /// Like [`Machine::run`], but places each scheduled application in its
@@ -256,7 +274,7 @@ impl Machine {
         schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
     ) -> RunResult {
-        self.run_full(schedule, container_limits, &FaultPlan::none())
+        self.run_full(schedule, container_limits, &FaultPlan::none(), &[])
     }
 
     /// Legacy failure injection: the application at schedule index `idx` is
@@ -267,7 +285,7 @@ impl Machine {
         schedule: Vec<ScheduleEntry>,
         kills: Vec<(SimDuration, usize)>,
     ) -> RunResult {
-        self.run_full(schedule, None, &FaultPlan::from_kills(kills))
+        self.run_full(schedule, None, &FaultPlan::from_kills(kills), &[])
     }
 
     /// Fault injection: runs the schedule while executing `faults` against
@@ -275,7 +293,18 @@ impl Machine {
     /// outages, registration churn. The returned
     /// [`RunResult::degradation`] accounts for every injected item.
     pub fn run_with_faults(&self, schedule: Vec<ScheduleEntry>, faults: &FaultPlan) -> RunResult {
-        self.run_full(schedule, None, faults)
+        self.run_full(schedule, None, faults, &[])
+    }
+
+    /// [`Machine::run_with_faults`] with per-entry criticality classes (see
+    /// [`Machine::run_classed`]).
+    pub fn run_with_faults_classed(
+        &self,
+        schedule: Vec<ScheduleEntry>,
+        faults: &FaultPlan,
+        classes: &[JobClass],
+    ) -> RunResult {
+        self.run_full(schedule, None, faults, classes)
     }
 
     fn run_full(
@@ -283,6 +312,7 @@ impl Machine {
         schedule: Vec<ScheduleEntry>,
         container_limits: Option<Vec<u64>>,
         faults: &FaultPlan,
+        classes: &[JobClass],
     ) -> RunResult {
         let mut kernel = Kernel::new(KernelConfig::with_total(self.cfg.phys_total));
         if !self.cfg.capture_trace {
@@ -302,6 +332,7 @@ impl Machine {
                 failed: false,
                 gc_pause: SimDuration::ZERO,
                 mm_time: SimDuration::ZERO,
+                stall: SimDuration::ZERO,
                 peak_rss: 0,
             });
             queue.schedule(SimTime::ZERO + *start, i);
@@ -384,10 +415,12 @@ impl Machine {
                     kernel.exit(pid);
                     continue;
                 }
+                let class = classes.get(idx).copied().unwrap_or_default();
                 if bp.is_m3() {
                     // §6: participants drop a PID file in the registration
                     // directory; the monitor picks it up on its next poll.
-                    registry.register(&kernel, pid, name.as_ref());
+                    // The file also declares the job's criticality class.
+                    registry.register_with_class(&kernel, pid, name.as_ref(), class.crit);
                 }
                 if let Some(set) = cgroups.as_mut() {
                     set.group_mut(idx).add(pid);
@@ -396,6 +429,8 @@ impl Machine {
                     idx,
                     app,
                     peak_rss: 0,
+                    class,
+                    stall: SimDuration::ZERO,
                     unresponsive: None,
                     leak_rate: 0,
                     leak_carry: 0,
@@ -561,6 +596,16 @@ impl Machine {
                             let Some(t) = ThresholdSignal::from_os_signal(other) else {
                                 continue;
                             };
+                            // Per-class reclamation aggressiveness: a batch
+                            // job answers the advisory low signal with its
+                            // high handler (earlier, larger reclamation); a
+                            // latency-critical job ignores low entirely and
+                            // only reclaims on high. Standard is unchanged.
+                            let t = match (slot.class.crit, t) {
+                                (Criticality::Batch, ThresholdSignal::Low) => ThresholdSignal::High,
+                                (Criticality::LatencyCritical, ThresholdSignal::Low) => continue,
+                                _ => t,
+                            };
                             let sig_kind = match t {
                                 ThresholdSignal::Low => SigKind::Low,
                                 ThresholdSignal::High => SigKind::High,
@@ -568,6 +613,7 @@ impl Machine {
                             kernel.record_trace(pid, TraceData::HandlerStart { sig: sig_kind });
                             let out = slot.app.handle_signal(t, &mut kernel, now);
                             slot.app.add_debt(out.duration);
+                            slot.stall += out.duration;
                             // Injected non-cooperation: the handler ran and
                             // freed pages internally, but only a fraction
                             // actually reaches the OS — the rest is re-grown
@@ -597,6 +643,7 @@ impl Machine {
             running.retain(|s| {
                 if results[s.idx].killed {
                     results[s.idx].peak_rss = s.peak_rss;
+                    results[s.idx].stall = s.stall;
                     results[s.idx].ended = Some(now);
                     // Killed processes leave a stale PID file; the sweep on
                     // the next sync removes it and unregisters the process.
@@ -638,6 +685,7 @@ impl Machine {
                     r.failed = s.app.failed();
                     r.gc_pause = s.app.gc_pause();
                     r.mm_time = s.app.mm_time();
+                    r.stall = s.stall;
                     r.peak_rss = s.peak_rss;
                     let pid = s.app.pid();
                     kernel.exit(pid);
@@ -952,5 +1000,73 @@ mod tests {
         let res = m.run(vec![spark_entry("a", 0, 8, false)]);
         assert!(res.mean_rss > 0.0);
         assert!(res.mean_rss < 64.0 * GIB as f64);
+    }
+
+    /// Two identical M3 jobs on a small pressured node, one per class under
+    /// test — returns each run's per-signal handler counts from the trace.
+    fn classed_pressure_run(crit: Criticality) -> (u64, u64, RunResult) {
+        let mut cfg = MachineConfig::scaled(8 * GIB, true);
+        cfg.max_time = SimDuration::from_secs(8000);
+        let entries = vec![
+            spark_entry_ws("a", 0, 8, true, 6),
+            spark_entry_ws("b", 2, 8, true, 6),
+        ];
+        let classes = vec![crate::scenario::JobClass::new(crit, 0); 2];
+        let res = Machine::new(cfg).run_classed(entries, &classes);
+        let mut low = 0;
+        let mut high = 0;
+        for e in res.trace.events() {
+            if let TraceData::HandlerStart { sig } = e.data {
+                match sig {
+                    SigKind::Low => low += 1,
+                    SigKind::High => high += 1,
+                    SigKind::Kill => {}
+                }
+            }
+        }
+        (low, high, res)
+    }
+
+    #[test]
+    fn batch_class_escalates_low_signals_to_high_handlers() {
+        let (std_low, _, std_res) = classed_pressure_run(Criticality::Standard);
+        let (batch_low, batch_high, batch_res) = classed_pressure_run(Criticality::Batch);
+        assert!(std_low > 0, "standard jobs under pressure run low handlers");
+        assert_eq!(
+            batch_low, 0,
+            "batch jobs answer every low signal with the high handler"
+        );
+        assert!(batch_high > 0);
+        assert_eq!(std_res.violations, Vec::new());
+        assert_eq!(batch_res.violations, Vec::new(), "class mapping conforms");
+    }
+
+    #[test]
+    fn latency_critical_class_ignores_low_signals() {
+        let (low, _, res) = classed_pressure_run(Criticality::LatencyCritical);
+        assert_eq!(low, 0, "latency-critical jobs never run the low handler");
+        let sent_low = res.trace.count("signal.low");
+        assert!(
+            sent_low > 0,
+            "the monitor still sends low signals as before"
+        );
+        assert_eq!(res.violations, Vec::new());
+    }
+
+    #[test]
+    fn stall_accounts_reclamation_handler_time() {
+        let (_, high, res) = classed_pressure_run(Criticality::Standard);
+        assert!(high > 0, "pressure must trigger reclamation");
+        let stalled: Vec<_> = res
+            .apps
+            .iter()
+            .filter(|a| a.stall > SimDuration::ZERO)
+            .collect();
+        assert!(!stalled.is_empty(), "handler time is charged as stall");
+        for a in &res.apps {
+            if let Some(rt) = a.runtime() {
+                assert!(a.stall <= rt, "stall is part of the runtime");
+            }
+        }
     }
 }

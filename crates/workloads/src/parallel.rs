@@ -266,6 +266,7 @@ mod tests {
         let scenario = Scenario {
             name: "parallel-cache-test".into(),
             apps: vec![(AppKind::KMeans, SimDuration::ZERO)],
+            classes: Vec::new(),
         };
         let setting = Setting::uniform(SettingKind::Default, AppConfig::stock_default(), 1);
         let cfg = MachineConfig::stock_64gb();

@@ -130,7 +130,7 @@ pub fn run_scenario_with_faults(
             (app_name(kind.code(), i), start, bp)
         })
         .collect();
-    let run = machine.run_with_faults(schedule, faults);
+    let run = machine.run_with_faults_classed(schedule, faults, &scenario.classes);
     if let Ok(path) = std::env::var("M3_TRACE") {
         if !path.is_empty() {
             if let Ok(json) = serde_json::to_string_pretty(&run.trace) {
@@ -216,6 +216,7 @@ mod tests {
                 failed: r.is_none(),
                 gc_pause: SimDuration::ZERO,
                 mm_time: SimDuration::ZERO,
+                stall: SimDuration::ZERO,
                 peak_rss: 0,
             })
             .collect();
@@ -275,6 +276,7 @@ mod tests {
         let scenario = Scenario {
             name: "M solo".into(),
             apps: vec![(AppKind::KMeans, SimDuration::ZERO)],
+            classes: Vec::new(),
         };
         let setting = Setting::uniform(SettingKind::Default, AppConfig::stock_default(), 1);
         let out = run_scenario(&scenario, &setting, MachineConfig::stock_64gb());

@@ -6,6 +6,7 @@
 //! e.g. `MMW 180` starts two k-means jobs and an n-weight job 180 s apart.
 
 use m3_sim::clock::SimDuration;
+use m3_sim::trace::Criticality;
 use serde::{Deserialize, Serialize};
 
 /// The kinds of application the evaluation schedules.
@@ -48,6 +49,36 @@ impl AppKind {
     }
 }
 
+/// Criticality class and optional latency SLO of one scheduled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobClass {
+    /// The job's criticality class.
+    pub crit: Criticality,
+    /// Latency SLO in milliseconds; 0 declares no SLO.
+    pub slo_ms: u64,
+}
+
+impl Default for JobClass {
+    fn default() -> Self {
+        JobClass {
+            crit: Criticality::Standard,
+            slo_ms: 0,
+        }
+    }
+}
+
+impl JobClass {
+    /// A classed job with an SLO (`slo_ms == 0` declares none).
+    pub fn new(crit: Criticality, slo_ms: u64) -> Self {
+        JobClass { crit, slo_ms }
+    }
+
+    /// True for the implicit class of unclassified jobs.
+    pub fn is_default(&self) -> bool {
+        *self == JobClass::default()
+    }
+}
+
 /// One evaluation workload: applications with start offsets.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -55,6 +86,11 @@ pub struct Scenario {
     pub name: String,
     /// `(kind, start offset)` per application, in schedule order.
     pub apps: Vec<(AppKind, SimDuration)>,
+    /// Per-application criticality classes, parallel to `apps`. Empty means
+    /// every job is `Standard` with no SLO (the pre-classification default),
+    /// which keeps unclassified scenarios content-addressing exactly as
+    /// before classes existed.
+    pub classes: Vec<JobClass>,
 }
 
 impl Scenario {
@@ -77,7 +113,41 @@ impl Scenario {
         Scenario {
             name: format!("{codes} {delay_secs}"),
             apps,
+            classes: Vec::new(),
         }
+    }
+
+    /// Attaches criticality classes, one per application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is non-empty and its length differs from the
+    /// application count.
+    pub fn with_classes(mut self, classes: Vec<JobClass>) -> Self {
+        assert!(
+            classes.is_empty() || classes.len() == self.apps.len(),
+            "classes must be empty or one per application ({} apps, {} classes)",
+            self.apps.len(),
+            classes.len()
+        );
+        // An all-default vector is the same declaration as an empty one;
+        // normalise so the two content-address identically.
+        if classes.iter().all(JobClass::is_default) {
+            self.classes = Vec::new();
+        } else {
+            self.classes = classes;
+        }
+        self
+    }
+
+    /// The class of application `job` (default for unclassified scenarios).
+    pub fn class_of(&self, job: usize) -> JobClass {
+        self.classes.get(job).copied().unwrap_or_default()
+    }
+
+    /// True if any job declares a non-default class or an SLO.
+    pub fn is_classified(&self) -> bool {
+        !self.classes.is_empty()
     }
 
     /// Number of applications.
@@ -173,6 +243,29 @@ pub fn fleet_scale_scenario(nodes: usize) -> Scenario {
     Scenario {
         name: format!("fleet-scale {nodes}x{WAVES}"),
         apps,
+        classes: Vec::new(),
+    }
+}
+
+/// The mixed-criticality co-location workload: a latency-critical
+/// memcached-style cache tier scheduled *after* `batch` Spark k-means jobs,
+/// so a criticality-blind newest-first policy would shoot the cache first
+/// under pressure. The cache declares a latency SLO; the batch jobs are
+/// expendable.
+pub fn mixed_criticality_scenario(batch: usize, slo_ms: u64) -> Scenario {
+    let mut apps: Vec<(AppKind, SimDuration)> = (0..batch)
+        .map(|i| (AppKind::KMeans, SimDuration::from_secs(30 * i as u64)))
+        .collect();
+    let mut classes = vec![JobClass::new(Criticality::Batch, 0); batch];
+    apps.push((
+        AppKind::Memcached,
+        SimDuration::from_secs(30 * batch as u64),
+    ));
+    classes.push(JobClass::new(Criticality::LatencyCritical, slo_ms));
+    Scenario {
+        name: format!("mixed-crit {batch}xM+X"),
+        apps,
+        classes,
     }
 }
 
@@ -272,5 +365,48 @@ mod tests {
     #[should_panic(expected = "unknown app code")]
     fn bad_letters_rejected() {
         Scenario::uniform("MZ", 0);
+    }
+
+    #[test]
+    fn classes_default_to_standard() {
+        let s = Scenario::uniform("MMW", 180);
+        assert!(!s.is_classified());
+        assert_eq!(s.class_of(0), JobClass::default());
+        assert_eq!(s.class_of(99), JobClass::default());
+    }
+
+    #[test]
+    fn with_classes_attaches_and_normalises() {
+        let classed = Scenario::uniform("MM", 0).with_classes(vec![
+            JobClass::new(Criticality::Batch, 0),
+            JobClass::new(Criticality::LatencyCritical, 500),
+        ]);
+        assert!(classed.is_classified());
+        assert_eq!(classed.class_of(1).slo_ms, 500);
+        // All-default classes normalise to the unclassified representation,
+        // so the two content-address identically.
+        let plain = Scenario::uniform("MM", 0).with_classes(vec![JobClass::default(); 2]);
+        assert_eq!(plain, Scenario::uniform("MM", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one per application")]
+    fn with_classes_rejects_length_mismatch() {
+        let _ = Scenario::uniform("MMW", 0).with_classes(vec![JobClass::default()]);
+    }
+
+    #[test]
+    fn mixed_criticality_scenario_shape() {
+        let s = mixed_criticality_scenario(4, 500);
+        assert_eq!(s.len(), 5);
+        assert!(s.is_classified());
+        // The cache tier arrives last — newest under a newest-first posture.
+        assert_eq!(s.apps[4].0, AppKind::Memcached);
+        assert!(s.apps[4].1 > s.apps[3].1);
+        assert_eq!(s.class_of(4).crit, Criticality::LatencyCritical);
+        assert_eq!(s.class_of(4).slo_ms, 500);
+        for job in 0..4 {
+            assert_eq!(s.class_of(job).crit, Criticality::Batch);
+        }
     }
 }

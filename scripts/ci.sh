@@ -41,5 +41,13 @@ M3_CACHE_TRACE_KEYS=150000 M3_CACHE_TRACE_OPS=1200000 \
     M3_RESULTS_DIR=target/ci-results \
     cargo bench -p m3-bench --bench cache_trace
 cargo run --release --example cache_trace_drill
+# Mixed-criticality smoke: the co-location sweep at reduced batch load.
+# The bench itself is the conformance step — it asserts zero oracle
+# violations at every point (classified and criticality-unaware), that the
+# classified scheduler holds the cache tier's SLO, and that the fleet's
+# own SLO accounting agrees with external scoring.
+M3_MIXED_CRIT_MAX_BATCH=4 M3_MIXED_CRIT_BUDGET_S=60 \
+    M3_RESULTS_DIR=target/ci-results \
+    cargo bench -p m3-bench --bench mixed_criticality
 cargo clippy -- -D warnings
 cargo fmt --check

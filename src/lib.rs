@@ -50,6 +50,7 @@ pub mod prelude {
     pub use m3_oracle::{FleetOracle, Oracle, Violation};
     pub use m3_os::{DiskModel, Kernel, KernelConfig, Pid, Signal, SignalFaultConfig};
     pub use m3_sim::clock::{SimDuration, SimTime};
+    pub use m3_sim::trace::Criticality;
     pub use m3_sim::units::{GIB, KIB, MIB};
     pub use m3_workloads::cluster::{
         run_cluster, ClusterMean, ClusterResult, JobFailure, PAPER_NODES,
@@ -70,6 +71,9 @@ pub mod prelude {
     pub use m3_workloads::runner::{
         compare_m3_vs, run_scenario, run_scenario_with_faults, speedup_report,
     };
-    pub use m3_workloads::scenario::{fleet_canonical, fleet_scale_scenario, AppKind, Scenario};
+    pub use m3_workloads::scenario::{
+        fleet_canonical, fleet_scale_scenario, mixed_criticality_scenario, AppKind, JobClass,
+        Scenario,
+    };
     pub use m3_workloads::settings::{AppConfig, Setting, SettingKind};
 }

@@ -177,6 +177,43 @@ fn golden_fleet_canonical_trace() {
 }
 
 #[test]
+fn golden_mixed_criticality_colocation_trace() {
+    // The memcached+Spark co-location trace, pinned byte for byte: class
+    // assignments, any preemptions, SLO accounting and kill ordering must
+    // not drift without a deliberate golden update.
+    let scenario = m3::workloads::scenario::mixed_criticality_scenario(4, 3_600_000);
+    let setting = Setting::m3(scenario.len());
+    let mut fleet = FleetConfig::homogeneous(2, 64 * GIB);
+    fleet.rebalance_checks = 10;
+    let res = run_fleet(&scenario, &setting, machine(), &fleet);
+    assert!(
+        res.violations.is_empty(),
+        "mixed-criticality run must be conformant: {:#?}",
+        res.violations
+    );
+    // The trace carries the criticality vocabulary end to end.
+    let mut assigns = 0;
+    for e in res.trace.events() {
+        if e.kind() == "sched.class.assign" {
+            assigns += 1;
+        }
+    }
+    assert_eq!(assigns, scenario.len(), "every job declares its class");
+    // The per-class report slices the co-location: one critical tenant,
+    // four expendable batch jobs.
+    let report = res.class_mean();
+    let lc = report
+        .class(Criticality::LatencyCritical)
+        .expect("critical class present");
+    assert_eq!(lc.jobs, 1);
+    let batch = report
+        .class(Criticality::Batch)
+        .expect("batch class present");
+    assert_eq!(batch.jobs, 4);
+    assert_golden("mixed_criticality.trace.jsonl", &trace_jsonl(&res.trace));
+}
+
+#[test]
 fn fleet_runs_are_deterministic_and_memoized() {
     let scenario = Scenario::uniform("MMMM", 0);
     let setting = Setting::m3(scenario.len());

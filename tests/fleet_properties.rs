@@ -206,6 +206,75 @@ proptest! {
         );
     }
 
+    /// Classified fleets conform to the criticality contract on every
+    /// random mix: zero oracle violations (kill ordering, preemption
+    /// direction, SLO conservation), and every recorded preemption pairs a
+    /// LatencyCritical admission with a strictly-more-expendable Batch
+    /// victim.
+    #[test]
+    fn random_criticality_mixes_are_conformant(
+        (scenario, fleet) in (scenario_strategy(), fleet_strategy()),
+        mix_seed in proptest::collection::vec((0usize..3, proptest::bool::ANY), 4..5),
+    ) {
+        let classes: Vec<JobClass> = mix_seed
+            .iter()
+            .take(scenario.len())
+            .map(|&(c, has_slo)| {
+                let crit = Criticality::ALL[c];
+                let slo_ms = if crit == Criticality::LatencyCritical && has_slo {
+                    3_600_000
+                } else {
+                    0
+                };
+                JobClass::new(crit, slo_ms)
+            })
+            .collect();
+        let scenario = scenario.with_classes(classes);
+        let setting = Setting::m3(scenario.len());
+        let res = run_fleet(&scenario, &setting, machine(), &fleet);
+        prop_assert!(res.violations.is_empty(), "violations: {:#?}", res.violations);
+        for e in res.trace.events() {
+            if let TraceData::SchedClassPreempt { crit, victim_crit, .. } = e.data {
+                prop_assert_eq!(crit, Criticality::LatencyCritical,
+                    "only latency-critical jobs may preempt");
+                prop_assert_eq!(victim_crit, Criticality::Batch,
+                    "only batch reservations are preemptible");
+            }
+        }
+    }
+
+    /// The flagship deferral guarantee: with a generous defer budget, a
+    /// LatencyCritical job is never starved out of the fleet while Batch
+    /// reservations exist to preempt — it takes a reservation instead of
+    /// giving up, on every random fleet shape.
+    #[test]
+    fn latency_critical_never_starves_while_batch_is_preemptible(
+        scenario in scenario_strategy(),
+        fleet in fleet_strategy(),
+    ) {
+        // All jobs Batch except the last, which is the critical tenant.
+        let n = scenario.len();
+        let mut classes = vec![JobClass::new(Criticality::Batch, 0); n];
+        classes[n - 1] = JobClass::new(Criticality::LatencyCritical, 3_600_000);
+        let scenario = scenario.with_classes(classes);
+        let setting = Setting::m3(scenario.len());
+        let mut fleet = fleet;
+        fleet.max_defers = 50;
+        let res = run_fleet(&scenario, &setting, machine(), &fleet);
+        prop_assert!(res.violations.is_empty(), "violations: {:#?}", res.violations);
+        let lc = &res.jobs[n - 1];
+        prop_assert!(
+            lc.failure != Some(JobFailure::GaveUp),
+            "latency-critical job {} gave up with preemptible batch residents: {:#?}",
+            lc.job, res.jobs
+        );
+        // Per-class aggregation sees exactly one latency-critical job.
+        let report = res.class_mean();
+        let lc_class = report.class(Criticality::LatencyCritical);
+        prop_assert!(lc_class.is_some());
+        prop_assert_eq!(lc_class.expect("checked").jobs, 1);
+    }
+
     /// Determinism: the same scenario, setting, machine and fleet config
     /// produce bit-identical placement logs and job outcomes.
     #[test]

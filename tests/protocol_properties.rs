@@ -5,6 +5,7 @@ use m3::core::thresholds::AdaptiveThresholds;
 use m3::core::{AdaptiveAllocator, MonitorConfig, SortOrder};
 use m3::os::{Kernel, KernelConfig, SignalFaultConfig};
 use m3::sim::clock::{SimDuration, SimTime};
+use m3::sim::trace::Criticality;
 use m3::sim::units::{GIB, KIB, MIB};
 use m3::workloads::faults::{FaultEvent, FaultKind, FaultPlan};
 use m3::workloads::machine::MachineConfig;
@@ -14,14 +15,20 @@ use m3::workloads::settings::Setting;
 use proptest::prelude::*;
 
 fn candidate_strategy() -> impl Strategy<Value = Candidate> {
-    (0u64..50, 0u64..1000, 0u64..(64 * GIB), 1u64..(8 * GIB)).prop_map(
-        |(pid, spawn, rss, expect)| Candidate {
+    (
+        0u64..50,
+        0u64..1000,
+        0u64..(64 * GIB),
+        1u64..(8 * GIB),
+        0usize..3,
+    )
+        .prop_map(|(pid, spawn, rss, expect, crit)| Candidate {
             pid,
             spawned_at: SimTime::from_secs(spawn),
             rss,
             expected_reclaim: expect,
-        },
-    )
+            crit: Criticality::ALL[crit],
+        })
 }
 
 proptest! {
@@ -68,7 +75,9 @@ proptest! {
         }
     }
 
-    /// Sorting is a permutation and honours the requested key.
+    /// Sorting is a permutation, criticality is the primary key (more
+    /// expendable classes first), and the posture key orders within a
+    /// class.
     #[test]
     fn sort_is_a_permutation(
         mut cands in proptest::collection::vec(candidate_strategy(), 0..20),
@@ -80,7 +89,56 @@ proptest! {
         sorted_pids.sort_unstable();
         prop_assert_eq!(pids, sorted_pids);
         for w in cands.windows(2) {
-            prop_assert!(w[0].rss >= w[1].rss);
+            let (a, b) = (w[0].crit.expendability(), w[1].crit.expendability());
+            prop_assert!(a >= b, "expendable classes must sort first");
+            if a == b {
+                prop_assert!(w[0].rss >= w[1].rss);
+            }
+        }
+    }
+
+    /// Algorithm 1's kill-ordering invariant, as a pure property of the
+    /// selection routine: no candidate is selected while a strictly
+    /// more-expendable one is left unselected — under every posture order.
+    #[test]
+    fn selection_never_spares_a_more_expendable_candidate(
+        cands in proptest::collection::vec(candidate_strategy(), 0..20),
+        target in 1u64..(64 * GIB),
+        order_idx in 0usize..4,
+    ) {
+        let order = [
+            SortOrder::NewestFirst,
+            SortOrder::OldestFirst,
+            SortOrder::LargestRss,
+            SortOrder::LargestExpectedReclaim,
+        ][order_idx];
+        let selected = select_processes(&cands, order, target);
+        let expendability_of = |pid: u64| {
+            cands
+                .iter()
+                .find(|c| c.pid == pid)
+                .map(|c| c.crit.expendability())
+                .expect("selected pids come from the candidate set")
+        };
+        let mut pids: Vec<u64> = cands.iter().map(|c| c.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        prop_assume!(pids.len() == cands.len());
+        for c in &cands {
+            if selected.contains(&c.pid) {
+                continue;
+            }
+            // `c` was spared: nothing selected may be less expendable.
+            for &victim in &selected {
+                prop_assert!(
+                    expendability_of(victim) >= c.crit.expendability(),
+                    "{:?} pid {} selected while more-expendable {:?} pid {} was spared",
+                    cands.iter().find(|k| k.pid == victim).expect("present").crit,
+                    victim,
+                    c.crit,
+                    c.pid
+                );
+            }
         }
     }
 
