@@ -10,7 +10,10 @@
 //! hit ratio is exactly the resident fraction, so per-request sampling adds
 //! nothing but noise (see [`crate::slab`]).
 
-use m3_core::{AdaptiveAllocator, M3Participant, SignalOutcome, ThresholdSignal};
+use m3_core::{
+    AdaptiveAllocator, M3Participant, PacketKind, PacketOutcome, ReclaimScheduler, SchedulerConfig,
+    SignalOutcome, ThresholdSignal,
+};
 use m3_os::{Kernel, Pid};
 use m3_runtime::{GoConfig, GoRuntime, NativeAllocator};
 use m3_sim::clock::{SimDuration, SimTime};
@@ -77,19 +80,6 @@ impl KvBackend {
         match self {
             KvBackend::Go(g) => g.free_bytes(bytes),
             KvBackend::Native(n) => n.free(os, bytes),
-        }
-    }
-
-    /// Runs the runtime GC if one exists (Table 1: "call Go").
-    fn gc(&mut self, os: &mut Kernel, now: SimTime) -> (SimDuration, u64) {
-        match self {
-            KvBackend::Go(g) => {
-                let out = g.gc(os, now);
-                (out.pause, out.returned_to_os)
-            }
-            // Memcached has no runtime below it; jemalloc already returned
-            // freed slabs inside `free`.
-            KvBackend::Native(_) => (SimDuration::ZERO, 0),
         }
     }
 
@@ -171,6 +161,15 @@ struct BatchFx {
     freed_slabs: u64,
 }
 
+/// Per-class eviction totals accumulated across one drain's `evict_class`
+/// packets, consumed by the aggregate `evict_slabs` packet.
+#[derive(Debug, Default, Clone, Copy)]
+struct EvictAcc {
+    slabs: u64,
+    items: u64,
+    bytes: u64,
+}
+
 /// A cache server process (Go-Cache or Memcached).
 #[derive(Debug)]
 pub struct KvApp {
@@ -184,6 +183,10 @@ pub struct KvApp {
     debt: SimDuration,
     miss_carry: f64,
     finished: bool,
+    /// Work-packet scheduler tunables for signal handling.
+    sched: SchedulerConfig,
+    /// Drain-scoped accumulator for the keyed eviction packets.
+    evict_acc: EvictAcc,
     /// Statistics.
     pub stats: KvStats,
 }
@@ -206,8 +209,17 @@ impl KvApp {
             debt: SimDuration::ZERO,
             miss_carry: 0.0,
             finished: false,
+            sched: SchedulerConfig::default(),
+            evict_acc: EvictAcc::default(),
             stats: KvStats::default(),
         }
+    }
+
+    /// Overrides the work-packet scheduler configuration (worker count,
+    /// bucket-order ablation).
+    pub fn with_scheduler(mut self, sched: SchedulerConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Creates a cache app driven by a production-shaped trace (Zipf
@@ -662,6 +674,15 @@ impl KvApp {
         pause
     }
 
+    /// Memcached/jemalloc returns freed slabs to the OS inside `free`;
+    /// report that RSS delta as the eviction packet's returned bytes.
+    fn jemalloc_returned(&self, bytes: u64) -> u64 {
+        match &self.backend {
+            KvBackend::Native(n) if n.kind() == m3_runtime::AllocatorKind::Jemalloc => bytes,
+            _ => 0,
+        }
+    }
+
     /// Emits a cumulative `cache.stats` snapshot for the trace engine.
     fn emit_cache_stats(&mut self, os: &mut Kernel, now: SimTime) {
         let pid = self.backend.pid();
@@ -715,60 +736,153 @@ impl M3Participant for KvApp {
             ThresholdSignal::Low => EvictReason::LowSignal,
             ThresholdSignal::High => EvictReason::HighSignal,
         };
-        let (slabs_before, slabs, items, bytes) = match self.engine.as_mut() {
+        let mut sched = ReclaimScheduler::new(pid, self.sched);
+        self.evict_acc = EvictAcc::default();
+
+        // Prepare: the cache's own slab eviction. The key-granular path
+        // plans per-class quotas now (nothing runs between enqueue and
+        // drain), enqueues one packet per affected class, and an aggregate
+        // packet that settles the backend free; the analytic path is a
+        // single aggregate packet.
+        let evict = match self.engine.as_ref() {
             Some(e) => {
-                // Key-granular path: per-class detail first, then the
-                // aggregate the oracle checks against Table 1.
-                let before = e.store.slab_count();
-                let out = e.store.evict_fraction(fraction);
-                for d in &out.classes {
-                    os.record_trace_with(pid, || TraceData::EvictClass {
-                        chunk: d.chunk,
-                        before: d.before,
-                        evicted: d.slabs,
-                        items: d.items,
-                        bytes: d.bytes,
+                let total = e.store.slab_count();
+                let n = if total == 0 {
+                    0
+                } else {
+                    ((total as f64 * fraction).ceil() as u64).clamp(1, total)
+                };
+                let plan = e.store.class_quotas(n);
+                let mut class_ids = Vec::with_capacity(plan.len());
+                for (class, quota) in plan {
+                    class_ids.push(sched.add_costed(
+                        PacketKind::EvictClass,
+                        &[],
+                        move |app: &KvApp| {
+                            quota
+                                * app
+                                    .engine
+                                    .as_ref()
+                                    .expect("trace engine")
+                                    .store
+                                    .slab_bytes()
+                        },
+                        move |app: &mut KvApp, os: &mut Kernel| {
+                            let e = app.engine.as_mut().expect("trace engine");
+                            let d = e.store.evict_class(class, quota);
+                            os.record_trace_with(pid, || TraceData::EvictClass {
+                                chunk: d.chunk,
+                                before: d.before,
+                                evicted: d.slabs,
+                                items: d.items,
+                                bytes: d.bytes,
+                                reason,
+                            });
+                            app.evict_acc.slabs += d.slabs;
+                            app.evict_acc.items += d.items;
+                            app.evict_acc.bytes += d.bytes;
+                            PacketOutcome::freed(d.bytes, SimDuration::ZERO)
+                        },
+                    ));
+                }
+                sched.add_costed(
+                    PacketKind::EvictSlabs,
+                    &class_ids,
+                    |_: &KvApp| 0, // the class packets carry the planned bytes
+                    move |app: &mut KvApp, os: &mut Kernel| {
+                        let acc = std::mem::take(&mut app.evict_acc);
+                        os.record_trace_with(pid, || TraceData::EvictSlabs {
+                            before: total,
+                            evicted: acc.slabs,
+                            items: acc.items,
+                            bytes: acc.bytes,
+                            reason,
+                        });
+                        app.backend.free(os, acc.bytes);
+                        PacketOutcome {
+                            bytes: acc.bytes,
+                            returned: app.jemalloc_returned(acc.bytes),
+                            duration: SimDuration::from_millis(acc.slabs * SLAB_EVICT_US / 1000),
+                        }
+                    },
+                )
+            }
+            None => sched.add_costed(
+                PacketKind::EvictSlabs,
+                &[],
+                move |app: &KvApp| (app.slabs.resident_bytes() as f64 * fraction) as u64,
+                move |app: &mut KvApp, os: &mut Kernel| {
+                    let before = app.slabs.slab_count();
+                    let (slabs, items) = app.slabs.evict_fraction(fraction);
+                    let bytes = app.slabs.items_to_bytes(items);
+                    os.record_trace_with(pid, || TraceData::EvictSlabs {
+                        before,
+                        evicted: slabs,
+                        items,
+                        bytes,
                         reason,
                     });
-                }
-                (before, out.slabs, out.items, out.bytes)
-            }
-            None => {
-                let before = self.slabs.slab_count();
-                let (slabs, items) = self.slabs.evict_fraction(fraction);
-                (before, slabs, items, self.slabs.items_to_bytes(items))
-            }
+                    app.backend.free(os, bytes);
+                    PacketOutcome {
+                        bytes,
+                        returned: app.jemalloc_returned(bytes),
+                        duration: SimDuration::from_millis(slabs * SLAB_EVICT_US / 1000),
+                    }
+                },
+            ),
         };
-        os.record_trace_with(pid, || TraceData::EvictSlabs {
-            before: slabs_before,
-            evicted: slabs,
-            items,
-            bytes,
-            reason,
-        });
-        self.backend.free(os, bytes);
-        let evict_cost = SimDuration::from_millis(slabs * SLAB_EVICT_US / 1000);
-        let (gc_pause, returned) = self.backend.gc(os, now);
-        let duration = evict_cost + gc_pause;
+
+        // Collect + Release: only the Go runtime has a GC below the cache
+        // (Table 1: "call Go"). Memcached's jemalloc already returned the
+        // freed slabs inside the eviction packet's `free`.
+        if matches!(self.backend, KvBackend::Go(_)) {
+            let gc = sched.add_costed(
+                PacketKind::GcGo,
+                &[evict],
+                |app: &KvApp| match &app.backend {
+                    KvBackend::Go(g) => g.collect_estimate(),
+                    KvBackend::Native(_) => 0,
+                },
+                move |app: &mut KvApp, os: &mut Kernel| match &mut app.backend {
+                    KvBackend::Go(g) => {
+                        let out = g.collect(os);
+                        if !g.config().return_immediately {
+                            // Stock Go leaves free spans to the background
+                            // scavenger; start its clock.
+                            g.note_idle_free(now);
+                        }
+                        PacketOutcome::freed(out.reclaimed, out.pause)
+                    }
+                    KvBackend::Native(_) => PacketOutcome::default(),
+                },
+            );
+            let immediate = match &self.backend {
+                KvBackend::Go(g) => g.config().return_immediately,
+                KvBackend::Native(_) => false,
+            };
+            if immediate {
+                sched.add_costed(
+                    PacketKind::Madvise,
+                    &[gc],
+                    |app: &KvApp| match &app.backend {
+                        KvBackend::Go(g) => g.releasable(),
+                        KvBackend::Native(_) => 0,
+                    },
+                    |app: &mut KvApp, os: &mut Kernel| match &mut app.backend {
+                        KvBackend::Go(g) => PacketOutcome::released(g.release_to_os(os)),
+                        KvBackend::Native(_) => PacketOutcome::default(),
+                    },
+                );
+            }
+        }
+
+        let res = sched.drain(self, os);
         if sig == ThresholdSignal::High {
             if let Some(a) = self.allocator.as_mut() {
-                a.on_reclaim_done(now + duration);
+                a.on_reclaim_done(now + res.outcome.duration);
             }
         }
-        // Memcached/jemalloc returns freed slabs inside `free`; report the
-        // RSS delta as returned bytes in that case.
-        let returned = if returned == 0 {
-            match &self.backend {
-                KvBackend::Native(n) if n.kind() == m3_runtime::AllocatorKind::Jemalloc => bytes,
-                _ => returned,
-            }
-        } else {
-            returned
-        };
-        SignalOutcome {
-            duration,
-            returned_to_os: returned,
-        }
+        res.outcome
     }
 }
 

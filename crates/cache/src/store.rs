@@ -460,17 +460,17 @@ impl KeyedSlabCache {
         out
     }
 
-    /// Evicts `n` slabs, apportioned across classes proportionally to
-    /// their slab counts (largest-remainder rounding, deterministic
-    /// tie-break on smaller chunk first). Returns the per-class detail.
-    pub fn evict_slabs(&mut self, n: u64) -> EvictOutcome {
+    /// Plans an eviction of `n` slabs: apportions them across classes
+    /// proportionally to their slab counts (largest-remainder rounding,
+    /// deterministic tie-break on smaller chunk first). Pure — returns
+    /// `(class index, slab quota)` pairs with positive quotas, ascending
+    /// class index; each pair is one `evict_class` work packet.
+    pub fn class_quotas(&self, n: u64) -> Vec<(usize, u64)> {
         let n = n.min(self.total_slabs);
-        let mut out = EvictOutcome::default();
         if n == 0 {
-            return out;
+            return Vec::new();
         }
         let total = self.total_slabs;
-        // Largest-remainder apportionment of n over class slab counts.
         let mut quotas: Vec<u64> = Vec::with_capacity(self.classes.len());
         let mut rems: Vec<(u64, usize)> = Vec::with_capacity(self.classes.len());
         let mut assigned = 0;
@@ -485,10 +485,25 @@ impl KeyedSlabCache {
         for &(_, i) in rems.iter().take((n - assigned) as usize) {
             quotas[i] += 1;
         }
-        for (i, q) in quotas.into_iter().enumerate() {
-            if q == 0 {
-                continue;
-            }
+        quotas
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, q)| q > 0)
+            .collect()
+    }
+
+    /// Evicts `n` slabs from one class (a planned quota from
+    /// [`KeyedSlabCache::class_quotas`]): dead chunks evaporate first,
+    /// then live items leave from the LRU tail.
+    pub fn evict_class(&mut self, class: usize, n: u64) -> ClassEvict {
+        self.evict_class_slabs(class, n)
+    }
+
+    /// Evicts `n` slabs, apportioned across classes per
+    /// [`KeyedSlabCache::class_quotas`]. Returns the per-class detail.
+    pub fn evict_slabs(&mut self, n: u64) -> EvictOutcome {
+        let mut out = EvictOutcome::default();
+        for (i, q) in self.class_quotas(n) {
             let detail = self.evict_class_slabs(i, q);
             out.slabs += detail.slabs;
             out.items += detail.items;
@@ -815,6 +830,34 @@ mod tests {
         // Proportionality: the 2:1 class gets roughly 2:1 of the cut.
         assert!(out.classes[0].slabs > out.classes[1].slabs);
         c.check_invariants();
+    }
+
+    #[test]
+    fn class_quotas_plan_matches_evict_slabs() {
+        let mut c = KeyedSlabCache::new(100 * MIB);
+        for i in 0..(60 * 1024) {
+            c.insert(fp(i), 900);
+        }
+        for i in 100_000..(100_000 + 30 * 64) {
+            c.insert(fp(i), 15_000);
+        }
+        let plan = c.class_quotas(9);
+        assert_eq!(plan.iter().map(|&(_, q)| q).sum::<u64>(), 9);
+        // Executing the plan class by class equals the monolithic eviction.
+        let mut split = c.clone();
+        let mono = c.evict_slabs(9);
+        let mut got = EvictOutcome::default();
+        for &(i, q) in &plan {
+            let d = split.evict_class(i, q);
+            got.slabs += d.slabs;
+            got.items += d.items;
+            got.bytes += d.bytes;
+            got.classes.push(d);
+        }
+        assert_eq!(got, mono);
+        assert_eq!(split.slab_count(), c.slab_count());
+        assert_eq!(split.live_items(), c.live_items());
+        assert!(c.class_quotas(0).is_empty());
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //! - [`layer`] — the participant trait applications implement, plus the
 //!   signal/outcome vocabulary shared with the monitor.
 //! - [`config`] — every tunable with the paper's §6 defaults.
+//! - [`scheduler`] — the work-packet reclamation scheduler: handlers are
+//!   decomposed into typed packets in ordered Prepare → Collect → Release
+//!   buckets with explicit dependencies, drained deterministically.
 
 pub mod alloc;
 pub mod config;
@@ -37,6 +40,7 @@ pub mod layer;
 pub mod monitor;
 pub mod reclaim;
 pub mod registry;
+pub mod scheduler;
 pub mod selection;
 pub mod thresholds;
 
@@ -45,5 +49,9 @@ pub use config::MonitorConfig;
 pub use layer::{M3Participant, SignalOutcome, ThresholdSignal};
 pub use monitor::{Monitor, PollReport, PressureSummary, Zone, MONITOR_PID};
 pub use registry::{PidFile, Registry};
+pub use scheduler::{
+    DrainResult, PacketBucket, PacketId, PacketKind, PacketOutcome, PacketRecord, PacketStats,
+    ReclaimScheduler, SchedulerConfig,
+};
 pub use selection::SortOrder;
 pub use thresholds::{AdaptiveThresholds, ThresholdUpdate};

@@ -1,0 +1,72 @@
+//! Per-packet execution statistics.
+//!
+//! Every drained packet leaves one [`PacketRecord`] behind: which wave it
+//! ran in, how many waves it sat queued behind unfinished dependencies or a
+//! closed bucket (its queue latency in scheduler time), the execution ticks
+//! it charged, and the bytes it moved. [`PacketStats`] aggregates a whole
+//! drain so callers (and tests) can reason about scheduler behaviour
+//! without re-parsing the trace.
+
+use m3_sim::clock::SimDuration;
+use m3_sim::trace::PacketBucket;
+
+use super::packet::PacketId;
+
+/// Statistics for one executed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// The packet's drain-local id.
+    pub id: PacketId,
+    /// Stable kind name (`gc_young`, `evict_class`, ...).
+    pub kind: &'static str,
+    /// Bucket the packet executed in.
+    pub bucket: PacketBucket,
+    /// Wave index (0-based) the packet executed in.
+    pub wave: u64,
+    /// Queue latency: number of whole waves spent enqueued but not
+    /// executable (dependencies unfinished or bucket not yet open).
+    pub queued_waves: u64,
+    /// Pure pre-execution estimate of the bytes the packet would move.
+    pub planned_bytes: u64,
+    /// Bytes actually reclaimed at the packet's own layer.
+    pub bytes: u64,
+    /// Bytes actually returned to the OS.
+    pub returned: u64,
+    /// Execution ticks charged to the mutator.
+    pub duration: SimDuration,
+}
+
+/// Aggregate statistics of one full drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketStats {
+    /// One record per executed packet, in execution (packet-id) order.
+    pub records: Vec<PacketRecord>,
+    /// Number of waves the drain took.
+    pub waves: u64,
+    /// Total stall observations (a packet seen ready-blocked in a wave).
+    pub stalls: u64,
+}
+
+impl PacketStats {
+    /// Total bytes reclaimed across all packets.
+    pub fn bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total bytes returned to the OS across all packets.
+    pub fn returned(&self) -> u64 {
+        self.records.iter().map(|r| r.returned).sum()
+    }
+
+    /// Total execution time charged across all packets.
+    pub fn duration(&self) -> SimDuration {
+        self.records
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| acc + r.duration)
+    }
+
+    /// Records of one kind, for per-kind assertions in tests.
+    pub fn of_kind(&self, kind: &str) -> Vec<&PacketRecord> {
+        self.records.iter().filter(|r| r.kind == kind).collect()
+    }
+}

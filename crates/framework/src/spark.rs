@@ -13,7 +13,10 @@
 //! tick budgets; the process finishes when its last block is processed and
 //! its debt is paid.
 
-use m3_core::{AdaptiveAllocator, M3Participant, SignalOutcome, ThresholdSignal};
+use m3_core::{
+    AdaptiveAllocator, M3Participant, PacketBucket, PacketKind, PacketOutcome, ReclaimScheduler,
+    SchedulerConfig, SignalOutcome, ThresholdSignal,
+};
 use m3_os::{DiskModel, Kernel, Pid};
 use m3_runtime::{Jvm, JvmConfig, RuntimeError};
 use m3_sim::clock::{SimDuration, SimTime};
@@ -83,6 +86,8 @@ pub struct SparkApp {
     debt: SimDuration,
     finished: bool,
     failed: bool,
+    /// Work-packet scheduler tunables for signal handling.
+    sched: SchedulerConfig,
     /// Per-job statistics.
     pub stats: SparkStats,
 }
@@ -128,9 +133,17 @@ impl SparkApp {
             debt: SimDuration::ZERO,
             finished: failed,
             failed,
+            sched: SchedulerConfig::default(),
             stats: SparkStats::default(),
             job,
         }
+    }
+
+    /// Overrides the work-packet scheduler configuration (worker count,
+    /// bucket-order ablation).
+    pub fn with_scheduler(mut self, sched: SchedulerConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Re-seeds the per-pass visit order (used to give each cluster node
@@ -441,6 +454,29 @@ impl SparkApp {
         self.cache.clear();
         self.jvm.shutdown(os);
     }
+
+    /// The High-signal eviction work packet: drops ⅛ of the cached blocks
+    /// (Table 1) and marks their bytes dead in the JVM.
+    fn evict_high_packet(&mut self, os: &mut Kernel) -> PacketOutcome {
+        let before = self.cache.len();
+        let freed = self.cache.evict_fraction(self.cfg.high_evict_fraction);
+        let evicted = (before - self.cache.len()) as u64;
+        os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
+            before: before as u64,
+            evicted,
+            bytes: freed,
+            reason: EvictReason::HighSignal,
+        });
+        self.jvm.free_pinned(freed);
+        let cost = SimDuration::from_millis(evicted * EVICT_MS_PER_BLOCK);
+        self.stats.spark_mm += cost;
+        PacketOutcome::freed(freed, cost)
+    }
+
+    /// Pure estimate of the bytes [`SparkApp::evict_high_packet`] will free.
+    fn evict_high_estimate(&self) -> u64 {
+        (self.cache.used() as f64 * self.cfg.high_evict_fraction) as u64
+    }
 }
 
 impl M3Participant for SparkApp {
@@ -460,54 +496,80 @@ impl M3Participant for SparkApp {
         if self.finished {
             return SignalOutcome::default();
         }
+        let mut sched = ReclaimScheduler::new(self.jvm.pid(), self.sched);
+        let young_cost = |app: &SparkApp| app.jvm.young_collect_estimate();
+        let young_run = |app: &mut SparkApp, os: &mut Kernel| {
+            let gc = app.jvm.young_collect(os);
+            PacketOutcome::freed(gc.reclaimed, gc.pause)
+        };
+        let madv_cost = |app: &SparkApp| app.jvm.releasable();
+        let madv_run = |app: &mut SparkApp, os: &mut Kernel| {
+            PacketOutcome::released(app.jvm.release_to_os(os))
+        };
         match sig {
             ThresholdSignal::Low => {
-                let gc = self.jvm.young_gc(os);
-                SignalOutcome {
-                    duration: gc.pause,
-                    returned_to_os: gc.returned_to_os,
-                }
+                // Table 1 low: call down to the JVM only.
+                let gc = sched.add_costed(PacketKind::GcYoung, &[], young_cost, young_run);
+                sched.add_costed(PacketKind::Madvise, &[gc], madv_cost, madv_run);
+                sched.drain(self, os).outcome
             }
             ThresholdSignal::High => {
                 if let Some(a) = self.allocator.as_mut() {
                     a.on_high_signal(now);
                 }
-                // Ablation: the uncoordinated bottom-up order collects
-                // before the upper layer has released anything (§2.2
-                // Problem 3) — this cycle's yield is wasted.
-                let mut pre_gc = SimDuration::ZERO;
-                let mut pre_returned = 0;
-                if self.cfg.gc_before_evict {
-                    let gc = self.jvm.mixed_gc(os);
-                    pre_gc = gc.pause;
-                    pre_returned = gc.returned_to_os;
-                }
-                let before = self.cache.len();
-                let freed = self.cache.evict_fraction(self.cfg.high_evict_fraction);
-                let evicted = (before - self.cache.len()) as u64;
-                os.record_trace_with(self.jvm.pid(), || TraceData::EvictBlocks {
-                    before: before as u64,
-                    evicted,
-                    bytes: freed,
-                    reason: EvictReason::HighSignal,
-                });
-                self.jvm.free_pinned(freed);
-                let evict_cost = SimDuration::from_millis(evicted * EVICT_MS_PER_BLOCK);
-                self.stats.spark_mm += evict_cost;
-                let (gc_pause, gc_returned) = if self.cfg.gc_before_evict {
-                    (pre_gc, pre_returned)
-                } else {
-                    let gc = self.jvm.mixed_gc(os);
-                    (gc.pause, gc.returned_to_os)
+                let evict_cost = |app: &SparkApp| app.evict_high_estimate();
+                let evict_run = |app: &mut SparkApp, os: &mut Kernel| app.evict_high_packet(os);
+                let old_cost = |app: &SparkApp| app.jvm.old_collect_estimate();
+                let old_run = |app: &mut SparkApp, os: &mut Kernel| {
+                    let gc = app.jvm.old_collect(os);
+                    PacketOutcome::freed(gc.reclaimed, gc.pause)
                 };
-                let duration = evict_cost + gc_pause;
+                if self.cfg.gc_before_evict {
+                    // Ablation: the uncoordinated bottom-up order collects
+                    // (and releases) before the upper layer has freed
+                    // anything (§2.2 Problem 3) — this cycle's yield is
+                    // wasted. Expressed by swapping the bucket assignments.
+                    let y = sched.add_in(
+                        PacketKind::GcYoung,
+                        PacketBucket::Prepare,
+                        &[],
+                        young_cost,
+                        young_run,
+                    );
+                    let o = sched.add_in(
+                        PacketKind::GcOld,
+                        PacketBucket::Prepare,
+                        &[y],
+                        old_cost,
+                        old_run,
+                    );
+                    sched.add_in(
+                        PacketKind::Madvise,
+                        PacketBucket::Collect,
+                        &[o],
+                        madv_cost,
+                        madv_run,
+                    );
+                    sched.add_in(
+                        PacketKind::EvictBlocks,
+                        PacketBucket::Release,
+                        &[],
+                        evict_cost,
+                        evict_run,
+                    );
+                } else {
+                    // Top-down: evict blocks, then the mixed collection's
+                    // two phases, then one batched release.
+                    let e = sched.add_costed(PacketKind::EvictBlocks, &[], evict_cost, evict_run);
+                    let y = sched.add_costed(PacketKind::GcYoung, &[e], young_cost, young_run);
+                    let o = sched.add_costed(PacketKind::GcOld, &[y], old_cost, old_run);
+                    sched.add_costed(PacketKind::Madvise, &[o], madv_cost, madv_run);
+                }
+                let res = sched.drain(self, os);
                 if let Some(a) = self.allocator.as_mut() {
-                    a.on_reclaim_done(now + duration);
+                    a.on_reclaim_done(now + res.outcome.duration);
                 }
-                SignalOutcome {
-                    duration,
-                    returned_to_os: gc_returned,
-                }
+                res.outcome
             }
         }
     }

@@ -177,10 +177,10 @@ impl GoRuntime {
         self.garbage += bytes;
     }
 
-    /// Runs a GC cycle now, regardless of the trigger (the paper's policy
-    /// runs this on both threshold signals; M3 also exposes it via
-    /// `runtime.GC()`).
-    pub fn gc(&mut self, os: &mut Kernel, now: SimTime) -> GoGcOutcome {
+    /// The mark/sweep *phase* (the `gc_go` work packet): reclaims all heap
+    /// garbage without touching the OS. The Release bucket (or the
+    /// monolithic [`GoRuntime::gc`] wrapper) hands free spans back.
+    pub fn collect(&mut self, os: &mut Kernel) -> GoGcOutcome {
         let reclaimed = self.garbage;
         let pause = self.cfg.costs.pause(self.live, 0, reclaimed);
         self.garbage = 0;
@@ -189,26 +189,57 @@ impl GoRuntime {
         os.record_trace_with(self.pid, || TraceData::Gc {
             layer: GcLayer::Go,
             reclaimed,
-            returned: if self.cfg.return_immediately {
-                self.free().saturating_sub(self.cfg.commit_chunk) / PAGE_SIZE * PAGE_SIZE
-            } else {
-                0
-            },
+            returned: 0,
             pause_ms: pause.as_millis(),
         });
-        let returned = if self.cfg.return_immediately {
-            self.release_free(os)
-        } else {
-            if self.free() > 0 && self.free_since.is_none() {
-                self.free_since = Some(now);
-            }
-            0
-        };
         GoGcOutcome {
             pause,
             reclaimed,
-            returned_to_os: returned,
+            returned_to_os: 0,
         }
+    }
+
+    /// Pure estimate of the bytes [`GoRuntime::collect`] would reclaim.
+    pub fn collect_estimate(&self) -> u64 {
+        self.garbage
+    }
+
+    /// Bytes a release would give back right now: free spans beyond one
+    /// commit chunk of slack, page-aligned. Pure — the release packet's
+    /// cost estimator reads it.
+    pub fn releasable(&self) -> u64 {
+        self.free().saturating_sub(self.cfg.commit_chunk) / PAGE_SIZE * PAGE_SIZE
+    }
+
+    /// Releases all free spans to the OS now (the `madvise` work packet of
+    /// the Release bucket). Returns the bytes given back.
+    pub fn release_to_os(&mut self, os: &mut Kernel) -> u64 {
+        let returned = self.release_free(os);
+        if returned > 0 {
+            self.free_since = None;
+        }
+        returned
+    }
+
+    /// Starts the scavenger clock on the current idle free spans (the
+    /// stock-Go half of a collection that does not return immediately).
+    pub fn note_idle_free(&mut self, now: SimTime) {
+        if self.free() > 0 && self.free_since.is_none() {
+            self.free_since = Some(now);
+        }
+    }
+
+    /// Runs a GC cycle now, regardless of the trigger (the paper's policy
+    /// runs this on both threshold signals; M3 also exposes it via
+    /// `runtime.GC()`).
+    pub fn gc(&mut self, os: &mut Kernel, now: SimTime) -> GoGcOutcome {
+        let mut out = self.collect(os);
+        if self.cfg.return_immediately {
+            out.returned_to_os = self.release_free(os);
+        } else {
+            self.note_idle_free(now);
+        }
+        out
     }
 
     /// Background scavenger: returns idle free spans to the OS once they

@@ -266,17 +266,20 @@ impl Jvm {
 
     /// Bytes [`Jvm::maybe_return_free`] would give back right now: free heap
     /// beyond one commit chunk of slack, page-aligned, zero when returning
-    /// is disabled.
-    fn releasable(&self) -> u64 {
+    /// is disabled. Pure — the release packet's cost estimator reads it.
+    pub fn releasable(&self) -> u64 {
         if !self.cfg.return_to_os {
             return 0;
         }
         self.free().saturating_sub(self.cfg.commit_chunk) / PAGE_SIZE * PAGE_SIZE
     }
 
-    /// Performs a young collection: evacuates survivors to the old
-    /// generation and frees the rest of the young space.
-    pub fn young_gc(&mut self, os: &mut Kernel) -> GcOutcome {
+    /// The young collection *phase*: evacuates survivors to the old
+    /// generation and frees the rest of the young space, without touching
+    /// the OS. The `gc_young` work packet runs exactly this; the Release
+    /// bucket (or the monolithic [`Jvm::young_gc`] wrapper) hands the freed
+    /// regions back afterwards.
+    pub fn young_collect(&mut self, os: &mut Kernel) -> GcOutcome {
         let survivors = (self.young_used as f64 * self.cfg.survival_rate) as u64;
         let reclaimed = self.young_used - survivors;
         let pause = self.cfg.costs.pause(survivors, survivors, reclaimed);
@@ -286,22 +289,27 @@ impl Jvm {
         os.record_trace_with(self.pid, || TraceData::Gc {
             layer: GcLayer::Young,
             reclaimed,
-            returned: self.releasable(),
+            returned: 0,
             pause_ms: pause.as_millis(),
         });
-        let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Young,
             pause,
             reclaimed,
-            returned_to_os: returned,
+            returned_to_os: 0,
         }
     }
 
-    /// Performs a mixed collection: a young collection plus evacuation of a
-    /// slice of old regions, reclaiming most accumulated old garbage.
-    pub fn mixed_gc(&mut self, os: &mut Kernel) -> GcOutcome {
-        let young = self.young_gc(os);
+    /// Pure estimate of the bytes [`Jvm::young_collect`] would reclaim.
+    pub fn young_collect_estimate(&self) -> u64 {
+        let survivors = (self.young_used as f64 * self.cfg.survival_rate) as u64;
+        self.young_used - survivors
+    }
+
+    /// The old-generation trace/evacuate *phase* of a mixed collection
+    /// (the `gc_old` work packet): reclaims `mixed_yield` of the
+    /// accumulated old garbage, without touching the OS.
+    pub fn old_collect(&mut self, os: &mut Kernel) -> GcOutcome {
         let old_reclaimed = (self.old_garbage as f64 * self.cfg.mixed_yield) as u64;
         self.old_garbage -= old_reclaimed;
         // Concurrent marking precedes this; the pause pays remembered-set
@@ -313,22 +321,26 @@ impl Jvm {
         os.record_trace_with(self.pid, || TraceData::Gc {
             layer: GcLayer::Mixed,
             reclaimed: old_reclaimed,
-            returned: self.releasable(),
+            returned: 0,
             pause_ms: pause.as_millis(),
         });
-        let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Mixed,
-            pause: pause + young.pause,
-            reclaimed: old_reclaimed + young.reclaimed,
-            returned_to_os: returned + young.returned_to_os,
+            pause,
+            reclaimed: old_reclaimed,
+            returned_to_os: 0,
         }
     }
 
-    /// Performs a full stop-the-world collection: everything dead is
-    /// reclaimed and the live set is compacted.
-    pub fn full_gc(&mut self, os: &mut Kernel) -> GcOutcome {
-        let young = self.young_gc(os);
+    /// Pure estimate of the bytes [`Jvm::old_collect`] would reclaim.
+    pub fn old_collect_estimate(&self) -> u64 {
+        (self.old_garbage as f64 * self.cfg.mixed_yield) as u64
+    }
+
+    /// The full-heap compact *phase* (the `gc_full` work packet): every
+    /// dead old byte is reclaimed and the live set compacted, without
+    /// touching the OS.
+    pub fn full_collect(&mut self, os: &mut Kernel) -> GcOutcome {
         let reclaimed = self.old_garbage;
         self.old_garbage = 0;
         let pause = self
@@ -339,15 +351,60 @@ impl Jvm {
         os.record_trace_with(self.pid, || TraceData::Gc {
             layer: GcLayer::Full,
             reclaimed,
-            returned: self.releasable(),
+            returned: 0,
             pause_ms: pause.as_millis(),
         });
+        GcOutcome {
+            kind: GcKind::Full,
+            pause,
+            reclaimed,
+            returned_to_os: 0,
+        }
+    }
+
+    /// Releases all currently releasable free heap to the OS (the
+    /// `madvise` work packet of the Release bucket). Returns the bytes
+    /// given back. Deferring every release to one batched call at the end
+    /// of a drain returns exactly as many bytes as the incremental
+    /// per-collection releases would have: with `al()` the page-alignment,
+    /// `al(x) + al((x - al(x)) + d) = al(x + d)`.
+    pub fn release_to_os(&mut self, os: &mut Kernel) -> u64 {
+        self.maybe_return_free(os)
+    }
+
+    /// Performs a young collection: the young phase plus an immediate
+    /// release of freed regions (when configured).
+    pub fn young_gc(&mut self, os: &mut Kernel) -> GcOutcome {
+        let mut out = self.young_collect(os);
+        out.returned_to_os = self.maybe_return_free(os);
+        out
+    }
+
+    /// Performs a mixed collection: a young collection plus evacuation of a
+    /// slice of old regions, reclaiming most accumulated old garbage.
+    pub fn mixed_gc(&mut self, os: &mut Kernel) -> GcOutcome {
+        let young = self.young_collect(os);
+        let old = self.old_collect(os);
+        let returned = self.maybe_return_free(os);
+        GcOutcome {
+            kind: GcKind::Mixed,
+            pause: old.pause + young.pause,
+            reclaimed: old.reclaimed + young.reclaimed,
+            returned_to_os: returned,
+        }
+    }
+
+    /// Performs a full stop-the-world collection: everything dead is
+    /// reclaimed and the live set is compacted.
+    pub fn full_gc(&mut self, os: &mut Kernel) -> GcOutcome {
+        let young = self.young_collect(os);
+        let full = self.full_collect(os);
         let returned = self.maybe_return_free(os);
         GcOutcome {
             kind: GcKind::Full,
-            pause: pause + young.pause,
-            reclaimed: reclaimed + young.reclaimed,
-            returned_to_os: returned + young.returned_to_os,
+            pause: full.pause + young.pause,
+            reclaimed: full.reclaimed + young.reclaimed,
+            returned_to_os: returned,
         }
     }
 
@@ -767,6 +824,48 @@ mod tests {
             512 * MIB - (512.0 * MIB as f64 * 0.08) as u64
         );
         assert_eq!(jvm.stats.reclaimed_bytes, out.reclaimed);
+    }
+
+    #[test]
+    fn collect_phases_compose_to_monolithic_mixed_gc() {
+        // The packetized path (young + old collect phases, one batched
+        // release) must leave the heap bit-identical to the monolithic
+        // mixed_gc and return the same bytes to the OS.
+        // Kernel is not Clone, so drive two identically-constructed worlds.
+        let (mut os, mut jvm) = setup_m3(62 * GIB);
+        jvm.alloc_pinned(&mut os, 2 * GIB).unwrap();
+        jvm.alloc_transient(&mut os, 512 * MIB).unwrap();
+        jvm.free_pinned(GIB);
+        let (mut os2, mut packetized) = setup_m3(62 * GIB);
+        packetized.alloc_pinned(&mut os2, 2 * GIB).unwrap();
+        packetized.alloc_transient(&mut os2, 512 * MIB).unwrap();
+        packetized.free_pinned(GIB);
+
+        let mono = jvm.mixed_gc(&mut os);
+
+        let young = packetized.young_collect(&mut os2);
+        let old = packetized.old_collect(&mut os2);
+        let returned = packetized.release_to_os(&mut os2);
+
+        assert_eq!(mono.reclaimed, young.reclaimed + old.reclaimed);
+        assert_eq!(mono.pause, young.pause + old.pause);
+        assert_eq!(mono.returned_to_os, returned);
+        assert_eq!(jvm.committed(), packetized.committed());
+        assert_eq!(jvm.free(), packetized.free());
+        assert_eq!(jvm.garbage(), packetized.garbage());
+        assert_eq!(os.rss(jvm.pid()), os2.rss(packetized.pid()));
+    }
+
+    #[test]
+    fn collect_estimates_match_actual_phase_yield() {
+        let (mut os, mut jvm) = setup_m3(62 * GIB);
+        jvm.alloc_pinned(&mut os, GIB).unwrap();
+        jvm.alloc_transient(&mut os, 300 * MIB).unwrap();
+        jvm.free_pinned(512 * MIB);
+        let young_est = jvm.young_collect_estimate();
+        assert_eq!(jvm.young_collect(&mut os).reclaimed, young_est);
+        let old_est = jvm.old_collect_estimate();
+        assert_eq!(jvm.old_collect(&mut os).reclaimed, old_est);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod clock;
 pub mod histogram;
 pub mod metrics;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -34,9 +35,10 @@ pub mod units;
 pub use clock::{SimDuration, SimTime};
 pub use histogram::DurationHistogram;
 pub use metrics::{Counter, Gauge, TimeSeries};
+pub use parallel::{parallel_map, worker_threads};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use trace::{
-    CandidateInfo, EvictReason, GcLayer, SigKind, ThresholdSide, TraceData, TraceEvent, TraceLog,
-    TraceZone,
+    CandidateInfo, EvictReason, GcLayer, PacketBucket, SigKind, ThresholdSide, TraceData,
+    TraceEvent, TraceLog, TraceZone,
 };

@@ -75,6 +75,42 @@ pub enum GcLayer {
     Go,
 }
 
+/// Ordered work bucket of the reclamation packet scheduler. A bucket opens
+/// only after every packet in all earlier buckets has finished, encoding the
+/// paper's top-down order at packet granularity: upper layers mark bytes
+/// dead (`Prepare`), runtimes trace and sweep them (`Collect`), and madvise
+/// batches return the freed pages (`Release`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PacketBucket {
+    /// Application/framework-layer work that marks bytes dead: block-cache
+    /// and slab evictions (Table 1's upper rows).
+    Prepare,
+    /// Runtime-layer collection work: young scan/evacuate, old-generation
+    /// trace, full compaction, Go mark/sweep.
+    Collect,
+    /// OS-layer release work: batched `madvise` of the pages the collection
+    /// freed.
+    Release,
+}
+
+impl PacketBucket {
+    /// All buckets in opening order.
+    pub const ALL: [PacketBucket; 3] = [
+        PacketBucket::Prepare,
+        PacketBucket::Collect,
+        PacketBucket::Release,
+    ];
+
+    /// Stable name used in traces and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PacketBucket::Prepare => "prepare",
+            PacketBucket::Collect => "collect",
+            PacketBucket::Release => "release",
+        }
+    }
+}
+
 /// Job criticality class for mixed-criticality scheduling (SARA/MURS:
 /// pressure decisions must respect criticality, not just memory posture).
 ///
@@ -534,6 +570,53 @@ pub enum TraceData {
         /// The alive candidates the victim was chosen from, victim included.
         candidates: Vec<CandidateInfo>,
     },
+    /// A reclamation work packet entered its bucket (one drain's packets
+    /// are all enqueued before any executes; ids are drain-local).
+    PacketEnqueue {
+        /// Drain-local packet id.
+        packet: u64,
+        /// Stable packet-kind name (`"evict_blocks"`, `"gc_young"`, ...).
+        pkind: String,
+        /// The bucket the packet was placed in.
+        bucket: PacketBucket,
+        /// Ids of packets that must finish before this one may start.
+        deps: Vec<u64>,
+    },
+    /// A reclamation work packet began executing.
+    PacketStart {
+        /// Drain-local packet id.
+        packet: u64,
+        /// The packet's bucket.
+        bucket: PacketBucket,
+        /// The drain wave (execution round) the packet ran in.
+        wave: u64,
+    },
+    /// A reclamation work packet finished executing.
+    PacketFinish {
+        /// Drain-local packet id.
+        packet: u64,
+        /// The packet's bucket.
+        bucket: PacketBucket,
+        /// Bytes the packet reclaimed in its own layer (evicted or freed
+        /// inside the heap); sums to the aggregate `evict.*`/`gc.*` bytes
+        /// of the same handler window.
+        bytes: u64,
+        /// Bytes the packet returned to the OS (madvise); sums to the
+        /// window's `mem.madvise` bytes.
+        returned: u64,
+        /// Execution cost charged to the mutator, ms.
+        duration_ms: u64,
+    },
+    /// A ready bucket held a packet back because a dependency had not
+    /// finished yet (the packet waits at least one more wave).
+    PacketStall {
+        /// Drain-local packet id of the stalled packet.
+        packet: u64,
+        /// The unfinished dependency it is waiting on.
+        waiting_on: u64,
+        /// The wave that skipped it.
+        wave: u64,
+    },
 }
 
 impl TraceData {
@@ -596,6 +679,10 @@ impl TraceData {
             TraceData::SchedClassPreempt { .. } => "sched.class.preempt",
             TraceData::SchedClassSlo { .. } => "sched.class.slo",
             TraceData::KillClass { .. } => "kill.class",
+            TraceData::PacketEnqueue { .. } => "reclaim.packet.enqueue",
+            TraceData::PacketStart { .. } => "reclaim.packet.start",
+            TraceData::PacketFinish { .. } => "reclaim.packet.finish",
+            TraceData::PacketStall { .. } => "reclaim.packet.stall",
         }
     }
 
@@ -899,6 +986,48 @@ impl TraceData {
                 f("crit", crit.serialize()),
                 f("candidates", candidates.serialize()),
             ],
+            TraceData::PacketEnqueue {
+                packet,
+                pkind,
+                bucket,
+                deps,
+            } => vec![
+                f("packet", packet.serialize()),
+                f("pkind", pkind.serialize()),
+                f("bucket", bucket.serialize()),
+                f("deps", deps.serialize()),
+            ],
+            TraceData::PacketStart {
+                packet,
+                bucket,
+                wave,
+            } => vec![
+                f("packet", packet.serialize()),
+                f("bucket", bucket.serialize()),
+                f("wave", wave.serialize()),
+            ],
+            TraceData::PacketFinish {
+                packet,
+                bucket,
+                bytes,
+                returned,
+                duration_ms,
+            } => vec![
+                f("packet", packet.serialize()),
+                f("bucket", bucket.serialize()),
+                f("bytes", bytes.serialize()),
+                f("returned", returned.serialize()),
+                f("duration_ms", duration_ms.serialize()),
+            ],
+            TraceData::PacketStall {
+                packet,
+                waiting_on,
+                wave,
+            } => vec![
+                f("packet", packet.serialize()),
+                f("waiting_on", waiting_on.serialize()),
+                f("wave", wave.serialize()),
+            ],
         }
     }
 }
@@ -1108,6 +1237,29 @@ impl Deserialize for TraceData {
             "kill.class" => TraceData::KillClass {
                 crit: map_field(c, "crit")?,
                 candidates: map_field(c, "candidates")?,
+            },
+            "reclaim.packet.enqueue" => TraceData::PacketEnqueue {
+                packet: map_field(c, "packet")?,
+                pkind: map_field(c, "pkind")?,
+                bucket: map_field(c, "bucket")?,
+                deps: map_field(c, "deps")?,
+            },
+            "reclaim.packet.start" => TraceData::PacketStart {
+                packet: map_field(c, "packet")?,
+                bucket: map_field(c, "bucket")?,
+                wave: map_field(c, "wave")?,
+            },
+            "reclaim.packet.finish" => TraceData::PacketFinish {
+                packet: map_field(c, "packet")?,
+                bucket: map_field(c, "bucket")?,
+                bytes: map_field(c, "bytes")?,
+                returned: map_field(c, "returned")?,
+                duration_ms: map_field(c, "duration_ms")?,
+            },
+            "reclaim.packet.stall" => TraceData::PacketStall {
+                packet: map_field(c, "packet")?,
+                waiting_on: map_field(c, "waiting_on")?,
+                wave: map_field(c, "wave")?,
             },
             other => return Err(DeError::new(format!("unknown trace kind `{other}`"))),
         };
@@ -1506,6 +1658,41 @@ mod tests {
                 },
                 "kill.class",
             ),
+            (
+                TraceData::PacketEnqueue {
+                    packet: 0,
+                    pkind: "evict_blocks".into(),
+                    bucket: PacketBucket::Prepare,
+                    deps: vec![],
+                },
+                "reclaim.packet.enqueue",
+            ),
+            (
+                TraceData::PacketStart {
+                    packet: 1,
+                    bucket: PacketBucket::Collect,
+                    wave: 1,
+                },
+                "reclaim.packet.start",
+            ),
+            (
+                TraceData::PacketFinish {
+                    packet: 1,
+                    bucket: PacketBucket::Collect,
+                    bytes: 1 << 20,
+                    returned: 0,
+                    duration_ms: 15,
+                },
+                "reclaim.packet.finish",
+            ),
+            (
+                TraceData::PacketStall {
+                    packet: 2,
+                    waiting_on: 1,
+                    wave: 1,
+                },
+                "reclaim.packet.stall",
+            ),
         ];
         for (data, kind) in cases {
             assert_eq!(data.kind(), kind);
@@ -1680,6 +1867,45 @@ mod tests {
                     expected_reclaim: 6,
                     crit: Criticality::Batch,
                 }],
+            },
+        );
+        log.record(
+            t(14),
+            3,
+            TraceData::PacketEnqueue {
+                packet: 2,
+                pkind: "gc_old".into(),
+                bucket: PacketBucket::Collect,
+                deps: vec![1],
+            },
+        );
+        log.record(
+            t(14),
+            3,
+            TraceData::PacketStall {
+                packet: 2,
+                waiting_on: 1,
+                wave: 0,
+            },
+        );
+        log.record(
+            t(14),
+            3,
+            TraceData::PacketStart {
+                packet: 2,
+                bucket: PacketBucket::Collect,
+                wave: 1,
+            },
+        );
+        log.record(
+            t(14),
+            3,
+            TraceData::PacketFinish {
+                packet: 2,
+                bucket: PacketBucket::Collect,
+                bytes: 4096,
+                returned: 0,
+                duration_ms: 7,
             },
         );
         let c = log.serialize();

@@ -11,7 +11,10 @@
 //! allocation. Under M3 it handles signals at the JVM layer only (young GC
 //! on low, mixed on high) — the application itself is unmodified.
 
-use m3_core::{M3Participant, SignalOutcome, ThresholdSignal};
+use m3_core::{
+    M3Participant, PacketKind, PacketOutcome, ReclaimScheduler, SchedulerConfig, SignalOutcome,
+    ThresholdSignal,
+};
 use m3_os::{Kernel, Pid};
 use m3_runtime::{Jvm, JvmConfig};
 use m3_sim::clock::{SimDuration, SimTime};
@@ -43,6 +46,8 @@ pub struct AlternatingApp {
     started: Option<SimTime>,
     debt: SimDuration,
     finished: bool,
+    /// Work-packet scheduler tunables for signal handling.
+    sched: SchedulerConfig,
 }
 
 impl AlternatingApp {
@@ -54,7 +59,15 @@ impl AlternatingApp {
             started: None,
             debt: SimDuration::ZERO,
             finished: false,
+            sched: SchedulerConfig::default(),
         }
+    }
+
+    /// Overrides the work-packet scheduler configuration (worker count,
+    /// bucket-order ablation).
+    pub fn with_scheduler(mut self, sched: SchedulerConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// The underlying JVM.
@@ -142,14 +155,37 @@ impl M3Participant for AlternatingApp {
         if self.finished {
             return SignalOutcome::default();
         }
-        let gc = match sig {
-            ThresholdSignal::Low => self.jvm.young_gc(os),
-            ThresholdSignal::High => self.jvm.mixed_gc(os),
-        };
-        SignalOutcome {
-            duration: gc.pause,
-            returned_to_os: gc.returned_to_os,
+        let mut sched = ReclaimScheduler::new(self.jvm.pid(), self.sched);
+        let young = sched.add_costed(
+            PacketKind::GcYoung,
+            &[],
+            |app: &AlternatingApp| app.jvm.young_collect_estimate(),
+            |app: &mut AlternatingApp, os: &mut Kernel| {
+                let gc = app.jvm.young_collect(os);
+                PacketOutcome::freed(gc.reclaimed, gc.pause)
+            },
+        );
+        let mut last = young;
+        if sig == ThresholdSignal::High {
+            last = sched.add_costed(
+                PacketKind::GcOld,
+                &[young],
+                |app: &AlternatingApp| app.jvm.old_collect_estimate(),
+                |app: &mut AlternatingApp, os: &mut Kernel| {
+                    let gc = app.jvm.old_collect(os);
+                    PacketOutcome::freed(gc.reclaimed, gc.pause)
+                },
+            );
         }
+        sched.add_costed(
+            PacketKind::Madvise,
+            &[last],
+            |app: &AlternatingApp| app.jvm.releasable(),
+            |app: &mut AlternatingApp, os: &mut Kernel| {
+                PacketOutcome::released(app.jvm.release_to_os(os))
+            },
+        );
+        sched.drain(self, os).outcome
     }
 }
 

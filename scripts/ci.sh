@@ -49,5 +49,13 @@ cargo run --release --example cache_trace_drill
 M3_MIXED_CRIT_MAX_BATCH=4 M3_MIXED_CRIT_BUDGET_S=60 \
     M3_RESULTS_DIR=target/ci-results \
     cargo bench -p m3-bench --bench mixed_criticality
+# Work-packet reclamation smoke: the fig6/fig7 packetized sweep at a
+# reduced salt spread. The bench is the conformance step — it asserts
+# byte-identical results at 1 vs 8 workers, zero oracle violations
+# (including the reclaim.packet.* ordering and byte-conservation
+# invariants) at every point, and every enqueued packet finished.
+M3_RECLAIM_PACKETS_SALTS=4 M3_RECLAIM_PACKETS_BUDGET_S=60 \
+    M3_RESULTS_DIR=target/ci-results \
+    cargo bench -p m3-bench --bench reclaim_packets
 cargo clippy -- -D warnings
 cargo fmt --check

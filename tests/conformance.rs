@@ -19,7 +19,7 @@ use std::path::PathBuf;
 
 use m3::prelude::*;
 use m3::sim::clock::SimDuration;
-use m3::sim::trace::TraceLog;
+use m3::sim::trace::{TraceEvent, TraceLog};
 use m3::workloads::apps::AppBlueprint;
 use m3::workloads::hibench;
 
@@ -245,6 +245,103 @@ fn fast_and_slow_world_loops_trace_identically() {
          ({} vs {} events)",
         fast.trace.len(),
         slow.trace.len()
+    );
+}
+
+/// Serializes only the reclamation-relevant events (handler windows, work
+/// packets, evictions, collections, madvise), so the packet golden stays
+/// focused and reviewable instead of drowning in monitor polls.
+fn reclaim_trace_jsonl(trace: &TraceLog) -> String {
+    const PREFIXES: [&str; 5] = [
+        "handler.",
+        "reclaim.packet.",
+        "evict.",
+        "gc.",
+        "mem.madvise",
+    ];
+    let mut out = String::new();
+    for e in trace.events() {
+        if PREFIXES.iter().any(|p| e.kind().starts_with(p)) {
+            out.push_str(&serde_json::to_string(e).expect("trace event serializes"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_packet_reclaim_trace() {
+    // The canonical two-runtime co-location: a Go cache and a Spark JVM on
+    // one M3 node, so the snapshot covers both runtimes' packet graphs
+    // (evict -> gc -> madvise) plus the framework block cache.
+    let scenario = Scenario::uniform("CM", 180);
+    let out = run_scenario(&scenario, &Setting::m3(2), machine());
+    assert!(out.run.all_finished());
+    assert_conformant("golden-packet-reclaim", &out.run);
+    // Reclamation must actually have flowed through the packet scheduler,
+    // and every enqueued packet must have run.
+    let enqueued = out.run.trace.count("reclaim.packet.enqueue");
+    assert!(enqueued > 0, "the run must exercise packetized reclamation");
+    assert_eq!(enqueued, out.run.trace.count("reclaim.packet.finish"));
+    assert_golden(
+        "packet_reclaim.trace.jsonl",
+        &reclaim_trace_jsonl(&out.run.trace),
+    );
+}
+
+#[test]
+fn golden_packet_reclaim_replays_conformant() {
+    // The committed snapshot itself — not just the run that regenerates it —
+    // must satisfy the packet invariants: parse it back off disk and replay
+    // it through the paper oracle.
+    let path = golden_dir().join("packet_reclaim.trace.jsonl");
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             M3_UPDATE_GOLDEN=1 cargo test --test conformance",
+            path.display()
+        )
+    });
+    let mut log = TraceLog::new();
+    for (i, line) in text.lines().enumerate() {
+        let e: TraceEvent = serde_json::from_str(line)
+            .unwrap_or_else(|err| panic!("golden line {} does not parse: {err:?}", i + 1));
+        log.record(e.t, e.pid, e.data);
+    }
+    assert!(log.count("reclaim.packet.enqueue") > 0);
+    let violations = Oracle::paper(None).check(&log);
+    assert!(
+        violations.is_empty(),
+        "replaying the packet golden must be violation-free, got {violations:#?}"
+    );
+}
+
+#[test]
+fn packet_bucket_order_ablation_is_caught() {
+    // Draining the packet graph in reverse bucket order (madvise before GC
+    // before eviction) while ignoring dependency edges must be flagged by
+    // the reclaim.packet.* invariants — proof the suite can catch a
+    // misordered scheduler rather than just blessing the correct one.
+    let scenario = Scenario::uniform("CM", 180);
+    let mut cfg = machine();
+    cfg.packet_ablation = true;
+    let out = run_scenario(&scenario, &Setting::m3(2), cfg);
+    assert!(out.run.trace.count("reclaim.packet.enqueue") > 0);
+    assert!(
+        out.run
+            .violations
+            .iter()
+            .any(|v| v.invariant == "reclaim.packet.bucket"),
+        "a packet must be seen starting before its bucket opened, got {:#?}",
+        out.run.violations
+    );
+    assert!(
+        out.run
+            .violations
+            .iter()
+            .any(|v| v.invariant == "reclaim.packet.deps"),
+        "a packet must be seen starting before its dependencies finished, got {:#?}",
+        out.run.violations
     );
 }
 

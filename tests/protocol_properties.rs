@@ -2,8 +2,11 @@
 
 use m3::core::selection::{select_processes, sort_candidates, Candidate};
 use m3::core::thresholds::AdaptiveThresholds;
-use m3::core::{AdaptiveAllocator, MonitorConfig, SortOrder};
-use m3::os::{Kernel, KernelConfig, SignalFaultConfig};
+use m3::core::{
+    AdaptiveAllocator, MonitorConfig, PacketBucket, PacketKind, PacketOutcome, ReclaimScheduler,
+    SchedulerConfig, SortOrder,
+};
+use m3::os::{Kernel, KernelConfig, Pid, SignalFaultConfig};
 use m3::sim::clock::{SimDuration, SimTime};
 use m3::sim::trace::Criticality;
 use m3::sim::units::{GIB, KIB, MIB};
@@ -279,6 +282,179 @@ proptest! {
             prop_assert_eq!(os.rss(pid), jvm.committed());
             prop_assert!(jvm.committed() <= jvm.config().max_heap);
         }
+    }
+}
+
+/// One random work packet: a bucket index, the bytes it will reclaim, a
+/// seed for picking dependencies, and how many dependencies to attempt.
+type PacketSpec = (usize, u64, u64, usize);
+
+/// The synthetic reclamation context for packet-DAG properties: slot `i`
+/// holds the bytes packet `i` reclaims, so the monolithic path is a plain
+/// sum over the slots.
+#[derive(Debug)]
+struct Pool {
+    slots: Vec<u64>,
+}
+
+/// Builds a scheduler holding the random DAG. Dependencies are resolved
+/// against already-enqueued packets in the same or an earlier bucket (the
+/// only edges the scheduler accepts), picked deterministically from the
+/// spec's seed.
+fn build_dag(specs: &[PacketSpec], pid: Pid, cfg: SchedulerConfig) -> ReclaimScheduler<Pool> {
+    const SHAPES: [(PacketKind, PacketBucket); 3] = [
+        (PacketKind::EvictSlabs, PacketBucket::Prepare),
+        (PacketKind::GcYoung, PacketBucket::Collect),
+        (PacketKind::Madvise, PacketBucket::Release),
+    ];
+    let mut sched = ReclaimScheduler::new(pid, cfg);
+    let mut buckets: Vec<PacketBucket> = Vec::new();
+    for (i, &(shape, _bytes, seed, ndeps)) in specs.iter().enumerate() {
+        let (kind, bucket) = SHAPES[shape];
+        let candidates: Vec<u64> = buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b <= bucket)
+            .map(|(j, _)| j as u64)
+            .collect();
+        let mut deps: Vec<u64> = (0..ndeps)
+            .filter_map(|k| {
+                candidates
+                    .get((seed as usize).wrapping_add(k * 7) % candidates.len().max(1))
+                    .copied()
+            })
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        sched.add_in(
+            kind,
+            bucket,
+            &deps,
+            move |p: &Pool| p.slots[i],
+            move |p: &mut Pool, _os: &mut Kernel| {
+                let b = std::mem::take(&mut p.slots[i]);
+                PacketOutcome::freed(b, SimDuration::from_millis(1))
+            },
+        );
+        buckets.push(bucket);
+    }
+    sched
+}
+
+fn packet_violations(trace: &m3::sim::trace::TraceLog) -> Vec<m3::oracle::Violation> {
+    m3::oracle::Oracle::paper(None)
+        .check(trace)
+        .into_iter()
+        .filter(|v| v.invariant.starts_with("reclaim.packet"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random packet DAG, drained with any worker count, satisfies the
+    /// `reclaim.packet.*` invariants, runs every packet exactly once,
+    /// conserves bytes against the monolithic sum — and is observably
+    /// identical (stats, outcome, trace) to the single-worker drain.
+    #[test]
+    fn random_packet_dags_never_violate_ordering(
+        specs in proptest::collection::vec(
+            (0usize..3, 0u64..(64 * MIB), 0u64..1_000_000_000, 0usize..3),
+            1..24,
+        ),
+        workers in 1usize..9,
+    ) {
+        let monolithic: u64 = specs.iter().map(|s| s.1).sum();
+        let run = |w: usize| {
+            let mut os = Kernel::new(KernelConfig::with_total(GIB));
+            let pid = os.spawn("dag");
+            let mut pool = Pool {
+                slots: specs.iter().map(|s| s.1).collect(),
+            };
+            let cfg = SchedulerConfig {
+                workers: Some(w),
+                ablate_bucket_order: false,
+            };
+            let res = build_dag(&specs, pid, cfg).drain(&mut pool, &mut os);
+            (res, pool, os)
+        };
+        let (res, pool, os) = run(workers);
+        prop_assert!(pool.slots.iter().all(|&s| s == 0), "every packet must run");
+        prop_assert_eq!(res.stats.records.len(), specs.len());
+        prop_assert_eq!(
+            res.stats.bytes(), monolithic,
+            "packet bytes must sum to the monolithic path's total"
+        );
+        let violations = packet_violations(&os.trace);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+        // The worker count must change nothing observable.
+        let (res1, _, os1) = run(1);
+        prop_assert_eq!(&res.stats, &res1.stats);
+        prop_assert_eq!(res.outcome, res1.outcome);
+        prop_assert!(
+            os.trace.events().eq(os1.trace.events()),
+            "traces must be identical for {workers} workers vs 1"
+        );
+    }
+
+    /// Reverse-bucket draining of a DAG with a guaranteed Prepare→Release
+    /// dependency edge is caught by both the bucket and the dependency
+    /// invariants — for every worker count. Even misordered, the drain
+    /// still runs everything, so bytes stay conserved: ordering and
+    /// conservation are independent failure axes.
+    #[test]
+    fn random_packet_dag_ablation_is_caught(
+        specs in proptest::collection::vec(
+            (0usize..3, 0u64..(64 * MIB), 0u64..1_000_000_000, 0usize..3),
+            0..16,
+        ),
+        workers in 1usize..9,
+    ) {
+        let mut os = Kernel::new(KernelConfig::with_total(GIB));
+        let pid = os.spawn("dag");
+        let n = specs.len();
+        let mut slots: Vec<u64> = specs.iter().map(|s| s.1).collect();
+        slots.push(MIB);
+        slots.push(MIB);
+        let mut pool = Pool { slots };
+        let cfg = SchedulerConfig {
+            workers: Some(workers),
+            ablate_bucket_order: true,
+        };
+        let mut sched = build_dag(&specs, pid, cfg);
+        let prep = sched.add_in(
+            PacketKind::EvictSlabs,
+            PacketBucket::Prepare,
+            &[],
+            move |p: &Pool| p.slots[n],
+            move |p: &mut Pool, _os: &mut Kernel| {
+                PacketOutcome::freed(std::mem::take(&mut p.slots[n]), SimDuration::from_millis(1))
+            },
+        );
+        sched.add_in(
+            PacketKind::Madvise,
+            PacketBucket::Release,
+            &[prep],
+            move |p: &Pool| p.slots[n + 1],
+            move |p: &mut Pool, _os: &mut Kernel| {
+                PacketOutcome::freed(
+                    std::mem::take(&mut p.slots[n + 1]),
+                    SimDuration::from_millis(1),
+                )
+            },
+        );
+        let monolithic: u64 = specs.iter().map(|s| s.1).sum::<u64>() + 2 * MIB;
+        let res = sched.drain(&mut pool, &mut os);
+        prop_assert_eq!(res.stats.bytes(), monolithic, "ablation misorders, it must not lose bytes");
+        let violations = packet_violations(&os.trace);
+        prop_assert!(
+            violations.iter().any(|v| v.invariant == "reclaim.packet.bucket"),
+            "reverse-bucket drain must trip the bucket invariant, got {violations:#?}"
+        );
+        prop_assert!(
+            violations.iter().any(|v| v.invariant == "reclaim.packet.deps"),
+            "ignored dependency edges must trip the deps invariant, got {violations:#?}"
+        );
     }
 }
 
